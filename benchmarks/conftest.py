@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every experiment harness is a full synthesis + analysis pipeline, so
+benchmarks run with ``pedantic`` single-shot timing (the paper's T
+column is a one-shot synthesis time, not a hot-loop average).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def single_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing the single-shot runner."""
+    return single_shot

@@ -1,0 +1,46 @@
+"""Ablation benchmarks: feature matrix and the #wl sweep (E4/E5)."""
+
+import math
+
+import pytest
+
+from repro.experiments import run_shortcut_ablation, run_wavelength_sweep
+from repro.experiments.ablations import format_ablation
+from repro.viz import bar_chart
+
+
+def test_feature_ablation(benchmark, once):
+    rows = once(benchmark, run_shortcut_ablation, 16)
+    print("\n== XRing feature ablation (16-node network) ==")
+    print(format_ablation(rows))
+
+    variants = {row.variant: row.row for row in rows}
+
+    # Openings + internal PDN are what remove the noise: the
+    # no-openings variant routes the PDN externally and suffers.
+    assert variants["full"].noisy <= 0.02 * variants["full"].signal_count
+    assert variants["no-openings"].noisy > 0.5 * variants["no-openings"].signal_count
+
+    # Shortcuts shorten the average path; without them the total served
+    # ring length cannot be shorter.
+    assert variants["no-shortcuts"].length_mm >= variants["full"].length_mm - 1e-6
+
+    # The bare variant (no shortcuts, no openings) behaves like ORing.
+    assert variants["bare"].noisy > 0.5 * variants["bare"].signal_count
+    assert variants["bare"].power_w > variants["full"].power_w
+
+
+@pytest.mark.parametrize("kind", ["xring", "ornoc"])
+def test_wavelength_sweep(benchmark, once, kind):
+    budgets = [6, 8, 10, 12, 16]
+    rows = once(benchmark, run_wavelength_sweep, 8, kind=kind, budgets=budgets)
+    print(f"\n== #wl sweep ({kind}, 8-node network) ==")
+    print(bar_chart([(f"#wl={b}", row.power_w) for b, row in rows], unit=" W"))
+
+    assert all(math.isfinite(row.power_w) and row.power_w > 0 for _, row in rows)
+    assert all(row.wl <= budget for budget, row in rows)
+
+    # The sweep must actually move the objective — otherwise "picking
+    # the best setting" (every table's methodology) would be vacuous.
+    powers = [row.power_w for _, row in rows]
+    assert max(powers) > min(powers)

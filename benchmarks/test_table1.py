@@ -1,0 +1,39 @@
+"""Benchmark regenerating Table I (8- and 16-node, no PDNs).
+
+Prints the reproduced table (run pytest with ``-s`` to see it) and
+asserts the paper's shape: crossbar flows suffer crossings and high
+worst-case insertion loss; ring routers are crossing-free; XRing cuts
+il_w by more than 40% against every crossbar flow.
+"""
+
+import pytest
+
+from repro.experiments import format_table1, run_table1
+
+
+@pytest.mark.parametrize("num_nodes", [8, 16])
+def test_table1(benchmark, once, num_nodes):
+    rows = once(benchmark, run_table1, num_nodes)
+    print(f"\n== Table I ({num_nodes}-node network, reproduced) ==")
+    print(format_table1(rows))
+
+    by_tool = {row.tool: row for row in rows}
+    crossbars = [by_tool["Proton+"], by_tool["PlanarONoC"], by_tool["ToPro"]]
+    rings = [by_tool["Ornoc"], by_tool["Oring"], by_tool["Xring"]]
+
+    # Crossbar physical designs suffer crossings; rings do not.
+    assert all(row.crossings > 0 for row in crossbars)
+    assert all(row.crossings == 0 for row in rings)
+
+    # PROTON+ is the crossing-heaviest flow (paper: 27/255 crossings).
+    assert by_tool["Proton+"].crossings == max(r.crossings for r in crossbars)
+
+    # PlanarONoC trades wirelength for crossings (paper: longest L).
+    assert by_tool["PlanarONoC"].length_mm == max(r.length_mm for r in crossbars)
+
+    # Headline: XRing cuts worst-case il by > 40% vs every crossbar flow.
+    for crossbar in crossbars:
+        assert by_tool["Xring"].il_w < 0.6 * crossbar.il_w
+
+    # Ring routers answer in about a second (paper: <= 0.3 s in C++).
+    assert all(row.time_s < 30 for row in rings)

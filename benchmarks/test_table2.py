@@ -1,0 +1,55 @@
+"""Benchmark regenerating Table II (ORNoC vs XRing with PDNs).
+
+One benchmark per network size (8, 16, 32).  The #wl sweep follows the
+paper's methodology of picking the min-power and max-SNR settings; the
+sweep grids are centred on the settings the paper reports.
+"""
+
+import pytest
+
+from repro.experiments import format_table2, run_table2
+
+#: Sweep grids per network size (paper-reported settings included:
+#: ORNoC picked 5/8/16/32 wavelengths, XRing 8/14/31).
+BUDGETS = {
+    8: [5, 6, 8, 10],
+    16: [12, 14, 16, 20],
+    32: [28, 31, 32, 40],
+}
+
+
+@pytest.mark.parametrize("num_nodes", [8, 16, 32])
+def test_table2(benchmark, once, num_nodes):
+    blocks = once(
+        benchmark,
+        run_table2,
+        sizes=(num_nodes,),
+        budgets={num_nodes: BUDGETS[num_nodes]},
+    )
+    print(f"\n== Table II ({num_nodes}-node network, reproduced) ==")
+    print(format_table2(blocks))
+
+    for block in blocks:
+        ornoc, xring = block.ornoc, block.xring
+
+        # XRing's PDN is crossing-free; its worst path sees none.
+        assert xring.crossings == 0
+
+        # XRing needs less (or at 8 nodes: equal, as in the paper)
+        # laser power.
+        if num_nodes == 8:
+            assert xring.power_w <= 1.15 * ornoc.power_w
+        else:
+            assert xring.power_w < ornoc.power_w
+
+        # ORNoC suffers widespread first-order noise, XRing almost none
+        # (paper: > 98% of XRing signals are noise-free).
+        assert ornoc.noisy > 0.5 * ornoc.signal_count
+        assert xring.noisy <= 0.02 * xring.signal_count
+
+        # Worst-case insertion loss ordering (paper: -25% .. -32%).
+        assert xring.il_w < ornoc.il_w
+
+        # ORNoC's utilization-first assignment produces longer worst
+        # paths than XRing's shortest-direction + shortcuts.
+        assert xring.length_mm < ornoc.length_mm

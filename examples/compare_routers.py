@@ -1,0 +1,65 @@
+"""Head-to-head: XRing vs ORNoC vs ORing on a 16-node network.
+
+Reproduces the Table II/III methodology on one network: all three ring
+routers share the same Step-1 ring tour, each is synthesized with its
+own feature set (see the baseline module docstrings), and the same
+analysis pipeline scores them.
+
+Run with::
+
+    python examples/compare_routers.py
+"""
+
+from repro.analysis import evaluate_circuit
+from repro.baselines.ring import synthesize_ornoc, synthesize_oring
+from repro.core import SynthesisOptions, XRingSynthesizer
+from repro.core.ring import construct_ring_tour
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
+from repro.viz import bar_chart
+
+
+def main() -> None:
+    points, die = psion_placement(16)
+    network = Network.from_positions(points, die=die)
+    tour = construct_ring_tour(list(network.positions))
+
+    designs = {
+        "ORNoC": synthesize_ornoc(network, wl_budget=16, tour=tour),
+        "ORing": synthesize_oring(network, wl_budget=16, tour=tour),
+        "XRing": XRingSynthesizer(
+            network, SynthesisOptions(wl_budget=16)
+        ).run(tour=tour),
+    }
+
+    header = (
+        f"{'router':<8}{'#wl':>5}{'il*_w':>8}{'L(mm)':>8}{'C':>5}"
+        f"{'P(W)':>8}{'#s':>6}{'SNR_w':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for name, design in designs.items():
+        circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+        ev = evaluate_circuit(circuit, ORING_LOSSES, NIKDAST_CROSSTALK)
+        snr = "-" if ev.snr_worst_db is None else f"{ev.snr_worst_db:.1f}"
+        print(
+            f"{name:<8}{ev.wl_count:>5}{ev.il_w:>8.2f}"
+            f"{ev.worst_length_mm:>8.1f}{ev.worst_crossings:>5}"
+            f"{ev.power_w:>8.3f}{ev.noisy_signals:>6}{snr:>8}"
+        )
+        rows.append((name, ev.power_w))
+
+    print("\nlaser power comparison:")
+    print(bar_chart(rows, unit=" W"))
+
+    xring = designs["XRing"]
+    print(
+        f"\nXRing uses {xring.shortcut_count} shortcuts and opens "
+        f"{xring.ring_count} ring waveguides for its crossing-free PDN."
+    )
+
+
+if __name__ == "__main__":
+    main()

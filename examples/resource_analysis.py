@@ -1,0 +1,65 @@
+"""Resource and spectrum analysis of a synthesized router.
+
+Beyond the paper's worst-case tables, a designer adopting XRing wants
+to know what the router *costs* (waveguide length, MRRs, splitters,
+footprint) and how balanced the wavelength channels are (an unbalanced
+assignment wastes laser power on cold channels).  This example
+synthesizes a 16-node XRing, prints the resource bill, the
+per-wavelength spectrum, and writes a machine-readable JSON report.
+
+Run with::
+
+    python examples/resource_analysis.py
+"""
+
+from pathlib import Path
+
+from repro import synthesize_and_evaluate
+from repro.analysis import spectrum_report, resource_report
+from repro.io import save_report
+from repro.photonics import ORING_LOSSES
+from repro.viz import bar_chart
+
+
+def main() -> None:
+    design, evaluation = synthesize_and_evaluate(num_nodes=16)
+    circuit = design.to_circuit(ORING_LOSSES)
+
+    resources = resource_report(design)
+    print("Resource bill (16-node XRing)")
+    print(f"  data waveguide : {resources.waveguide_mm:.1f} mm")
+    print(f"  PDN waveguide  : {resources.pdn_waveguide_mm:.1f} mm")
+    print(f"  ring instances : {resources.ring_count}")
+    print(f"  shortcuts      : {resources.shortcut_count}")
+    print(f"  MRRs           : {resources.mrr_count}")
+    print(f"  modulators     : {resources.modulator_count}")
+    print(f"  splitters      : {resources.splitter_count}")
+    print(f"  crossings      : {resources.crossing_count}")
+    print(f"  footprint      : {resources.footprint_mm2:.1f} mm^2")
+
+    spectrum = spectrum_report(circuit, ORING_LOSSES, evaluation)
+    print("\nPer-wavelength laser power (the hottest channel sets the pace):")
+    print(
+        bar_chart(
+            [
+                (f"wl {c.wavelength:>2} ({c.signal_count:>2} signals)", c.power_mw)
+                for c in spectrum.channels
+            ],
+            unit=" mW",
+        )
+    )
+    hottest = spectrum.hottest
+    print(
+        f"\nhottest channel: wl {hottest.wavelength} "
+        f"(worst il {hottest.worst_il_db:.2f} dB, headroom "
+        f"{hottest.headroom_db:.2f} dB over its mean signal)"
+    )
+    print(f"power imbalance: {spectrum.power_imbalance:.2f}x the mean channel")
+
+    out = Path(__file__).with_name("xring16_report.json")
+    save_report(out, design, evaluation)
+    print(f"\nJSON report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

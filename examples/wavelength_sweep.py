@@ -1,0 +1,40 @@
+"""Sweep the per-waveguide wavelength budget (#wl).
+
+Every table in the paper reports "the setting for min power / max
+SNR": the wavelength budget trades the number of parallel ring
+waveguides (more rings, shallower PDN per ring) against wavelength
+parallelism per ring.  This example sweeps #wl for an 8-node XRing
+and prints the power curve the tables' methodology optimizes over.
+
+Run with::
+
+    python examples/wavelength_sweep.py
+"""
+
+from repro.experiments import run_wavelength_sweep
+from repro.viz import bar_chart
+
+
+def main() -> None:
+    budgets = [4, 5, 6, 8, 10, 12, 16]
+    rows = run_wavelength_sweep(8, kind="xring", budgets=budgets)
+
+    print("XRing, 8-node network: laser power vs wavelength budget\n")
+    print(bar_chart([(f"#wl={b:>2}", row.power_w * 1000) for b, row in rows], unit=" mW"))
+
+    print("\n#wl   rings  il_w(dB)  P(mW)   #s")
+    for budget, row in rows:
+        print(
+            f"{budget:>3}   {row.wl:>4}  {row.il_w:>7.2f}  "
+            f"{row.power_w * 1000:>6.2f}  {row.noisy:>3}"
+        )
+
+    best = min(rows, key=lambda item: item[1].power_w)
+    print(
+        f"\nbest setting: #wl={best[0]} "
+        f"({best[1].power_w * 1000:.2f} mW, il_w={best[1].il_w:.2f} dB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Optical circuit analysis: insertion loss, crosstalk, power, SNR.
+
+A synthesized router (XRing or a baseline) is lowered into a
+:class:`PhotonicCircuit`: a set of directed waveguides carrying ordered
+optical elements (drop filters, crossings), plus the set of signals
+with their multi-leg routes and PDN feed losses.  The analysis engine
+then computes, per signal:
+
+- the insertion-loss breakdown (propagation / crossing / through /
+  drop / bend / modulator / photodetector / PDN feed) — Sec. II-B;
+- first-order crosstalk noise reaching the signal's photodetector on
+  the signal's own wavelength, following the model of Nikdast et
+  al. [14]: noise is generated where signals traverse crossings and
+  where intermediate (CSE) drops leave residual power, and where PDN
+  waveguides cross data waveguides (continuous-wave laser light leaks
+  onto every wavelength);
+- SNR and the per-wavelength laser power
+  ``P = 10**((il_w + S)/10)``.
+
+The aggregate :class:`RouterEvaluation` carries exactly the columns of
+the paper's Tables I-III.
+"""
+
+from repro.analysis.circuit import (
+    Crossing,
+    DropFilter,
+    ExternalInjection,
+    Leg,
+    PhotonicCircuit,
+    SignalSpec,
+    Waveguide,
+)
+from repro.analysis.insertion_loss import LossBreakdown, signal_loss
+from repro.analysis.crosstalk import NoiseRecord, compute_noise
+from repro.analysis.power import total_laser_power_w, per_wavelength_power_mw
+from repro.analysis.report import RouterEvaluation, evaluate_circuit
+from repro.analysis.resources import ResourceReport, resource_report
+from repro.analysis.spectrum import SpectrumReport, WavelengthStats, spectrum_report
+
+__all__ = [
+    "Waveguide",
+    "DropFilter",
+    "Crossing",
+    "ExternalInjection",
+    "Leg",
+    "SignalSpec",
+    "PhotonicCircuit",
+    "LossBreakdown",
+    "signal_loss",
+    "NoiseRecord",
+    "compute_noise",
+    "per_wavelength_power_mw",
+    "total_laser_power_w",
+    "RouterEvaluation",
+    "evaluate_circuit",
+    "ResourceReport",
+    "resource_report",
+    "SpectrumReport",
+    "WavelengthStats",
+    "spectrum_report",
+]

@@ -1,0 +1,295 @@
+"""The photonic circuit model consumed by the analysis engine.
+
+A circuit is a set of directed waveguides.  Positions along a waveguide
+are millimetres from its start in the propagation direction; a *closed*
+waveguide (an un-opened ring) wraps from ``length`` back to ``0``.
+
+Optical elements sit at positions on waveguides:
+
+- :class:`DropFilter` — an on-off resonance MRR in front of a
+  photodetector; it drops its resonant wavelength into the PD and lets
+  other wavelengths pass (with through loss).  Every received signal
+  terminates at exactly one drop filter, which doubles as the signal's
+  photodetector identity for noise accounting.
+- :class:`Crossing` — a proper intersection of two waveguides (or of a
+  waveguide with an external PDN waveguide, ``other_wid = -1``).
+
+Signals are :class:`SignalSpec`: one or more :class:`Leg` s (CSE-merged
+shortcuts produce two legs), a wavelength index, and the PDN feed loss
+from the laser to the signal's modulator.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+_POS_TOL = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class DropFilter:
+    """A drop MRR + photodetector at ``position`` on a waveguide.
+
+    ``signal_id`` names the signal this filter receives; the filter is
+    resonant at that signal's wavelength.  ``terminated`` marks the
+    Fig. 5(b) MRR+terminator fix that removes the drop residual noise
+    (applied at all receivers, for XRing and baselines alike).
+    """
+
+    position: float
+    wavelength: int
+    signal_id: int
+    node: int
+    terminated: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Crossing:
+    """One end of a waveguide crossing.
+
+    A physical crossing between waveguides ``w1`` and ``w2`` is
+    registered as one ``Crossing`` element on each guide, sharing
+    ``crossing_id``.  ``other_wid = -1`` denotes a crossing with an
+    external (PDN) waveguide that is not itself part of the circuit.
+    """
+
+    position: float
+    crossing_id: int
+    other_wid: int
+    other_position: float
+
+
+@dataclass
+class Waveguide:
+    """A directed waveguide with ordered elements.
+
+    ``closed`` marks an un-opened ring: propagation wraps at
+    ``length``.  Elements must lie in ``[0, length)`` for closed guides
+    and ``[0, length]`` for open ones.
+    """
+
+    wid: int
+    length: float
+    closed: bool = False
+    kind: str = "ring"
+    drop_filters: list[DropFilter] = field(default_factory=list)
+    crossings: list[Crossing] = field(default_factory=list)
+    _sorted: bool = field(default=False, repr=False)
+
+    def add_drop_filter(self, flt: DropFilter) -> None:
+        """Attach a drop filter; positions are validated lazily."""
+        self.drop_filters.append(flt)
+        self._sorted = False
+
+    def add_crossing(self, crossing: Crossing) -> None:
+        """Attach one end of a crossing."""
+        self.crossings.append(crossing)
+        self._sorted = False
+
+    def finalize(self) -> None:
+        """Sort elements by position and validate ranges."""
+        for elem in list(self.drop_filters) + list(self.crossings):
+            out_of_range = elem.position < -_POS_TOL or (
+                elem.position > self.length + 1e-6
+                if not self.closed
+                else elem.position >= self.length - 1e-9
+            )
+            if out_of_range:
+                raise ValueError(
+                    f"element at {elem.position} outside waveguide "
+                    f"{self.wid} of length {self.length}"
+                )
+        self.drop_filters.sort(key=lambda f: f.position)
+        self.crossings.sort(key=lambda c: c.position)
+        self._sorted = True
+
+    # -- queries -----------------------------------------------------------
+    def _require_sorted(self) -> None:
+        if not self._sorted:
+            self.finalize()
+
+    def filters_between(self, start: float, end: float) -> list[DropFilter]:
+        """Drop filters strictly inside the directed arc ``start -> end``.
+
+        On a closed guide ``end <= start`` wraps through position 0.
+        """
+        self._require_sorted()
+        return _between(self.drop_filters, start, end, self.closed)
+
+    def crossings_between(self, start: float, end: float) -> list[Crossing]:
+        """Crossing elements strictly inside the directed arc."""
+        self._require_sorted()
+        return _between(self.crossings, start, end, self.closed)
+
+    def arc_length(self, start: float, end: float) -> float:
+        """Length of the directed arc ``start -> end`` (wrap-aware)."""
+        if end > start + _POS_TOL:
+            return end - start
+        if not self.closed:
+            if abs(end - start) <= 1e-6:
+                return 0.0
+            raise ValueError(
+                f"arc {start}->{end} runs backwards on open waveguide {self.wid}"
+            )
+        return self.length - start + end
+
+
+def _between(elements: list, start: float, end: float, closed: bool) -> list:
+    """Elements with ``start < pos < end`` on a directed (wrapping) arc."""
+    positions = [e.position for e in elements]
+    if end > start + _POS_TOL:
+        lo = bisect.bisect_right(positions, start + _POS_TOL)
+        hi = bisect.bisect_left(positions, end - _POS_TOL)
+        return elements[lo:hi]
+    if not closed:
+        return []
+    lo = bisect.bisect_right(positions, start + _POS_TOL)
+    hi = bisect.bisect_left(positions, end - _POS_TOL)
+    return elements[lo:] + elements[:hi]
+
+
+@dataclass(frozen=True, slots=True)
+class Leg:
+    """One contiguous stretch of a signal's route on one waveguide.
+
+    The signal travels from ``start`` to ``end`` in the waveguide's
+    propagation direction (wrapping on closed guides when
+    ``end <= start``).  ``bends`` counts 90-degree bends on this
+    stretch for bend-loss accounting.
+    """
+
+    wid: int
+    start: float
+    end: float
+    bends: int = 0
+
+
+@dataclass
+class SignalSpec:
+    """A routed signal: source, destination, wavelength and legs.
+
+    Consecutive legs are joined by a CSE drop (the signal couples into
+    an MRR at a shortcut crossing and changes waveguide); each junction
+    contributes one drop loss and one drop-residual noise source.
+    ``feed_loss_db`` is the PDN loss from the laser to this signal's
+    modulator (0 when the evaluation excludes PDNs, as in Table I).
+    """
+
+    sid: int
+    src: int
+    dst: int
+    wavelength: int
+    legs: list[Leg]
+    feed_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.legs:
+            raise ValueError("a signal needs at least one leg")
+        if self.wavelength < 0:
+            raise ValueError("wavelength index must be non-negative")
+        if self.feed_loss_db < 0.0:
+            raise ValueError("feed loss cannot be negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ExternalInjection:
+    """Broadband noise injected by a PDN crossing onto a waveguide.
+
+    PDN waveguides carry un-modulated continuous-wave laser light on
+    every wavelength; where they cross a data waveguide they leak onto
+    *all* wavelengths at once.  ``rel_db`` is the injected noise level
+    relative to the per-wavelength laser launch power (it already
+    folds in PDN losses up to the crossing and the crossing crosstalk
+    coefficient).
+    """
+
+    wid: int
+    position: float
+    rel_db: float
+
+
+class PhotonicCircuit:
+    """A full router lowered to waveguides + elements + signals."""
+
+    def __init__(self) -> None:
+        self.waveguides: dict[int, Waveguide] = {}
+        self.signals: list[SignalSpec] = []
+        self.external_injections: list[ExternalInjection] = []
+        self._next_crossing_id = 0
+
+    # -- construction ------------------------------------------------------
+    def add_waveguide(
+        self, length: float, *, closed: bool = False, kind: str = "ring"
+    ) -> Waveguide:
+        """Create and register a new waveguide; returns it."""
+        if length <= 0:
+            raise ValueError("waveguide length must be positive")
+        wid = len(self.waveguides)
+        guide = Waveguide(wid=wid, length=length, closed=closed, kind=kind)
+        self.waveguides[wid] = guide
+        return guide
+
+    def add_crossing(self, wid1: int, pos1: float, wid2: int, pos2: float) -> int:
+        """Register a crossing between two circuit waveguides."""
+        cid = self._next_crossing_id
+        self._next_crossing_id += 1
+        self.waveguides[wid1].add_crossing(Crossing(pos1, cid, wid2, pos2))
+        self.waveguides[wid2].add_crossing(Crossing(pos2, cid, wid1, pos1))
+        return cid
+
+    def add_pdn_crossing(self, wid: int, pos: float, rel_db: float) -> int:
+        """Register a crossing with an external PDN waveguide.
+
+        Adds the crossing-loss element on the data waveguide and the
+        broadband noise injection at the same point.
+        """
+        cid = self._next_crossing_id
+        self._next_crossing_id += 1
+        self.waveguides[wid].add_crossing(Crossing(pos, cid, -1, 0.0))
+        self.external_injections.append(ExternalInjection(wid, pos, rel_db))
+        return cid
+
+    def add_signal(self, signal: SignalSpec) -> None:
+        """Register a routed signal (validated in :meth:`finalize`)."""
+        self.signals.append(signal)
+
+    def finalize(self) -> None:
+        """Sort all element lists and validate signal terminations."""
+        for guide in self.waveguides.values():
+            guide.finalize()
+        seen_sids = set()
+        for sig in self.signals:
+            if sig.sid in seen_sids:
+                raise ValueError(f"duplicate signal id {sig.sid}")
+            seen_sids.add(sig.sid)
+            for leg in sig.legs:
+                if leg.wid not in self.waveguides:
+                    raise ValueError(f"signal {sig.sid}: unknown waveguide {leg.wid}")
+            if self.terminal_filter(sig) is None:
+                raise ValueError(
+                    f"signal {sig.sid} ({sig.src}->{sig.dst}, wl {sig.wavelength}) "
+                    "has no drop filter at its endpoint"
+                )
+
+    # -- queries -----------------------------------------------------------
+    def terminal_filter(self, signal: SignalSpec) -> DropFilter | None:
+        """The drop filter receiving ``signal`` (at its last leg's end)."""
+        last = signal.legs[-1]
+        guide = self.waveguides[last.wid]
+        for flt in guide.drop_filters:
+            if (
+                abs(flt.position - last.end) <= 1e-6
+                and flt.signal_id == signal.sid
+            ):
+                return flt
+        return None
+
+    def used_wavelengths(self) -> list[int]:
+        """Sorted distinct wavelength indices used by any signal."""
+        return sorted({s.wavelength for s in self.signals})
+
+    @property
+    def wavelength_count(self) -> int:
+        """Number of distinct wavelengths in use (the table's #wl)."""
+        return len(self.used_wavelengths())

@@ -1,0 +1,263 @@
+"""First-order crosstalk generation and propagation.
+
+Following the paper (Sec. II-B) and the formal model it cites [14],
+first-order noise that can reach a photodetector *on the desired
+signal's own wavelength* comes from three mechanisms:
+
+1. **Crossings between data waveguides** — a signal traversing a
+   crossing leaks ``crossing_db`` of its power into the transverse
+   waveguide; the leaked light keeps the signal's wavelength and is
+   dropped by the first same-wavelength filter it meets downstream.
+2. **Intermediate (CSE) drops** — when a merged-shortcut signal couples
+   into a CSE, a residual ``mrr_drop_residual_db`` keeps travelling on
+   the original waveguide.  (The residual at the *terminal* receiver is
+   removed by the MRR+terminator fix of Fig. 5(b) and does not count.)
+3. **PDN crossings** — PDN waveguides carry continuous-wave light on
+   every wavelength, so a PDN crossing sprays ``crossing_db``-scaled
+   noise onto *all* wavelengths of the crossed data waveguide.
+
+Noise leaked through off-resonance MRRs into foreign photodetectors
+lands on a *different* wavelength than that detector's desired signal
+and is excluded by the paper's SNR definition, so it is not tracked.
+
+The paper (following [14]) analyzes first-order noise only, "since
+the power [of higher orders] is relatively small"; ``max_order``
+optionally extends the simulation to higher orders (noise leaking
+through further crossings spawns child tokens) so that assumption can
+be checked quantitatively — see the ablation benchmarks.
+
+All powers are handled relative to the per-wavelength laser launch
+power (rel dB); the laser power cancels in the SNR, which is what the
+tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.circuit import (
+    Crossing,
+    DropFilter,
+    PhotonicCircuit,
+    SignalSpec,
+    Waveguide,
+)
+from repro.photonics.parameters import CrosstalkParameters, LossParameters
+
+#: Noise below this relative level (dB vs. laser launch) is dropped as
+#: numerically irrelevant (over 12 orders of magnitude under the signal).
+_NOISE_FLOOR_REL_DB = -130.0
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseRecord:
+    """One noise contribution arriving at a photodetector.
+
+    ``victim_sid`` is the signal whose photodetector receives the
+    noise; ``rel_db`` is the noise level at the photodetector relative
+    to the per-wavelength laser launch power; ``source`` is one of
+    ``"crossing"``, ``"cse_residual"``, ``"pdn"``; ``source_sid`` names
+    the aggressor signal (``-1`` for PDN light); ``order`` is 1 for
+    first-order noise and grows by one per further crossing leak.
+    """
+
+    victim_sid: int
+    rel_db: float
+    source: str
+    source_sid: int
+    order: int = 1
+
+
+def _merged_elements(guide: Waveguide) -> list[tuple[float, object]]:
+    """All elements of a guide as (position, element), sorted."""
+    guide._require_sorted()
+    merged: list[tuple[float, object]] = [
+        (f.position, f) for f in guide.drop_filters
+    ] + [(c.position, c) for c in guide.crossings]
+    merged.sort(key=lambda item: item[0])
+    return merged
+
+
+class _NoiseTracer:
+    """Propagates noise tokens through the circuit and collects hits."""
+
+    def __init__(
+        self,
+        circuit: PhotonicCircuit,
+        loss: LossParameters,
+        xtalk: CrosstalkParameters,
+        max_order: int = 1,
+    ) -> None:
+        self.circuit = circuit
+        self.loss = loss
+        self.xtalk = xtalk
+        self.max_order = max_order
+        self.records: list[NoiseRecord] = []
+        self._element_cache: dict[int, list[tuple[float, object]]] = {}
+
+    def _elements(self, wid: int) -> list[tuple[float, object]]:
+        if wid not in self._element_cache:
+            self._element_cache[wid] = _merged_elements(self.circuit.waveguides[wid])
+        return self._element_cache[wid]
+
+    def trace(
+        self,
+        wavelength: int,
+        wid: int,
+        position: float,
+        rel_db: float,
+        source: str,
+        source_sid: int,
+        order: int = 1,
+    ) -> None:
+        """Propagate one noise token until dropped, lost, or negligible.
+
+        The token travels forward along waveguide ``wid`` from
+        ``position``; on a closed guide it wraps at most one full loop
+        (without a matching filter in one loop there is none at all).
+        """
+        guide = self.circuit.waveguides[wid]
+        elements = self._elements(wid)
+        if not elements:
+            return
+        ahead = [(p, e) for p, e in elements if p > position + 1e-9]
+        ordered = ahead + ([(p, e) for p, e in elements if p <= position + 1e-9]
+                           if guide.closed else [])
+        current_pos = position
+        wrapped = False
+        for elem_pos, elem in ordered:
+            if elem_pos <= current_pos + 1e-9 and not wrapped:
+                # First wrapped element on a closed guide.
+                wrapped = True
+                distance = (guide.length - current_pos) + elem_pos
+            else:
+                distance = elem_pos - current_pos
+                if distance < 0:
+                    distance += guide.length
+            rel_db -= self.loss.propagation(max(distance, 0.0))
+            current_pos = elem_pos
+            if rel_db < _NOISE_FLOOR_REL_DB:
+                return
+            if isinstance(elem, DropFilter):
+                if elem.wavelength == wavelength:
+                    # Dropped into the victim photodetector.
+                    arrived = (
+                        rel_db
+                        - self.loss.drop_db
+                        - self.loss.photodetector_db
+                    )
+                    self.records.append(
+                        NoiseRecord(
+                            elem.signal_id, arrived, source, source_sid, order
+                        )
+                    )
+                    return
+                rel_db -= self.loss.through_db
+            elif isinstance(elem, Crossing):
+                if order < self.max_order and elem.other_wid >= 0:
+                    # Higher-order leak into the crossed waveguide.
+                    self.trace(
+                        wavelength,
+                        elem.other_wid,
+                        elem.other_position,
+                        rel_db + self.xtalk.crossing_db,
+                        source,
+                        source_sid,
+                        order + 1,
+                    )
+                rel_db -= self.loss.crossing_db
+
+
+def _leg_events(
+    circuit: PhotonicCircuit,
+    signal: SignalSpec,
+    loss: LossParameters,
+):
+    """Yield (leg_index, element, rel_db_at_element) along the signal.
+
+    ``rel_db`` is the signal's power at the element input relative to
+    the per-wavelength laser launch power.  Also yields a final event
+    per leg junction: (leg_index, None, rel_at_leg_end) used for the
+    CSE residual source.
+    """
+    rel = -(signal.feed_loss_db + loss.modulator_db)
+    for leg_index, leg in enumerate(signal.legs):
+        guide = circuit.waveguides[leg.wid]
+        filters = guide.filters_between(leg.start, leg.end)
+        crossings = guide.crossings_between(leg.start, leg.end)
+        merged = [(f.position, "filter", f) for f in filters] + [
+            (c.position, "crossing", c) for c in crossings
+        ]
+
+        def arc_pos(p: float, leg=leg, guide=guide) -> float:
+            return guide.arc_length(leg.start, p) if guide.closed else p - leg.start
+
+        merged.sort(key=lambda item: arc_pos(item[0]))
+        cursor = leg.start
+        for pos, kind, elem in merged:
+            rel -= loss.propagation(guide.arc_length(cursor, pos))
+            cursor = pos
+            yield leg_index, elem, rel
+            rel -= loss.through_db if kind == "filter" else loss.crossing_db
+        rel -= loss.propagation(guide.arc_length(cursor, leg.end))
+        yield leg_index, None, rel
+        rel -= loss.drop_db  # terminal drop or CSE junction drop
+
+
+def compute_noise(
+    circuit: PhotonicCircuit,
+    loss: LossParameters,
+    xtalk: CrosstalkParameters,
+    max_order: int = 1,
+) -> dict[int, list[NoiseRecord]]:
+    """Noise contributions grouped by victim signal.
+
+    ``max_order=1`` reproduces the paper's first-order analysis;
+    larger values let higher-order leaks propagate (each further
+    crossing costs another ``crossing_db`` of coupling, so the series
+    converges extremely fast).
+    """
+    tracer = _NoiseTracer(circuit, loss, xtalk, max_order)
+
+    for signal in circuit.signals:
+        num_legs = len(signal.legs)
+        for leg_index, elem, rel in _leg_events(circuit, signal, loss):
+            if isinstance(elem, Crossing):
+                if elem.other_wid < 0:
+                    continue  # PDN side handled via external injections
+                tracer.trace(
+                    signal.wavelength,
+                    elem.other_wid,
+                    elem.other_position,
+                    rel + xtalk.crossing_db,
+                    "crossing",
+                    signal.sid,
+                )
+            elif elem is None and leg_index < num_legs - 1:
+                # CSE junction: residual continues on the current guide.
+                leg = signal.legs[leg_index]
+                tracer.trace(
+                    signal.wavelength,
+                    leg.wid,
+                    leg.end,
+                    rel + xtalk.mrr_drop_residual_db,
+                    "cse_residual",
+                    signal.sid,
+                )
+
+    wavelengths = circuit.used_wavelengths()
+    for injection in circuit.external_injections:
+        for wavelength in wavelengths:
+            tracer.trace(
+                wavelength,
+                injection.wid,
+                injection.position,
+                injection.rel_db,
+                "pdn",
+                -1,
+            )
+
+    grouped: dict[int, list[NoiseRecord]] = {}
+    for record in tracer.records:
+        grouped.setdefault(record.victim_sid, []).append(record)
+    return grouped

@@ -1,0 +1,133 @@
+"""Per-signal insertion-loss accounting (Sec. II-B).
+
+The total insertion loss of a signal is the sum of propagation loss
+(per millimetre travelled), crossing loss (per crossing traversed),
+through loss (per off-resonance MRR passed), drop loss (one per drop:
+the terminal receiver plus one per CSE junction), bend loss, the
+modulator and photodetector losses, and — when a PDN is modelled — the
+feed loss from the laser to the modulator.
+
+``il`` (the tables' ``il_w`` contributions) excludes the PDN feed, as
+in Table II's ``il*_w`` footnote; ``il_total`` includes it and drives
+the laser-power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.circuit import PhotonicCircuit, SignalSpec
+from repro.photonics.parameters import LossParameters
+
+
+@dataclass(frozen=True)
+class LossBreakdown:
+    """Additive decomposition of one signal's insertion loss (dB)."""
+
+    propagation_db: float
+    crossing_db: float
+    through_db: float
+    drop_db: float
+    bend_db: float
+    modulator_db: float
+    photodetector_db: float
+    feed_db: float
+    length_mm: float
+    crossing_count: int
+    through_count: int
+    drop_count: int
+    bend_count: int
+
+    @property
+    def il(self) -> float:
+        """Insertion loss excluding the PDN feed (the tables' il_w)."""
+        return (
+            self.propagation_db
+            + self.crossing_db
+            + self.through_db
+            + self.drop_db
+            + self.bend_db
+            + self.modulator_db
+            + self.photodetector_db
+        )
+
+    @property
+    def il_total(self) -> float:
+        """Insertion loss including the PDN feed (drives laser power)."""
+        return self.il + self.feed_db
+
+    @classmethod
+    def from_counts(
+        cls,
+        params: LossParameters,
+        length_mm: float,
+        crossings: int,
+        throughs: int,
+        drops: int,
+        bends: int = 0,
+        feed_db: float = 0.0,
+    ) -> "LossBreakdown":
+        """Build a breakdown from raw event counts.
+
+        Used by the crossbar baselines, whose physical layouts yield
+        counts directly without a full circuit.
+        """
+        if min(length_mm, crossings, throughs, drops, bends) < 0:
+            raise ValueError("counts and length must be non-negative")
+        return cls(
+            propagation_db=params.propagation(length_mm),
+            crossing_db=params.crossing_db * crossings,
+            through_db=params.through_db * throughs,
+            drop_db=params.drop_db * drops,
+            bend_db=params.bend_db * bends,
+            modulator_db=params.modulator_db,
+            photodetector_db=params.photodetector_db,
+            feed_db=feed_db,
+            length_mm=length_mm,
+            crossing_count=crossings,
+            through_count=throughs,
+            drop_count=drops,
+            bend_count=bends,
+        )
+
+
+def signal_loss(
+    circuit: PhotonicCircuit,
+    signal: SignalSpec,
+    params: LossParameters,
+) -> LossBreakdown:
+    """Walk a signal's legs through the circuit and sum its losses.
+
+    A same-wavelength drop filter strictly inside a leg would steal the
+    signal — that is a wavelength-assignment bug upstream, so it raises
+    ``ValueError`` rather than being silently mis-counted.
+    """
+    length_mm = 0.0
+    crossing_count = 0
+    through_count = 0
+    bend_count = 0
+    for leg in signal.legs:
+        guide = circuit.waveguides[leg.wid]
+        length_mm += guide.arc_length(leg.start, leg.end)
+        bend_count += leg.bends
+        crossing_count += len(guide.crossings_between(leg.start, leg.end))
+        for flt in guide.filters_between(leg.start, leg.end):
+            if flt.wavelength == signal.wavelength:
+                raise ValueError(
+                    f"signal {signal.sid} ({signal.src}->{signal.dst}) on "
+                    f"wavelength {signal.wavelength} passes a same-wavelength "
+                    f"drop filter on waveguide {leg.wid} at {flt.position}: "
+                    "invalid wavelength assignment"
+                )
+            through_count += 1
+    # One drop at the terminal receiver plus one per CSE junction.
+    drop_count = 1 + (len(signal.legs) - 1)
+    return LossBreakdown.from_counts(
+        params,
+        length_mm=length_mm,
+        crossings=crossing_count,
+        throughs=through_count,
+        drops=drop_count,
+        bends=bend_count,
+        feed_db=signal.feed_loss_db,
+    )

@@ -1,0 +1,53 @@
+"""Laser-power aggregation (Sec. II-B).
+
+One off-chip laser per wavelength feeds the PDN; it must launch enough
+power that the worst-loss signal on its wavelength still reaches the
+receiver sensitivity: ``P_mw(wl) = 10**((il_w(wl) + S) / 10)``.  The
+total laser power of the router is the sum over wavelengths.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.circuit import PhotonicCircuit
+from repro.analysis.insertion_loss import LossBreakdown, signal_loss
+from repro.photonics.parameters import LossParameters
+from repro.photonics.units import laser_power_mw
+
+
+def per_wavelength_power_mw(
+    circuit: PhotonicCircuit,
+    params: LossParameters,
+    breakdowns: dict[int, LossBreakdown] | None = None,
+) -> dict[int, float]:
+    """Required wall-plug laser power per wavelength, in mW.
+
+    The optical launch requirement ``10**((il_w + S)/10)`` is divided
+    by the laser's wall-plug efficiency, as the tables report
+    electrical watts.  ``breakdowns`` may carry precomputed per-signal
+    losses (keyed by signal id) to avoid recomputation; missing entries
+    are computed.
+    """
+    breakdowns = breakdowns or {}
+    worst: dict[int, float] = {}
+    for sig in circuit.signals:
+        breakdown = breakdowns.get(sig.sid)
+        if breakdown is None:
+            breakdown = signal_loss(circuit, sig, params)
+        il = breakdown.il_total
+        if il > worst.get(sig.wavelength, -1.0):
+            worst[sig.wavelength] = il
+    return {
+        wl: laser_power_mw(il, params.receiver_sensitivity_dbm)
+        / params.laser_efficiency
+        for wl, il in worst.items()
+    }
+
+
+def total_laser_power_w(
+    circuit: PhotonicCircuit,
+    params: LossParameters,
+    breakdowns: dict[int, LossBreakdown] | None = None,
+) -> float:
+    """Total laser power over all wavelengths, in watts."""
+    per_wl = per_wavelength_power_mw(circuit, params, breakdowns)
+    return sum(per_wl.values()) / 1000.0

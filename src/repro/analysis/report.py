@@ -1,0 +1,131 @@
+"""Router-level evaluation: the columns of Tables I, II and III.
+
+``evaluate_circuit`` runs the full analysis pipeline over a lowered
+router and produces a :class:`RouterEvaluation`:
+
+- ``wl_count`` (#wl), ``il_w`` (worst insertion loss, PDN excluded, the
+  tables' ``il_w``/``il*_w``), ``worst_length_mm`` (L) and
+  ``worst_crossings`` (C) of the worst-loss signal;
+- ``power_w`` (P), ``noisy_signals`` (#s), ``snr_worst_db`` (SNR_w) and
+  the fraction of noise-free signals behind the paper's ">98% of
+  signals do not suffer first-order crosstalk" claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.circuit import PhotonicCircuit
+from repro.analysis.crosstalk import NoiseRecord, compute_noise
+from repro.analysis.insertion_loss import LossBreakdown, signal_loss
+from repro.analysis.power import total_laser_power_w
+from repro.photonics.parameters import CrosstalkParameters, LossParameters
+from repro.photonics.units import db_to_linear, linear_to_db
+
+
+@dataclass
+class RouterEvaluation:
+    """Aggregate metrics for one synthesized router."""
+
+    #: Number of distinct wavelengths used (#wl).
+    wl_count: int
+    #: Worst-case insertion loss in dB, PDN feed excluded (il_w / il*_w).
+    il_w: float
+    #: Path length in mm of the signal with the worst insertion loss (L).
+    worst_length_mm: float
+    #: Crossings traversed by the worst-loss signal (C).
+    worst_crossings: int
+    #: Total laser power in W (P); NaN when the evaluation has no PDN.
+    power_w: float
+    #: Number of signals receiving any first-order noise (#s).
+    noisy_signals: int
+    #: Worst SNR in dB over noisy signals (SNR_w); None when no signal
+    #: receives noise (the paper prints "-").
+    snr_worst_db: float | None
+    #: Total number of signals.
+    signal_count: int
+    #: Synthesis time in seconds (filled in by the experiment harness).
+    synthesis_time_s: float = math.nan
+    #: Per-signal loss breakdowns, keyed by signal id.
+    breakdowns: dict[int, LossBreakdown] = field(default_factory=dict)
+    #: Per-victim noise records.
+    noise: dict[int, list[NoiseRecord]] = field(default_factory=dict)
+
+    @property
+    def noise_free_fraction(self) -> float:
+        """Fraction of signals without any first-order noise."""
+        if self.signal_count == 0:
+            return 1.0
+        return 1.0 - self.noisy_signals / self.signal_count
+
+
+def _signal_snr_db(
+    breakdown: LossBreakdown, records: list[NoiseRecord]
+) -> float:
+    """SNR of one signal given its noise records.
+
+    Signal and noise are both relative to the per-wavelength laser
+    launch power, so the launch power cancels.
+    """
+    signal_rel_db = -breakdown.il_total
+    noise_linear = sum(db_to_linear(r.rel_db) for r in records)
+    if noise_linear <= 0.0:
+        return math.inf
+    return signal_rel_db - linear_to_db(noise_linear)
+
+
+def evaluate_circuit(
+    circuit: PhotonicCircuit,
+    loss: LossParameters,
+    xtalk: CrosstalkParameters | None = None,
+    *,
+    with_power: bool = True,
+    noise_order: int = 1,
+) -> RouterEvaluation:
+    """Run loss, power and (optionally) crosstalk analysis.
+
+    ``xtalk=None`` skips the noise simulation (Table I compares routers
+    without PDNs on insertion loss only).  ``noise_order`` extends the
+    crosstalk simulation beyond the paper's first-order model.
+    """
+    if not circuit.signals:
+        raise ValueError("circuit has no signals to evaluate")
+    circuit.finalize()
+
+    breakdowns = {
+        sig.sid: signal_loss(circuit, sig, loss) for sig in circuit.signals
+    }
+    worst_sid = max(breakdowns, key=lambda sid: breakdowns[sid].il)
+    worst = breakdowns[worst_sid]
+
+    power_w = (
+        total_laser_power_w(circuit, loss, breakdowns) if with_power else math.nan
+    )
+
+    noise: dict[int, list[NoiseRecord]] = {}
+    noisy = 0
+    snr_worst: float | None = None
+    if xtalk is not None:
+        noise = compute_noise(circuit, loss, xtalk, max_order=noise_order)
+        noisy = sum(1 for records in noise.values() if records)
+        snrs = [
+            _signal_snr_db(breakdowns[sid], records)
+            for sid, records in noise.items()
+            if records
+        ]
+        finite = [s for s in snrs if math.isfinite(s)]
+        snr_worst = min(finite) if finite else None
+
+    return RouterEvaluation(
+        wl_count=circuit.wavelength_count,
+        il_w=worst.il,
+        worst_length_mm=worst.length_mm,
+        worst_crossings=worst.crossing_count,
+        power_w=power_w,
+        noisy_signals=noisy,
+        snr_worst_db=snr_worst,
+        signal_count=len(circuit.signals),
+        breakdowns=breakdowns,
+        noise=noise,
+    )

@@ -1,0 +1,122 @@
+"""Per-wavelength spectrum statistics.
+
+The laser-power model charges each wavelength for its own worst-case
+signal, so an unbalanced wavelength assignment wastes power: one hot
+wavelength with a long lossy path forces a strong laser while the
+others idle.  ``spectrum_report`` exposes that balance — per-
+wavelength signal counts, worst/mean insertion loss, power share —
+plus the distribution of per-signal SNR, which the examples and
+ablations use to look beyond the single worst-case numbers the paper
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.circuit import PhotonicCircuit
+from repro.analysis.insertion_loss import LossBreakdown, signal_loss
+from repro.analysis.power import per_wavelength_power_mw
+from repro.analysis.report import RouterEvaluation, _signal_snr_db
+from repro.photonics.parameters import LossParameters
+
+
+@dataclass(frozen=True)
+class WavelengthStats:
+    """Aggregates for one wavelength channel."""
+
+    wavelength: int
+    signal_count: int
+    worst_il_db: float
+    mean_il_db: float
+    power_mw: float
+
+    @property
+    def headroom_db(self) -> float:
+        """Loss spread inside the channel (worst minus mean).
+
+        Large headroom means most signals on this wavelength receive
+        more laser power than they need.
+        """
+        return self.worst_il_db - self.mean_il_db
+
+
+@dataclass
+class SpectrumReport:
+    """Per-wavelength statistics plus SNR distribution."""
+
+    channels: list[WavelengthStats] = field(default_factory=list)
+    snr_values_db: list[float] = field(default_factory=list)
+
+    @property
+    def hottest(self) -> WavelengthStats:
+        """The channel demanding the most laser power."""
+        return max(self.channels, key=lambda c: c.power_mw)
+
+    @property
+    def total_power_mw(self) -> float:
+        """Total laser power across channels, mW."""
+        return sum(c.power_mw for c in self.channels)
+
+    @property
+    def power_imbalance(self) -> float:
+        """Hottest channel's power divided by the mean channel power."""
+        mean = self.total_power_mw / len(self.channels)
+        return self.hottest.power_mw / mean if mean > 0 else 1.0
+
+    def snr_percentile_db(self, fraction: float) -> float:
+        """SNR value at the given percentile (0..1) over noisy signals.
+
+        Returns ``inf`` when no signal has noise.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        finite = sorted(v for v in self.snr_values_db if math.isfinite(v))
+        if not finite:
+            return math.inf
+        index = min(int(fraction * len(finite)), len(finite) - 1)
+        return finite[index]
+
+
+def spectrum_report(
+    circuit: PhotonicCircuit,
+    loss: LossParameters,
+    evaluation: RouterEvaluation | None = None,
+) -> SpectrumReport:
+    """Build the per-wavelength report for an analyzed circuit.
+
+    Passing the :class:`RouterEvaluation` reuses its loss breakdowns
+    and noise records (for the SNR distribution); otherwise losses are
+    recomputed and the SNR list is left empty.
+    """
+    breakdowns: dict[int, LossBreakdown]
+    if evaluation is not None:
+        breakdowns = evaluation.breakdowns
+    else:
+        breakdowns = {
+            sig.sid: signal_loss(circuit, sig, loss) for sig in circuit.signals
+        }
+    power = per_wavelength_power_mw(circuit, loss, breakdowns)
+
+    by_wl: dict[int, list[float]] = {}
+    for sig in circuit.signals:
+        by_wl.setdefault(sig.wavelength, []).append(breakdowns[sig.sid].il_total)
+
+    channels = [
+        WavelengthStats(
+            wavelength=wl,
+            signal_count=len(ils),
+            worst_il_db=max(ils),
+            mean_il_db=sum(ils) / len(ils),
+            power_mw=power[wl],
+        )
+        for wl, ils in sorted(by_wl.items())
+    ]
+
+    snr_values: list[float] = []
+    if evaluation is not None and evaluation.noise:
+        for sid, records in evaluation.noise.items():
+            if records:
+                snr_values.append(_signal_snr_db(breakdowns[sid], records))
+    return SpectrumReport(channels=channels, snr_values_db=snr_values)

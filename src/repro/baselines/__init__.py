@@ -1,0 +1,17 @@
+"""Baseline routers the paper compares against.
+
+- :mod:`repro.baselines.ring` — the ring-router baselines ORNoC [10]
+  and ORing [17], built on the same substrates as XRing with the
+  features the papers describe (no shortcuts, closed rings, external
+  PDNs that cross ring waveguides).
+- :mod:`repro.baselines.crossbar` — the crossbar logical topologies
+  λ-router [6], GWOR [7] and Light [9].
+- :mod:`repro.baselines.tools` — simplified re-implementations of the
+  physical-design tools PROTON+ [15], PlanarONoC [16] and ToPro [3]
+  that place and route the crossbar topologies on a grid routing graph
+  (see DESIGN.md substitutions).
+"""
+
+from repro.baselines.ring import synthesize_ornoc, synthesize_oring
+
+__all__ = ["synthesize_ornoc", "synthesize_oring"]

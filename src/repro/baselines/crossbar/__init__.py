@@ -1,0 +1,33 @@
+"""Crossbar WRONoC logical topologies.
+
+The paper's Table I compares XRing against crossbar routers
+synthesized by physical-design tools: the λ-router [6] (via PROTON+
+and PlanarONoC), GWOR [7] and Light [9] (via ToPro).  This package
+re-implements the logical topologies — their switching-element
+netlists and per-signal routes (drops, MRR passes, wavelengths) —
+which :mod:`repro.baselines.tools` then places and routes physically.
+"""
+
+from repro.baselines.crossbar.netlist import (
+    CrossbarTopology,
+    LogicalRoute,
+    PhysicalNetlist,
+    Segment,
+    Stop,
+)
+from repro.baselines.crossbar.lambda_router import LambdaRouter
+from repro.baselines.crossbar.gwor import Gwor
+from repro.baselines.crossbar.light import Light
+from repro.baselines.crossbar.snake import Snake
+
+__all__ = [
+    "Stop",
+    "Segment",
+    "PhysicalNetlist",
+    "LogicalRoute",
+    "CrossbarTopology",
+    "LambdaRouter",
+    "Gwor",
+    "Light",
+    "Snake",
+]

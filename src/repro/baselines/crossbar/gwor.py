@@ -1,0 +1,154 @@
+"""The GWOR topology (Tan et al. [7]).
+
+GWOR arranges N/2 horizontal and N/2 vertical waveguides in a grid;
+every row-column intersection is a crossing switching element.  Nodes
+0..N/2-1 own the rows (entering west, exiting east), nodes N/2..N-1
+own the columns (entering south, exiting north).  A row-to-column
+signal turns once (one drop); same-side signals turn twice through an
+intermediate guide.  Every traversed intersection is both a physical
+waveguide crossing and an off-resonance MRR pass, which is why GWOR's
+insertion loss grows linearly with N — the behaviour Table I shows.
+
+Wavelengths follow the cyclic assignment ``λ = (dst - src) mod N``,
+needing N-1 wavelengths (matching the #wl column of Table I).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.crossbar.netlist import (
+    CrossbarTopology,
+    LogicalRoute,
+    PhysicalNetlist,
+)
+
+
+class Gwor(CrossbarTopology):
+    """N-node GWOR (N even) with an (N/2) x (N/2) crossing grid."""
+
+    name = "gwor"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes % 2:
+            raise ValueError("GWOR needs an even node count")
+        super().__init__(num_nodes)
+        self.half = num_nodes // 2
+
+    @property
+    def wavelength_count(self) -> int:
+        """Cyclic assignment needs N-1 wavelengths."""
+        return self.num_nodes - 1
+
+    def build_netlist(self) -> PhysicalNetlist:
+        netlist = PhysicalNetlist()
+        h = self.half
+        # Element (r, c) at logical coords (col=c, row=r).
+        self._element = [
+            [netlist.add_stop("element", col=float(c), row=float(r)) for c in range(h)]
+            for r in range(h)
+        ]
+        self._row_in = [
+            netlist.add_stop("in", col=-1.0, row=float(r), node=r) for r in range(h)
+        ]
+        self._row_out = [
+            netlist.add_stop("out", col=float(h), row=float(r), node=r)
+            for r in range(h)
+        ]
+        self._col_in = [
+            netlist.add_stop("in", col=float(c), row=-1.0, node=self.half + c)
+            for c in range(h)
+        ]
+        self._col_out = [
+            netlist.add_stop("out", col=float(c), row=float(h), node=self.half + c)
+            for c in range(h)
+        ]
+        for r in range(h):
+            chain = [self._row_in[r]] + [self._element[r][c] for c in range(h)] + [
+                self._row_out[r]
+            ]
+            for a, b in zip(chain, chain[1:]):
+                netlist.add_segment(a, b)
+        for c in range(h):
+            chain = [self._col_in[c]] + [self._element[r][c] for r in range(h)] + [
+                self._col_out[c]
+            ]
+            for a, b in zip(chain, chain[1:]):
+                netlist.add_segment(a, b)
+        self._netlist = netlist
+        return netlist
+
+    def _is_row_node(self, node: int) -> bool:
+        return node < self.half
+
+    def route(self, src: int, dst: int) -> LogicalRoute:
+        if src == dst:
+            raise ValueError("a node does not send to itself")
+        if not hasattr(self, "_netlist"):
+            self.build_netlist()
+        h = self.half
+        wavelength = (dst - src) % self.num_nodes
+
+        if self._is_row_node(src) and not self._is_row_node(dst):
+            r, c = src, dst - h
+            stops = (
+                [self._row_in[r]]
+                + [self._element[r][cc] for cc in range(c + 1)]
+                + [self._element[rr][c] for rr in range(r + 1, h)]
+                + [self._col_out[c]]
+            )
+            drops = 1
+        elif not self._is_row_node(src) and self._is_row_node(dst):
+            c, r = src - h, dst
+            stops = (
+                [self._col_in[c]]
+                + [self._element[rr][c] for rr in range(r + 1)]
+                + [self._element[r][cc] for cc in range(c + 1, h)]
+                + [self._row_out[r]]
+            )
+            drops = 1
+        elif self._is_row_node(src):  # row -> row via a column
+            r1, r2 = src, dst
+            c = (r1 + r2) % h
+            lo, hi = min(r1, r2), max(r1, r2)
+            vertical = (
+                [self._element[rr][c] for rr in range(r1, r2 + 1)]
+                if r1 < r2
+                else [self._element[rr][c] for rr in range(r1, r2 - 1, -1)]
+            )
+            stops = (
+                [self._row_in[r1]]
+                + [self._element[r1][cc] for cc in range(c)]
+                + vertical
+                + [self._element[r2][cc] for cc in range(c + 1, h)]
+                + [self._row_out[r2]]
+            )
+            drops = 2
+        else:  # column -> column via a row
+            c1, c2 = src - h, dst - h
+            r = (c1 + c2) % h
+            horizontal = (
+                [self._element[r][cc] for cc in range(c1, c2 + 1)]
+                if c1 < c2
+                else [self._element[r][cc] for cc in range(c1, c2 - 1, -1)]
+            )
+            stops = (
+                [self._col_in[c1]]
+                + [self._element[rr][c1] for rr in range(r)]
+                + horizontal
+                + [self._element[rr][c2] for rr in range(r + 1, h)]
+                + [self._col_out[c2]]
+            )
+            drops = 2
+
+        element_count = sum(
+            1 for s in stops if self._netlist.stops[s].kind == "element"
+        )
+        throughs = element_count - drops
+        return LogicalRoute(
+            src=src,
+            dst=dst,
+            wavelength=wavelength,
+            stops=tuple(stops),
+            drops=drops,
+            throughs=throughs,
+            crossings_logical=throughs,
+        )

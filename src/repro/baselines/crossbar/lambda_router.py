@@ -1,0 +1,148 @@
+"""The λ-router topology (Brière et al. [6]).
+
+The λ-router is an odd-even transposition ("brick wall") network: N
+serpentine waveguides cross N stages; at stage ``s`` the waveguides at
+adjacent rows ``(r, r+1)`` with ``r ≡ s (mod 2)`` meet in a switching
+element and exchange rows.  After N stages the row order is reversed,
+and — the classic sorting-network property — every waveguide pair has
+met in exactly one element.  A signal from node ``i`` to node ``j``
+travels waveguide ``i`` to the unique element where it meets waveguide
+``j``, is dropped there by the MRR resonant at ``λ_(i+j) mod N``, and
+rides waveguide ``j`` to its output.
+
+The diamond is logically planar (no waveguide crossings); the many
+crossings Table I attributes to λ-router designs come from the
+physical layout, which is exactly what the tool layer reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.crossbar.netlist import (
+    CrossbarTopology,
+    LogicalRoute,
+    PhysicalNetlist,
+)
+
+
+class LambdaRouter(CrossbarTopology):
+    """N-node λ-router with ``N (N-1) / 2`` switching elements.
+
+    ``input_order`` binds physical nodes to diamond rows: waveguide
+    ``w`` belongs to node ``input_order[w]``.  The λ-router is
+    functionally symmetric under this relabelling (every pair still
+    meets exactly once); placement-aware tools exploit it to align the
+    port order with the node geometry and avoid access-net crossings.
+    """
+
+    name = "lambda-router"
+
+    def __init__(
+        self, num_nodes: int, input_order: tuple[int, ...] | None = None
+    ) -> None:
+        super().__init__(num_nodes)
+        if input_order is None:
+            input_order = tuple(range(num_nodes))
+        if sorted(input_order) != list(range(num_nodes)):
+            raise ValueError("input_order must be a permutation of the nodes")
+        self.input_order = tuple(input_order)
+        self._wg_of_node = {
+            node: w for w, node in enumerate(self.input_order)
+        }
+        self._simulate()
+
+    def reordered(self, input_order: tuple[int, ...]) -> "LambdaRouter":
+        """A functionally equivalent router with re-bound ports."""
+        return LambdaRouter(self.num_nodes, input_order)
+
+    @property
+    def wavelength_count(self) -> int:
+        """The λ-router needs N wavelengths (``λ_(i+j) mod N``)."""
+        return self.num_nodes
+
+    def _simulate(self) -> None:
+        """Run the transposition network, recording element visits."""
+        n = self.num_nodes
+        position = list(range(n))  # waveguide -> current row
+        at_row = list(range(n))  # row -> waveguide
+        self.element_coord: list[tuple[int, int]] = []  # (stage, row)
+        self.visits: list[list[int]] = [[] for _ in range(n)]  # wg -> element ids
+        self.meeting: dict[tuple[int, int], int] = {}  # wg pair -> element id
+        for stage in range(n):
+            for row in range(stage % 2, n - 1, 2):
+                w1, w2 = at_row[row], at_row[row + 1]
+                eid = len(self.element_coord)
+                self.element_coord.append((stage, row))
+                self.visits[w1].append(eid)
+                self.visits[w2].append(eid)
+                key = (min(w1, w2), max(w1, w2))
+                if key in self.meeting:
+                    raise AssertionError(
+                        f"waveguides {key} met twice in the λ-router"
+                    )
+                self.meeting[key] = eid
+                at_row[row], at_row[row + 1] = w2, w1
+                position[w1], position[w2] = row + 1, row
+
+    def build_netlist(self) -> PhysicalNetlist:
+        """Stops: N in-terminals, N out-terminals, the elements."""
+        netlist = PhysicalNetlist()
+        self._in_stop = [
+            netlist.add_stop("in", col=-1.0, row=float(w), node=self.input_order[w])
+            for w in range(self.num_nodes)
+        ]
+        self._element_stop = [
+            netlist.add_stop("element", col=float(stage), row=row + 0.5)
+            for stage, row in self.element_coord
+        ]
+        self._out_stop = [
+            netlist.add_stop(
+                "out",
+                col=float(self.num_nodes),
+                row=float(w),
+                node=self.input_order[w],
+            )
+            for w in range(self.num_nodes)
+        ]
+        for w in range(self.num_nodes):
+            chain = (
+                [self._in_stop[w]]
+                + [self._element_stop[e] for e in self.visits[w]]
+                + [self._out_stop[w]]
+            )
+            for a, b in zip(chain, chain[1:]):
+                netlist.add_segment(a, b)
+        self._netlist = netlist
+        return netlist
+
+    def route(self, src: int, dst: int) -> LogicalRoute:
+        """Follow waveguide ``src`` to the meeting element, then ``dst``."""
+        if src == dst:
+            raise ValueError("a node does not send to itself")
+        if not hasattr(self, "_netlist"):
+            self.build_netlist()
+        w_src = self._wg_of_node[src]
+        w_dst = self._wg_of_node[dst]
+        meet = self.meeting[(min(w_src, w_dst), max(w_src, w_dst))]
+        before = []
+        for eid in self.visits[w_src]:
+            if eid == meet:
+                break
+            before.append(eid)
+        after_index = self.visits[w_dst].index(meet) + 1
+        after = self.visits[w_dst][after_index:]
+        stops = (
+            [self._in_stop[w_src]]
+            + [self._element_stop[e] for e in before]
+            + [self._element_stop[meet]]
+            + [self._element_stop[e] for e in after]
+            + [self._out_stop[w_dst]]
+        )
+        return LogicalRoute(
+            src=src,
+            dst=dst,
+            wavelength=(w_src + w_dst) % self.num_nodes,
+            stops=tuple(stops),
+            drops=1,
+            throughs=len(before) + len(after),
+            crossings_logical=0,
+        )

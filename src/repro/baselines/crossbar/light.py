@@ -1,0 +1,185 @@
+"""The Light topology (Zheng et al. [9]).
+
+Light is the XRing authors' own scalable crossbar.  Its key idea is to
+populate *both ends* of every waveguide with nodes: an (N/4) x (N/4)
+grid of crossing elements serves N nodes (west/east ends of the rows,
+south/north ends of the columns), so signals traverse about half the
+crossings of GWOR and far fewer off-resonance MRRs — the Table I
+pattern where ToPro/Light beats the λ-router tools at 16 nodes.
+
+Node numbering (N divisible by 4, Q = N/4): ``0..Q-1`` west row ends,
+``Q..2Q-1`` east row ends, ``2Q..3Q-1`` south column ends,
+``3Q..4Q-1`` north column ends.  Wavelengths follow the cyclic
+``λ = (dst - src) mod N`` assignment (N-1 wavelengths).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.crossbar.netlist import (
+    CrossbarTopology,
+    LogicalRoute,
+    PhysicalNetlist,
+)
+
+
+class Light(CrossbarTopology):
+    """N-node Light topology (N divisible by 4)."""
+
+    name = "light"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes % 4:
+            raise ValueError("Light needs a node count divisible by 4")
+        super().__init__(num_nodes)
+        self.q = num_nodes // 4
+
+    @property
+    def wavelength_count(self) -> int:
+        """Cyclic assignment needs N-1 wavelengths."""
+        return self.num_nodes - 1
+
+    # -- node classification -------------------------------------------------
+    def _side(self, node: int) -> str:
+        return ("west", "east", "south", "north")[node // self.q]
+
+    def _guide_index(self, node: int) -> int:
+        return node % self.q
+
+    def build_netlist(self) -> PhysicalNetlist:
+        netlist = PhysicalNetlist()
+        q = self.q
+        self._element = [
+            [netlist.add_stop("element", col=float(c), row=float(r)) for c in range(q)]
+            for r in range(q)
+        ]
+        # Each terminal stop serves both the sender and receiver of its
+        # node (Light couples both at the waveguide end).
+        self._term: dict[int, int] = {}
+        for node in range(self.num_nodes):
+            side = self._side(node)
+            g = self._guide_index(node)
+            if side == "west":
+                col, row = -1.0, float(g)
+            elif side == "east":
+                col, row = float(q), float(g)
+            elif side == "south":
+                col, row = float(g), -1.0
+            else:
+                col, row = float(g), float(q)
+            self._term[node] = netlist.add_stop("in", col=col, row=row, node=node)
+        for r in range(q):
+            chain = (
+                [self._term[r]]
+                + [self._element[r][c] for c in range(q)]
+                + [self._term[self.q + r]]
+            )
+            for a, b in zip(chain, chain[1:]):
+                netlist.add_segment(a, b)
+        for c in range(q):
+            chain = (
+                [self._term[2 * self.q + c]]
+                + [self._element[r][c] for r in range(q)]
+                + [self._term[3 * self.q + c]]
+            )
+            for a, b in zip(chain, chain[1:]):
+                netlist.add_segment(a, b)
+        self._netlist = netlist
+        return netlist
+
+    def _row_span(self, r: int, c_from: int, c_to: int) -> list[int]:
+        """Elements along row ``r`` from column ``c_from`` to ``c_to``."""
+        step = 1 if c_to >= c_from else -1
+        return [self._element[r][c] for c in range(c_from, c_to + step, step)]
+
+    def _col_span(self, c: int, r_from: int, r_to: int) -> list[int]:
+        step = 1 if r_to >= r_from else -1
+        return [self._element[r][c] for r in range(r_from, r_to + step, step)]
+
+    def route(self, src: int, dst: int) -> LogicalRoute:
+        if src == dst:
+            raise ValueError("a node does not send to itself")
+        if not hasattr(self, "_netlist"):
+            self.build_netlist()
+        q = self.q
+        s_side, d_side = self._side(src), self._side(dst)
+        s_g, d_g = self._guide_index(src), self._guide_index(dst)
+        s_row = s_side in ("west", "east")
+        d_row = d_side in ("west", "east")
+
+        if s_row and d_row and s_g == d_g:
+            # Same row guide: straight shot end to end.
+            elements = self._row_span(s_g, 0, q - 1)
+            if s_side == "east":
+                elements = list(reversed(elements))
+            stops = [self._term[src]] + elements + [self._term[dst]]
+            drops = 0
+        elif not s_row and not d_row and s_g == d_g:
+            elements = self._col_span(s_g, 0, q - 1)
+            if s_side == "north":
+                elements = list(reversed(elements))
+            stops = [self._term[src]] + elements + [self._term[dst]]
+            drops = 0
+        elif s_row and not d_row:
+            # One turn at (s_g, d_g).
+            r, c = s_g, d_g
+            start_c = 0 if s_side == "west" else q - 1
+            end_r = 0 if d_side == "south" else q - 1
+            stops = (
+                [self._term[src]]
+                + self._row_span(r, start_c, c)
+                + self._col_span(c, r, end_r)[1:]
+                + [self._term[dst]]
+            )
+            drops = 1
+        elif not s_row and d_row:
+            c, r = s_g, d_g
+            start_r = 0 if s_side == "south" else q - 1
+            end_c = 0 if d_side == "west" else q - 1
+            stops = (
+                [self._term[src]]
+                + self._col_span(c, start_r, r)
+                + self._row_span(r, c, end_c)[1:]
+                + [self._term[dst]]
+            )
+            drops = 1
+        elif s_row and d_row:
+            # Different rows: two turns via a spreading column.
+            r1, r2 = s_g, d_g
+            c = (r1 + r2) % q
+            start_c = 0 if s_side == "west" else q - 1
+            end_c = 0 if d_side == "west" else q - 1
+            stops = (
+                [self._term[src]]
+                + self._row_span(r1, start_c, c)
+                + self._col_span(c, r1, r2)[1:]
+                + self._row_span(r2, c, end_c)[1:]
+                + [self._term[dst]]
+            )
+            drops = 2
+        else:
+            c1, c2 = s_g, d_g
+            r = (c1 + c2) % q
+            start_r = 0 if s_side == "south" else q - 1
+            end_r = 0 if d_side == "south" else q - 1
+            stops = (
+                [self._term[src]]
+                + self._col_span(c1, start_r, r)
+                + self._row_span(r, c1, c2)[1:]
+                + self._col_span(c2, r, end_r)[1:]
+                + [self._term[dst]]
+            )
+            drops = 2
+
+        element_count = sum(
+            1 for s in stops if self._netlist.stops[s].kind == "element"
+        )
+        throughs = element_count - drops
+        return LogicalRoute(
+            src=src,
+            dst=dst,
+            wavelength=(dst - src) % self.num_nodes,
+            stops=tuple(stops),
+            drops=drops,
+            throughs=throughs,
+            crossings_logical=throughs,
+        )

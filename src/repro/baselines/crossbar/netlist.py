@@ -1,0 +1,133 @@
+"""Shared netlist abstractions for crossbar topologies.
+
+A crossbar topology is described by *stops* (node terminals and
+optical switching elements) in a logical coordinate system, *segments*
+(two-stop waveguide pieces), and per-signal *logical routes* (the
+ordered stop sequence plus drop/through counts and the wavelength).
+The physical-design tools consume this representation: they place the
+stops on the die, route every segment, and attribute the resulting
+lengths and crossings back to signals through their routes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.geometry import Point
+
+
+@dataclass(frozen=True)
+class Stop:
+    """A routing stop: a node terminal or a switching element.
+
+    ``kind`` is one of ``"in"`` (a node's sender terminal), ``"out"``
+    (a node's receiver terminal) or ``"element"`` (an OSE).  Logical
+    coordinates ``(col, row)`` place elements relative to each other;
+    terminals carry the node index instead.
+    """
+
+    sid: int
+    kind: str
+    col: float = 0.0
+    row: float = 0.0
+    node: int = -1
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A two-pin waveguide piece between stops ``a`` and ``b``."""
+
+    seg_id: int
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class LogicalRoute:
+    """One signal's path through the netlist.
+
+    ``stops`` is the ordered stop-id sequence from the source "in"
+    terminal to the destination "out" terminal; consecutive stops must
+    be connected by a segment.  ``drops``/``throughs`` count MRR events
+    from the topology's switching semantics, and ``crossings_logical``
+    counts waveguide crossings intrinsic to the topology (physical
+    crossings introduced by the layout are added by the tool).
+    """
+
+    src: int
+    dst: int
+    wavelength: int
+    stops: tuple[int, ...]
+    drops: int
+    throughs: int
+    crossings_logical: int = 0
+
+
+@dataclass
+class PhysicalNetlist:
+    """The stop/segment graph handed to a physical-design tool."""
+
+    stops: list[Stop] = field(default_factory=list)
+    segments: list[Segment] = field(default_factory=list)
+    _seg_index: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def add_stop(self, kind: str, col: float = 0.0, row: float = 0.0, node: int = -1) -> int:
+        """Register a stop; returns its id."""
+        sid = len(self.stops)
+        self.stops.append(Stop(sid, kind, col, row, node))
+        return sid
+
+    def add_segment(self, a: int, b: int) -> int:
+        """Register (or look up) the segment between stops a and b."""
+        key = (min(a, b), max(a, b))
+        if key in self._seg_index:
+            return self._seg_index[key]
+        seg_id = len(self.segments)
+        self.segments.append(Segment(seg_id, a, b))
+        self._seg_index[key] = seg_id
+        return seg_id
+
+    def segment_between(self, a: int, b: int) -> int:
+        """Segment id connecting two stops; raises KeyError if absent."""
+        return self._seg_index[(min(a, b), max(a, b))]
+
+    def route_segments(self, route: LogicalRoute) -> list[int]:
+        """Segment ids traversed by a logical route, in order."""
+        return [
+            self.segment_between(a, b)
+            for a, b in zip(route.stops, route.stops[1:])
+        ]
+
+
+class CrossbarTopology(abc.ABC):
+    """A crossbar WRONoC logical topology over N nodes."""
+
+    name: str = "crossbar"
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 2:
+            raise ValueError("need at least 2 nodes")
+        self.num_nodes = num_nodes
+
+    @property
+    @abc.abstractmethod
+    def wavelength_count(self) -> int:
+        """Number of distinct wavelengths the topology needs (#wl)."""
+
+    @abc.abstractmethod
+    def build_netlist(self) -> PhysicalNetlist:
+        """The stop/segment graph of the topology."""
+
+    @abc.abstractmethod
+    def route(self, src: int, dst: int) -> LogicalRoute:
+        """The logical route of signal ``src -> dst``."""
+
+    def all_routes(self) -> list[LogicalRoute]:
+        """Routes for full all-to-all traffic."""
+        return [
+            self.route(i, j)
+            for i in range(self.num_nodes)
+            for j in range(self.num_nodes)
+            if i != j
+        ]

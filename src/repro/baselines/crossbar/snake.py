@@ -1,0 +1,87 @@
+"""The Snake crossbar topology (Ramini et al. [8], the paper's Fig. 1(a)).
+
+Snake arranges an N x N matrix of parallel switching elements: node
+``i``'s sender enters on the west side of row ``i``, node ``j``'s
+receiver sits at the north end of column ``j``, and the signal
+``i -> j`` is dropped at matrix cell ``(i, j)`` by the MRR resonant at
+``λ_(j - i) mod N``.  Every cell traversal before the drop is an
+off-resonance MRR pass, and every cell traversal is also a physical
+waveguide crossing of the row and column guides — the structural
+reason Fig. 1 contrasts crossbars with rings.
+
+Diagonal cells ``(i, i)`` would serve self-traffic and are omitted, so
+the matrix has ``N * (N - 1)`` elements; with the cyclic assignment
+Snake needs N-1 wavelengths.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.crossbar.netlist import (
+    CrossbarTopology,
+    LogicalRoute,
+    PhysicalNetlist,
+)
+
+
+class Snake(CrossbarTopology):
+    """N-node Snake matrix crossbar."""
+
+    name = "snake"
+
+    @property
+    def wavelength_count(self) -> int:
+        """Cyclic assignment needs N-1 wavelengths."""
+        return self.num_nodes - 1
+
+    def build_netlist(self) -> PhysicalNetlist:
+        netlist = PhysicalNetlist()
+        n = self.num_nodes
+        # Element grid; diagonal cells are pass-through points that we
+        # still place (the row and column guides cross there) but mark
+        # as plain crossings by never dropping on them.
+        self._element = [
+            [netlist.add_stop("element", col=float(c), row=float(r)) for c in range(n)]
+            for r in range(n)
+        ]
+        self._row_in = [
+            netlist.add_stop("in", col=-1.0, row=float(r), node=r) for r in range(n)
+        ]
+        self._col_out = [
+            netlist.add_stop("out", col=float(c), row=float(n), node=c)
+            for c in range(n)
+        ]
+        for r in range(n):
+            chain = [self._row_in[r]] + [self._element[r][c] for c in range(n)]
+            for a, b in zip(chain, chain[1:]):
+                netlist.add_segment(a, b)
+        for c in range(n):
+            chain = [self._element[r][c] for r in range(n)] + [self._col_out[c]]
+            for a, b in zip(chain, chain[1:]):
+                netlist.add_segment(a, b)
+        self._netlist = netlist
+        return netlist
+
+    def route(self, src: int, dst: int) -> LogicalRoute:
+        """West along row ``src`` to column ``dst``, then north."""
+        if src == dst:
+            raise ValueError("a node does not send to itself")
+        if not hasattr(self, "_netlist"):
+            self.build_netlist()
+        n = self.num_nodes
+        stops = (
+            [self._row_in[src]]
+            + [self._element[src][c] for c in range(dst + 1)]
+            + [self._element[r][dst] for r in range(src + 1, n)]
+            + [self._col_out[dst]]
+        )
+        element_count = dst + 1 + (n - src - 1)
+        throughs = element_count - 1
+        return LogicalRoute(
+            src=src,
+            dst=dst,
+            wavelength=(dst - src) % self.num_nodes,
+            stops=tuple(stops),
+            drops=1,
+            throughs=throughs,
+            crossings_logical=throughs,
+        )

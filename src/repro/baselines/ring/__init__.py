@@ -1,0 +1,6 @@
+"""Ring-router baselines: ORNoC and ORing."""
+
+from repro.baselines.ring.ornoc import synthesize_ornoc
+from repro.baselines.ring.oring import synthesize_oring
+
+__all__ = ["synthesize_ornoc", "synthesize_oring"]

@@ -1,0 +1,65 @@
+"""ORing baseline (Ortín-Obón et al., TVLSI 2017 [17]).
+
+ORing is the manually designed 16-node optical ring router with the
+first published ring PDN.  Its signals take the shorter ring direction
+and wavelengths are packed longest-arc-first (a careful manual
+assignment), but the rings stay closed, there are no shortcuts, and
+the PDN is routed over the rings — every branch that reaches an inner
+sender crosses ring waveguides, adding crossing loss and first-order
+noise (the paper measures 87% of ORing's signals as noise-affected).
+
+Differences to XRing, feature by feature:
+
+==================  =====================  =========================
+feature             ORing                  XRing
+==================  =====================  =========================
+ring construction   XRing Step 1 (shared)  XRing Step 1
+shortcuts           none                   gain-selected chords
+ring openings       none (closed rings)    per-ring opening
+direction policy    shortest arc           shortest arc
+PDN                 external, crossings    internal, crossing-free
+==================  =====================  =========================
+"""
+
+from __future__ import annotations
+
+from repro.core.design import XRingDesign
+from repro.core.ring import RingTour
+from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.network import Network
+from repro.photonics.parameters import ORING_LOSSES, LossParameters
+
+
+def oring_options(
+    wl_budget: int | None = None,
+    loss: LossParameters = ORING_LOSSES,
+    pdn: bool = True,
+) -> SynthesisOptions:
+    """Synthesis options that configure the flow as ORing."""
+    return SynthesisOptions(
+        wl_budget=wl_budget,
+        enable_shortcuts=False,
+        enable_openings=False,
+        pdn_mode="external" if pdn else None,
+        mapping_order="length",
+        direction_policy="shortest",
+        loss=loss,
+        label="oring",
+    )
+
+
+def synthesize_oring(
+    network: Network,
+    wl_budget: int | None = None,
+    *,
+    tour: RingTour | None = None,
+    loss: LossParameters = ORING_LOSSES,
+    pdn: bool = True,
+) -> XRingDesign:
+    """Synthesize an ORing-style ring router for ``network``.
+
+    ``pdn=False`` reproduces the Table I setting without power
+    distribution.
+    """
+    options = oring_options(wl_budget, loss, pdn)
+    return XRingSynthesizer(network, options).run(tour=tour)

@@ -1,0 +1,67 @@
+"""ORNoC baseline (Le Beux et al., DATE 2011 [10]).
+
+ORNoC is a wavelength-assignment scheme for optical ring NoCs: the
+same wavelength is reused by signals whose arcs do not overlap, and a
+signal travels whichever direction lets it fill an existing
+(waveguide, wavelength) slot — utilization first, path length second.
+ORNoC proposed neither a ring-construction method nor a PDN, so — as
+the XRing paper itself does (Sec. IV-B) — we synthesize its ring with
+XRing's Step 1, apply ORNoC's assignment, and attach the external PDN
+design of [17], whose waveguides cross the rings.
+
+Differences to XRing, feature by feature:
+
+==================  =====================  =========================
+feature             ORNoC                  XRing
+==================  =====================  =========================
+ring construction   XRing Step 1 (shared)  XRing Step 1
+shortcuts           none                   gain-selected chords
+ring openings       none (closed rings)    per-ring opening
+direction policy    first-fit (fill slots) shortest arc
+PDN                 external, crossings    internal, crossing-free
+==================  =====================  =========================
+"""
+
+from __future__ import annotations
+
+from repro.core.design import XRingDesign
+from repro.core.ring import RingTour
+from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.network import Network
+from repro.photonics.parameters import ORING_LOSSES, LossParameters
+
+
+def ornoc_options(
+    wl_budget: int | None = None,
+    loss: LossParameters = ORING_LOSSES,
+    pdn: bool = True,
+) -> SynthesisOptions:
+    """Synthesis options that configure the flow as ORNoC."""
+    return SynthesisOptions(
+        wl_budget=wl_budget,
+        enable_shortcuts=False,
+        enable_openings=False,
+        pdn_mode="external" if pdn else None,
+        mapping_order="demand",
+        direction_policy="first_fit",
+        loss=loss,
+        label="ornoc",
+    )
+
+
+def synthesize_ornoc(
+    network: Network,
+    wl_budget: int | None = None,
+    *,
+    tour: RingTour | None = None,
+    loss: LossParameters = ORING_LOSSES,
+    pdn: bool = True,
+) -> XRingDesign:
+    """Synthesize an ORNoC ring router for ``network``.
+
+    ``tour`` lets the caller share Step 1 with an XRing run (the
+    paper's Table II methodology); ``pdn=False`` reproduces the
+    Table I setting without power distribution.
+    """
+    options = ornoc_options(wl_budget, loss, pdn)
+    return XRingSynthesizer(network, options).run(tour=tour)

@@ -1,0 +1,35 @@
+"""Physical-design tool baselines: PROTON+, PlanarONoC, ToPro.
+
+The original tools are unavailable (PROTON+ and PlanarONoC were never
+released; ToPro is the authors' internal tool), so this package
+re-implements the *behaviour* Table I contrasts: each tool places a
+crossbar topology's switching elements on the die and routes every
+waveguide segment over a shared routing grid, with the objective mix
+the tool's paper emphasizes:
+
+- :data:`PROTON_PLUS` — compact placement, direct single-bend routing,
+  no crossing avoidance (wirelength-first; many crossings);
+- :data:`PLANARONOC` — spread placement and maze routing with a heavy
+  crossing penalty (crossing-minimizing; long detours);
+- :data:`TOPRO` — intermediate pitch and a moderate crossing penalty
+  (the balanced projector).
+
+Lengths and crossings are measured from the produced layout, not
+assumed.
+"""
+
+from repro.baselines.tools.config import PLANARONOC, PROTON_PLUS, TOPRO, ToolConfig
+from repro.baselines.tools.router import GridRouter, RoutedSegment
+from repro.baselines.tools.flow import CrossbarLayout, evaluate_crossbar, run_tool
+
+__all__ = [
+    "ToolConfig",
+    "PROTON_PLUS",
+    "PLANARONOC",
+    "TOPRO",
+    "GridRouter",
+    "RoutedSegment",
+    "CrossbarLayout",
+    "run_tool",
+    "evaluate_crossbar",
+]

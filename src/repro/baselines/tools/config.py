@@ -1,0 +1,83 @@
+"""Tool configurations for the physical-design baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ToolConfig:
+    """Knobs that make the grid router behave like each tool.
+
+    ``element_pitch_mm`` spaces the placed switching elements — PROTON+
+    packs them tightly (short wires, no room to avoid crossings);
+    PlanarONoC spreads them out.  ``direct_l`` skips maze routing and
+    draws every segment as a single-bend L (PROTON+'s
+    wirelength-driven router).  ``crossing_penalty_mm`` is the detour
+    length (in mm of equivalent wire) a maze route will pay to avoid
+    one crossing; ``overlap_penalty_mm`` likewise for sharing a grid
+    edge with another net (a design-rule violation, so it is priced
+    prohibitively).
+    """
+
+    name: str
+    element_pitch_mm: float
+    grid_pitch_mm: float
+    crossing_penalty_mm: float
+    overlap_penalty_mm: float
+    bend_penalty_mm: float
+    direct_l: bool = False
+    #: Try several orientations of the element block (rotations, then
+    #: mirrored rotations) and keep the fewest-crossings layout — the
+    #: "concurrent placement and routing" behaviour of PlanarONoC and
+    #: the topology projection of ToPro.
+    try_orientations: bool = False
+    #: How many of the 8 orientations to try (runtime knob).
+    max_orientations: int = 8
+    #: Price same-channel parallel co-traversals as crossings — the
+    #: model for wirelength-exact routing that packs nets into shared
+    #: channels (PROTON+) and must weave them in and out.
+    count_channel_overlaps: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.element_pitch_mm, self.grid_pitch_mm) <= 0:
+            raise ValueError("pitches must be positive")
+
+
+#: PROTON+ [15]: compact placement, congestion-spread routing with no
+#: crossing awareness (wirelength-first).
+PROTON_PLUS = ToolConfig(
+    name="proton+",
+    element_pitch_mm=0.4,
+    grid_pitch_mm=0.2,
+    crossing_penalty_mm=0.0,
+    overlap_penalty_mm=50.0,
+    bend_penalty_mm=0.0,
+    direct_l=True,
+    count_channel_overlaps=True,
+)
+
+#: PlanarONoC [16]: spread placement, orientation search and
+#: crossing-minimizing maze routing (accepts long detours).
+PLANARONOC = ToolConfig(
+    name="planaronoc",
+    element_pitch_mm=1.2,
+    grid_pitch_mm=0.4,
+    crossing_penalty_mm=40.0,
+    overlap_penalty_mm=100.0,
+    bend_penalty_mm=0.01,
+    try_orientations=True,
+    max_orientations=4,
+)
+
+#: ToPro [3]: balanced projector (moderate pitch, moderate penalty,
+#: orientation-aware projection).
+TOPRO = ToolConfig(
+    name="topro",
+    element_pitch_mm=0.6,
+    grid_pitch_mm=0.2,
+    crossing_penalty_mm=2.0,
+    overlap_penalty_mm=60.0,
+    bend_penalty_mm=0.005,
+    try_orientations=True,
+)

@@ -1,0 +1,208 @@
+"""Place-and-route flow gluing topologies, tools and evaluation.
+
+``run_tool`` places a crossbar netlist (elements in a central block at
+the tool's pitch, terminals at the node positions) and routes every
+segment; ``evaluate_crossbar`` folds the measured lengths/crossings
+with the topology's logical drop/through counts into the same
+:class:`~repro.analysis.report.RouterEvaluation` the ring routers
+produce, so Table I compares like with like.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.insertion_loss import LossBreakdown
+from repro.analysis.report import RouterEvaluation
+from repro.baselines.crossbar.netlist import CrossbarTopology, PhysicalNetlist
+from repro.baselines.tools.config import ToolConfig
+from repro.baselines.tools.router import GridRouter, RoutedSegment
+from repro.geometry import BBox, Point
+from repro.network import Network
+from repro.photonics.parameters import LossParameters
+
+
+@dataclass
+class CrossbarLayout:
+    """The physical result of one tool run."""
+
+    topology: CrossbarTopology
+    netlist: PhysicalNetlist
+    segments: dict[int, RoutedSegment] = field(default_factory=dict)
+    runtime_s: float = 0.0
+    total_crossings: int = 0
+
+    def route_metrics(self, route) -> tuple[float, int, int]:
+        """(length_mm, physical crossings, bends) of a logical route."""
+        length = 0.0
+        crossings = 0
+        bends = 0
+        for seg_id in self.netlist.route_segments(route):
+            seg = self.segments[seg_id]
+            length += seg.length_mm
+            crossings += seg.crossings
+            bends += seg.bends
+        return length, crossings, bends
+
+
+def _oriented(col: float, row: float, orientation: int) -> tuple[float, float]:
+    """Apply one of 8 block orientations (4 rotations x mirror)."""
+    if orientation >= 4:
+        col = -col
+    rotation = orientation % 4
+    for _ in range(rotation):
+        col, row = -row, col
+    return col, row
+
+
+def _place_stops(
+    netlist: PhysicalNetlist,
+    network: Network,
+    config: ToolConfig,
+    orientation: int = 0,
+) -> dict[int, Point]:
+    """Physical positions: elements in a central block, terminals at nodes."""
+    elements = [s for s in netlist.stops if s.kind == "element"]
+    if not elements:
+        raise ValueError("netlist has no elements to place")
+    oriented = {
+        s.sid: _oriented(s.col, s.row, orientation) for s in elements
+    }
+    min_col = min(c for c, _ in oriented.values())
+    min_row = min(r for _, r in oriented.values())
+    width = (max(c for c, _ in oriented.values()) - min_col) * config.element_pitch_mm
+    height = (max(r for _, r in oriented.values()) - min_row) * config.element_pitch_mm
+    center = network.bounding_box().center
+    origin = Point(center.x - width / 2.0, center.y - height / 2.0)
+
+    positions: dict[int, Point] = {}
+    for stop in netlist.stops:
+        if stop.kind == "element":
+            col, row = oriented[stop.sid]
+            positions[stop.sid] = Point(
+                origin.x + (col - min_col) * config.element_pitch_mm,
+                origin.y + (row - min_row) * config.element_pitch_mm,
+            )
+        else:
+            positions[stop.sid] = network.position(stop.node)
+    return positions
+
+
+def _route_all(
+    netlist: PhysicalNetlist,
+    positions: dict[int, Point],
+    config: ToolConfig,
+) -> tuple[dict[int, RoutedSegment], int]:
+    """Route every segment; returns (per-segment results, total crossings)."""
+    area = BBox.of_points(positions.values()).inflate(1.0)
+    router = GridRouter(
+        area.xmin,
+        area.ymin,
+        area.xmax,
+        area.ymax,
+        pitch_mm=config.grid_pitch_mm,
+        crossing_penalty_mm=config.crossing_penalty_mm,
+        overlap_penalty_mm=config.overlap_penalty_mm,
+        bend_penalty_mm=config.bend_penalty_mm,
+    )
+    segments: dict[int, RoutedSegment] = {}
+    ordered = sorted(
+        netlist.segments,
+        key=lambda seg: positions[seg.a].manhattan(positions[seg.b]),
+    )
+    for seg in ordered:
+        segments[seg.seg_id] = router.route(
+            seg.seg_id, positions[seg.a], positions[seg.b], direct_l=config.direct_l
+        )
+    per_segment = router.count_crossings(
+        count_parallel=config.count_channel_overlaps
+    )
+    return segments, sum(per_segment.values()) // 2
+
+
+def _port_order_candidates(
+    topology: CrossbarTopology, network: Network, config: ToolConfig
+) -> list[CrossbarTopology]:
+    """Topology variants with ports re-bound to match node geometry.
+
+    Placement-aware tools (``try_orientations``) exploit functional
+    symmetry where the topology offers it (currently the λ-router's
+    ``reordered``): binding the diamond rows in node-y (or node-x)
+    order untangles the access nets.  Length-first tools use only the
+    identity binding.
+    """
+    if not config.try_orientations or not hasattr(topology, "reordered"):
+        return [topology]
+    nodes = list(range(network.size))
+    by_y = tuple(
+        sorted(nodes, key=lambda i: (network.position(i).y, network.position(i).x))
+    )
+    return [topology, topology.reordered(by_y)]
+
+
+def run_tool(
+    topology: CrossbarTopology, network: Network, config: ToolConfig
+) -> CrossbarLayout:
+    """Place and route ``topology`` on ``network``'s die with ``config``.
+
+    With ``try_orientations`` set, all 8 block orientations (and, where
+    the topology supports it, geometry-matched port orders) are placed
+    and routed and the fewest-crossings layout wins.
+    """
+    started = time.perf_counter()
+    orientations = (
+        range(min(8, config.max_orientations)) if config.try_orientations else (0,)
+    )
+
+    best: tuple[CrossbarTopology, PhysicalNetlist, dict[int, RoutedSegment], int] | None = None
+    for variant in _port_order_candidates(topology, network, config):
+        netlist = variant.build_netlist()
+        for orientation in orientations:
+            positions = _place_stops(netlist, network, config, orientation)
+            segments, crossings = _route_all(netlist, positions, config)
+            if best is None or crossings < best[3]:
+                best = (variant, netlist, segments, crossings)
+    assert best is not None
+
+    layout = CrossbarLayout(topology=best[0], netlist=best[1])
+    layout.segments, layout.total_crossings = best[2], best[3]
+    layout.runtime_s = time.perf_counter() - started
+    return layout
+
+
+def evaluate_crossbar(
+    topology: CrossbarTopology,
+    network: Network,
+    config: ToolConfig,
+    loss: LossParameters,
+) -> RouterEvaluation:
+    """Table I evaluation of one (tool, topology) pair: loss only."""
+    layout = run_tool(topology, network, config)
+    breakdowns: dict[int, LossBreakdown] = {}
+    routes = layout.topology.all_routes()
+    for sid, route in enumerate(routes):
+        length, crossings, bends = layout.route_metrics(route)
+        breakdowns[sid] = LossBreakdown.from_counts(
+            loss,
+            length_mm=length,
+            crossings=crossings + route.crossings_logical,
+            throughs=route.throughs,
+            drops=route.drops,
+            bends=bends,
+        )
+    worst_sid = max(breakdowns, key=lambda sid: breakdowns[sid].il)
+    worst = breakdowns[worst_sid]
+    return RouterEvaluation(
+        wl_count=topology.wavelength_count,
+        il_w=worst.il,
+        worst_length_mm=worst.length_mm,
+        worst_crossings=worst.crossing_count,
+        power_w=math.nan,
+        noisy_signals=0,
+        snr_worst_db=None,
+        signal_count=len(routes),
+        synthesis_time_s=layout.runtime_s,
+        breakdowns=breakdowns,
+    )

@@ -1,0 +1,227 @@
+"""Command-line interface: ``xring`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``synth``  — synthesize an XRing router for an N-node network and
+  print its evaluation (optionally writing an SVG layout);
+- ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
+- ``ablation`` — the shortcut/opening feature matrix;
+- ``sweep`` — power/SNR versus the wavelength budget;
+- ``scale`` — the MILP-vs-heuristic scaling study beyond 32 nodes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import evaluate_circuit
+from repro.core import SynthesisOptions, XRingSynthesizer
+from repro.network import Network
+from repro.network.placement import extended_placement, psion_placement
+from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
+
+
+def _make_network(num_nodes: int, placement_file: str = "") -> Network:
+    if placement_file:
+        return _load_placement(placement_file)
+    try:
+        points, die = psion_placement(num_nodes)
+    except ValueError:
+        points, die = extended_placement(num_nodes)
+    return Network.from_positions(points, die=die)
+
+
+def _load_placement(path: str) -> Network:
+    """Load node positions (and optional traffic) from a JSON file.
+
+    Expected shape: ``{"positions": [[x, y], ...],
+    "traffic": [[src, dst], ...]?}`` — or a bare list of positions.
+    """
+    import json
+
+    from repro.geometry import Point
+
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, list):
+        positions, traffic = data, []
+    else:
+        positions = data["positions"]
+        traffic = data.get("traffic", [])
+    points = [Point(float(x), float(y)) for x, y in positions]
+    pairs = [(int(s), int(d)) for s, d in traffic]
+    return Network.from_positions(points, traffic=pairs)
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    network = _make_network(args.nodes, args.placement)
+    options = SynthesisOptions(
+        wl_budget=args.wl,
+        ring_method=args.ring_method,
+        enable_shortcuts=not args.no_shortcuts,
+        enable_openings=not args.no_openings,
+        pdn_mode=None if args.no_pdn else "internal",
+    )
+    design = XRingSynthesizer(network, options).run()
+    circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+    evaluation = evaluate_circuit(
+        circuit, ORING_LOSSES, NIKDAST_CROSSTALK, with_power=not args.no_pdn
+    )
+    snr = "-" if evaluation.snr_worst_db is None else f"{evaluation.snr_worst_db:.1f} dB"
+    print(f"XRing synthesis for {network.size} nodes")
+    print(f"  ring length      : {design.tour.length_mm:.1f} mm")
+    print(f"  ring waveguides  : {design.ring_count}")
+    print(f"  shortcuts        : {design.shortcut_count}")
+    print(f"  wavelengths      : {evaluation.wl_count}")
+    print(f"  worst-case il    : {evaluation.il_w:.2f} dB")
+    print(f"  worst path       : {evaluation.worst_length_mm:.1f} mm")
+    print(f"  crossings (worst): {evaluation.worst_crossings}")
+    if not args.no_pdn:
+        print(f"  laser power      : {evaluation.power_w:.3f} W")
+    print(f"  noisy signals    : {evaluation.noisy_signals}/{evaluation.signal_count}")
+    print(f"  worst SNR        : {snr}")
+    print(f"  synthesis time   : {design.synthesis_time_s:.2f} s")
+    if args.svg:
+        from repro.viz import render_design_svg
+
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(render_design_svg(design))
+        print(f"  layout written   : {args.svg}")
+    if args.ascii:
+        from repro.viz import ascii_layout
+
+        print(ascii_layout(design))
+    if args.report:
+        from repro.io import save_report
+
+        save_report(args.report, design, evaluation)
+        print(f"  report written   : {args.report}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import format_table1, run_table1
+
+    for size in args.sizes:
+        budgets = [size] if args.quick else None
+        print(f"\n== Table I, {size}-node network ==")
+        print(format_table1(run_table1(size, budgets=budgets)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments import format_table2, run_table2
+
+    budgets = (
+        {size: [size, size + size // 2] for size in args.sizes} if args.quick else None
+    )
+    print(format_table2(run_table2(sizes=tuple(args.sizes), budgets=budgets)))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments import format_table3, run_table3
+
+    budgets = [14, 16] if args.quick else None
+    print(format_table3(run_table3(budgets=budgets)))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import run_shortcut_ablation
+    from repro.experiments.ablations import format_ablation
+
+    print(format_ablation(run_shortcut_ablation(args.nodes)))
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.experiments import format_scaling, run_scaling
+
+    rows = run_scaling(
+        sizes=tuple(args.sizes), milp_limit=args.milp_limit
+    )
+    print(format_scaling(rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import run_wavelength_sweep
+    from repro.viz import bar_chart
+
+    rows = run_wavelength_sweep(args.nodes, kind=args.router)
+    print(f"laser power vs #wl ({args.router}, {args.nodes} nodes)")
+    print(bar_chart([(f"#wl={b}", row.power_w) for b, row in rows], unit=" W"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="xring",
+        description="Crosstalk-aware synthesis of WRONoC ring routers (DATE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesize one XRing router")
+    synth.add_argument("--nodes", type=int, default=16)
+    synth.add_argument(
+        "--placement",
+        type=str,
+        default="",
+        help="JSON file with node positions (overrides --nodes)",
+    )
+    synth.add_argument("--wl", type=int, default=None, help="wavelength budget")
+    synth.add_argument("--no-shortcuts", action="store_true")
+    synth.add_argument("--no-openings", action="store_true")
+    synth.add_argument("--no-pdn", action="store_true")
+    synth.add_argument("--svg", type=str, default="", help="write layout SVG here")
+    synth.add_argument("--ascii", action="store_true", help="print ASCII layout")
+    synth.add_argument("--report", type=str, default="", help="write JSON report here")
+    synth.add_argument(
+        "--ring-method", choices=["milp", "heuristic"], default="milp"
+    )
+    synth.set_defaults(func=_cmd_synth)
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--sizes", type=int, nargs="+", default=[8, 16])
+    table1.add_argument("--quick", action="store_true", help="single #wl setting")
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table II")
+    table2.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32])
+    table2.add_argument("--quick", action="store_true")
+    table2.set_defaults(func=_cmd_table2)
+
+    table3 = sub.add_parser("table3", help="regenerate Table III")
+    table3.add_argument("--quick", action="store_true")
+    table3.set_defaults(func=_cmd_table3)
+
+    ablation = sub.add_parser("ablation", help="shortcut/opening feature matrix")
+    ablation.add_argument("--nodes", type=int, default=16)
+    ablation.set_defaults(func=_cmd_ablation)
+
+    scale = sub.add_parser("scale", help="scaling study (MILP vs heuristic)")
+    scale.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32, 64])
+    scale.add_argument("--milp-limit", type=int, default=32)
+    scale.set_defaults(func=_cmd_scale)
+
+    sweep = sub.add_parser("sweep", help="power vs wavelength budget")
+    sweep.add_argument("--nodes", type=int, default=16)
+    sweep.add_argument(
+        "--router", choices=["xring", "ornoc", "oring"], default="xring"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``xring`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""XRing core: the paper's four-step synthesis flow.
+
+- :mod:`repro.core.ring` — Step 1: ring waveguide construction as a
+  modified travelling-salesman MILP with crossing-conflict constraints,
+  heuristic sub-cycle merging, and 2-SAT selection of one crossing-free
+  L-realization per edge.
+- :mod:`repro.core.shortcuts` — Step 2: gain-driven shortcut selection
+  with CSE merging of crossing shortcuts.
+- :mod:`repro.core.mapping` — Step 3: signal-to-ring mapping with
+  arc-disjoint wavelength reuse, plus ring-opening selection.
+- :mod:`repro.core.pdn` — Step 4: binary-tree power distribution
+  networks (crossing-free internal routing for XRing, external routing
+  with counted crossings for the ring baselines).
+- :mod:`repro.core.design` / :mod:`repro.core.synthesizer` — the
+  result object, its lowering to a :class:`~repro.analysis.circuit.
+  PhotonicCircuit`, and the top-level :class:`XRingSynthesizer`.
+"""
+
+from repro.core.ring import RingTour, construct_ring_tour
+from repro.core.shortcuts import Shortcut, ShortcutPlan, select_shortcuts
+from repro.core.mapping import (
+    RingAssignment,
+    RingWaveguide,
+    SignalMapping,
+    map_signals,
+)
+from repro.core.pdn import PdnDesign, build_pdn
+from repro.core.design import XRingDesign
+from repro.core.heuristic_ring import construct_ring_tour_heuristic
+from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer, synthesize
+from repro.core.validate import Violation, assert_valid, validate_design
+
+__all__ = [
+    "RingTour",
+    "construct_ring_tour",
+    "Shortcut",
+    "ShortcutPlan",
+    "select_shortcuts",
+    "RingWaveguide",
+    "RingAssignment",
+    "SignalMapping",
+    "map_signals",
+    "PdnDesign",
+    "build_pdn",
+    "XRingDesign",
+    "XRingSynthesizer",
+    "SynthesisOptions",
+    "synthesize",
+    "construct_ring_tour_heuristic",
+    "Violation",
+    "validate_design",
+    "assert_valid",
+]

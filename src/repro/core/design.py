@@ -1,0 +1,265 @@
+"""The synthesized design object and its lowering to a photonic circuit.
+
+:class:`XRingDesign` bundles the outputs of the four synthesis steps
+(plus the network they were synthesized for) and lowers them to a
+:class:`~repro.analysis.circuit.PhotonicCircuit` that the analysis
+engine evaluates.  The same lowering serves the ring baselines, which
+reuse these data structures with shortcuts disabled and rings closed.
+
+Waveguide coordinate conventions:
+
+- A clockwise ring waveguide is parameterized by the tour position
+  (millimetres from ``tour.order[0]`` in tour direction); a counter-
+  clockwise one by ``(L - tour_position) mod L``.
+- An *opened* ring waveguide is shifted so position 0 is the opening
+  node's sender and position L is its receiver.
+- Shortcut waveguides run 0..length in their propagation direction
+  (one guide per direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.circuit import DropFilter, Leg, PhotonicCircuit, SignalSpec
+from repro.core.mapping import Direction, RingAssignment, SignalMapping
+from repro.core.pdn import PdnDesign
+from repro.core.ring import RingTour
+from repro.core.shortcuts import LegDirection, ShortcutPlan
+from repro.network import Network
+from repro.photonics.parameters import (
+    NIKDAST_CROSSTALK,
+    CrosstalkParameters,
+    LossParameters,
+)
+
+_EPS = 1e-9
+
+
+def _ring_bend_positions(tour: RingTour) -> list[float]:
+    """Tour positions of every 90-degree bend along the closed ring."""
+    segments = []
+    for path in tour.edge_paths:
+        segments.extend(path.segments)
+    positions: list[float] = []
+    travelled = 0.0
+    for idx, seg in enumerate(segments):
+        nxt = segments[(idx + 1) % len(segments)]
+        travelled += seg.length
+        if seg.is_horizontal != nxt.is_horizontal:
+            positions.append(travelled % tour.length_mm)
+    positions.sort()
+    return positions
+
+
+def _count_cyclic(positions: list[float], start: float, end: float, length: float) -> int:
+    """How many positions fall strictly inside the cyclic arc start->end."""
+    if abs(start - end) <= _EPS:
+        return 0
+    count = 0
+    for p in positions:
+        rel = (p - start) % length
+        span = (end - start) % length
+        if _EPS < rel < span - _EPS:
+            count += 1
+    return count
+
+
+def _path_bend_distances(path) -> list[float]:
+    """Distances from the path start to each interior bend."""
+    distances = []
+    travelled = 0.0
+    for s1, s2 in zip(path.segments, path.segments[1:]):
+        travelled += s1.length
+        if s1.is_horizontal != s2.is_horizontal:
+            distances.append(travelled)
+    return distances
+
+
+@dataclass
+class XRingDesign:
+    """A fully synthesized ring router (XRing or ring baseline)."""
+
+    network: Network
+    tour: RingTour
+    shortcut_plan: ShortcutPlan
+    mapping: SignalMapping
+    pdn: PdnDesign | None = None
+    synthesis_time_s: float = 0.0
+    label: str = "xring"
+    _bends: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self._bends = _ring_bend_positions(self.tour)
+
+    # -- coordinate transforms ---------------------------------------------
+    def _raw_position(self, node: int, direction: Direction) -> float:
+        base = self.tour.node_position_mm[node]
+        if direction is Direction.CW:
+            return base
+        return (self.tour.length_mm - base) % self.tour.length_mm
+
+    def _guide_position(self, node: int, ring) -> float:
+        """Node position in an (optionally opened) ring guide's frame."""
+        pos = self._raw_position(node, ring.direction)
+        if ring.opening_node is None:
+            return pos
+        shift = self._raw_position(ring.opening_node, ring.direction)
+        return (pos - shift) % self.tour.length_mm
+
+    def _tour_to_guide(self, tour_pos: float, ring) -> float:
+        """Convert a raw tour (CW) position into a guide position."""
+        length = self.tour.length_mm
+        pos = tour_pos if ring.direction is Direction.CW else (length - tour_pos) % length
+        if ring.opening_node is None:
+            return pos
+        shift = self._raw_position(ring.opening_node, ring.direction)
+        return (pos - shift) % length
+
+    def _arc_bends(self, assignment: RingAssignment) -> int:
+        """Bends along a ring signal's arc, counted on the raw geometry."""
+        start = self.tour.node_position_mm[assignment.src]
+        end = self.tour.node_position_mm[assignment.dst]
+        if assignment.direction is Direction.CCW:
+            start, end = end, start
+        return _count_cyclic(self._bends, start, end, self.tour.length_mm)
+
+    # -- lowering -------------------------------------------------------------
+    def to_circuit(
+        self,
+        loss: LossParameters,
+        xtalk: CrosstalkParameters | None = None,
+    ) -> PhotonicCircuit:
+        """Lower the design to an analyzable photonic circuit."""
+        xtalk = xtalk or NIKDAST_CROSSTALK
+        circuit = PhotonicCircuit()
+        length = self.tour.length_mm
+
+        ring_wid: dict[int, int] = {}
+        for ring in self.mapping.rings:
+            guide = circuit.add_waveguide(
+                length, closed=ring.opening_node is None, kind="ring"
+            )
+            ring_wid[ring.rid] = guide.wid
+
+        # Shortcut waveguides: one per direction per shortcut.
+        shortcut_wid: dict[tuple[int, LegDirection], int] = {}
+        for idx, shortcut in enumerate(self.shortcut_plan.shortcuts):
+            for direction in (LegDirection.FORWARD, LegDirection.BACKWARD):
+                guide = circuit.add_waveguide(
+                    shortcut.length_mm, closed=False, kind="shortcut"
+                )
+                shortcut_wid[(idx, direction)] = guide.wid
+
+        # Crossings between merged shortcut pairs (4 per pair: both
+        # directions of one chord against both of the other).
+        for idx1, idx2 in self.shortcut_plan.crossing_pairs:
+            s1 = self.shortcut_plan.shortcuts[idx1]
+            s2 = self.shortcut_plan.shortcuts[idx2]
+            assert s1.crossing_dist_mm is not None
+            assert s2.crossing_dist_mm is not None
+            for dir1 in (LegDirection.FORWARD, LegDirection.BACKWARD):
+                pos1 = (
+                    s1.crossing_dist_mm
+                    if dir1 is LegDirection.FORWARD
+                    else s1.length_mm - s1.crossing_dist_mm
+                )
+                for dir2 in (LegDirection.FORWARD, LegDirection.BACKWARD):
+                    pos2 = (
+                        s2.crossing_dist_mm
+                        if dir2 is LegDirection.FORWARD
+                        else s2.length_mm - s2.crossing_dist_mm
+                    )
+                    circuit.add_crossing(
+                        shortcut_wid[(idx1, dir1)],
+                        pos1,
+                        shortcut_wid[(idx2, dir2)],
+                        pos2,
+                    )
+
+        sid = 0
+        ring_lookup = {ring.rid: ring for ring in self.mapping.rings}
+
+        # Ring-mapped signals.
+        for (src, dst), assignment in sorted(self.mapping.assignments.items()):
+            ring = ring_lookup[assignment.rid]
+            wid = ring_wid[assignment.rid]
+            start = self._guide_position(src, ring)
+            end = self._guide_position(dst, ring)
+            if ring.opening_node is not None and dst == ring.opening_node:
+                end = length
+            leg = Leg(wid, start, end, bends=self._arc_bends(assignment))
+            feed = self._feed(("ring", assignment.rid, src))
+            circuit.waveguides[wid].add_drop_filter(
+                DropFilter(end, assignment.wavelength, sid, dst)
+            )
+            circuit.add_signal(
+                SignalSpec(sid, src, dst, assignment.wavelength, [leg], feed)
+            )
+            sid += 1
+
+        # Shortcut-served signals.
+        for (src, dst), legs in sorted(self.shortcut_plan.served.items()):
+            wavelength = self.mapping.shortcut_wavelengths[(src, dst)]
+            spec_legs = []
+            for leg in legs:
+                shortcut = self.shortcut_plan.shortcuts[leg.shortcut_index]
+                bend_dists = _path_bend_distances(shortcut.path)
+                if leg.direction is LegDirection.BACKWARD:
+                    bend_dists = [shortcut.length_mm - d for d in bend_dists]
+                bends = sum(
+                    1
+                    for d in bend_dists
+                    if leg.start_mm + _EPS < d < leg.end_mm - _EPS
+                )
+                spec_legs.append(
+                    Leg(
+                        shortcut_wid[(leg.shortcut_index, leg.direction)],
+                        leg.start_mm,
+                        leg.end_mm,
+                        bends=bends,
+                    )
+                )
+            last = spec_legs[-1]
+            circuit.waveguides[last.wid].add_drop_filter(
+                DropFilter(last.end, wavelength, sid, dst)
+            )
+            feed = self._feed(("shortcut", legs[0].shortcut_index, src))
+            circuit.add_signal(
+                SignalSpec(sid, src, dst, wavelength, spec_legs, feed)
+            )
+            sid += 1
+
+        # PDN crossings over ring waveguides (external-mode baselines):
+        # build_pdn names the crossed ring instance per event.
+        if self.pdn is not None and self.pdn.ring_crossings:
+            for event in self.pdn.ring_crossings:
+                ring = ring_lookup[event.rid]
+                wid = ring_wid[ring.rid]
+                pos = self._tour_to_guide(event.ring_position_mm, ring)
+                rel_db = -event.loss_to_point_db + xtalk.crossing_db
+                circuit.add_pdn_crossing(wid, pos, rel_db)
+
+        circuit.finalize()
+        return circuit
+
+    def _feed(self, key) -> float:
+        if self.pdn is None:
+            return 0.0
+        return self.pdn.feeds.get(key, 0.0)
+
+    # -- convenience metrics -------------------------------------------------
+    @property
+    def ring_count(self) -> int:
+        """Number of physical ring waveguides."""
+        return len(self.mapping.rings)
+
+    @property
+    def shortcut_count(self) -> int:
+        """Number of selected shortcuts."""
+        return len(self.shortcut_plan.shortcuts)
+
+    @property
+    def wavelength_count(self) -> int:
+        """Distinct wavelengths in use."""
+        return len(self.mapping.used_wavelengths)

@@ -1,0 +1,515 @@
+"""Step 1: ring waveguide construction (Sec. III-A).
+
+The nodes must be connected by a single closed rectilinear curve of
+minimum total Manhattan length whose segments do not cross.  The paper
+models this as a *modified travelling salesman* MILP:
+
+- binary ``b_e`` per directed edge ``e``;
+- constraint (1): in-degree = out-degree = 1 per vertex;
+- constraint (2): no 2-cycles (``b_ij + b_ji <= 1``);
+- constraint (3): conflicting edge pairs (no pairing of their L-shaped
+  realizations is crossing-free) cannot both be selected;
+- objective (4): minimize total Manhattan length.
+
+Sub-tour elimination is deliberately left out (it would need O(2^N)
+constraints); the possibly-disconnected optimum is repaired by a
+cheapest conflict-free 2-exchange merge of sub-cycles (Fig. 6(f)).
+
+After the tour is fixed, each selected edge still has two candidate
+L-realizations; picking one per edge so that the drawn ring is
+completely crossing-free is solved exactly as a 2-SAT instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry import (
+    Point,
+    RectilinearPath,
+    edge_realizations,
+    edges_conflict,
+    paths_cross,
+)
+from repro.milp import Model, SolveError
+from repro.milp.expression import lin_sum
+from repro.sat import TwoSat
+
+
+@dataclass(frozen=True)
+class RingTour:
+    """A synthesized ring: cyclic node order plus realized edge paths.
+
+    ``order[k]`` is the node index visited at step ``k``; edge ``k``
+    connects ``order[k]`` to ``order[(k+1) % N]`` and is drawn as
+    ``edge_paths[k]``.  ``node_position_mm[i]`` is the distance from
+    ``order[0]`` to node ``i`` travelling in tour (clockwise)
+    direction; ``length_mm`` is the full perimeter.
+    """
+
+    order: tuple[int, ...]
+    edge_paths: tuple[RectilinearPath, ...]
+    points: tuple[Point, ...]
+    length_mm: float
+    node_position_mm: dict[int, float] = field(default_factory=dict)
+    crossing_count: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of nodes on the ring."""
+        return len(self.order)
+
+    def successor(self, node: int) -> int:
+        """The node following ``node`` in tour direction."""
+        k = self.order.index(node)
+        return self.order[(k + 1) % self.size]
+
+    def cw_distance(self, src: int, dst: int) -> float:
+        """Arc length from ``src`` to ``dst`` in tour (CW) direction."""
+        delta = self.node_position_mm[dst] - self.node_position_mm[src]
+        return delta % self.length_mm if src != dst else 0.0
+
+    def ccw_distance(self, src: int, dst: int) -> float:
+        """Arc length from ``src`` to ``dst`` against tour direction."""
+        if src == dst:
+            return 0.0
+        return self.length_mm - self.cw_distance(src, dst)
+
+    def nodes_strictly_between(self, src: int, dst: int) -> list[int]:
+        """Nodes strictly inside the CW arc from ``src`` to ``dst``."""
+        if src == dst:
+            return []
+        result = []
+        k = self.order.index(src)
+        while True:
+            k = (k + 1) % self.size
+            node = self.order[k]
+            if node == dst:
+                return result
+            result.append(node)
+
+    def position_of_point(self, point: Point) -> float | None:
+        """CW distance from ``order[0]`` to a point lying on the ring.
+
+        Returns ``None`` when the point is not on any edge path.  Used
+        to translate geometric PDN crossing points into ring positions.
+        """
+        travelled = 0.0
+        for path in self.edge_paths:
+            for seg in path.segments:
+                if seg.contains_point(point):
+                    return travelled + seg.a.manhattan(point)
+                travelled += seg.length
+        return None
+
+
+def _build_edge_conflicts(
+    points: list[Point],
+) -> dict[tuple[int, int], set[tuple[int, int]]]:
+    """Geometric conflicts between undirected node pairs.
+
+    Keys and members are undirected pairs ``(i, j)`` with ``i < j``;
+    conflicts are direction-independent because both directions of a
+    pair share the same geometry.
+    """
+    n = len(points)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] = {
+        pair: set() for pair in pairs
+    }
+    for idx, pair_a in enumerate(pairs):
+        ea = (points[pair_a[0]], points[pair_a[1]])
+        for pair_b in pairs[idx + 1 :]:
+            eb = (points[pair_b[0]], points[pair_b[1]])
+            if edges_conflict(ea, eb):
+                conflicts[pair_a].add(pair_b)
+                conflicts[pair_b].add(pair_a)
+    return conflicts
+
+
+def _extract_cycles(selected: set[tuple[int, int]], n: int) -> list[list[int]]:
+    """Decompose selected directed edges into vertex cycles."""
+    succ = {}
+    for i, j in selected:
+        if i in succ:
+            raise SolveError(f"vertex {i} has two outgoing edges")
+        succ[i] = j
+    if len(succ) != n:
+        raise SolveError("selected edges do not cover every vertex")
+    cycles: list[list[int]] = []
+    seen: set[int] = set()
+    for start in range(n):
+        if start in seen:
+            continue
+        cycle = [start]
+        seen.add(start)
+        node = succ[start]
+        while node != start:
+            cycle.append(node)
+            seen.add(node)
+            node = succ[node]
+        cycles.append(cycle)
+    return cycles
+
+
+def _cycle_edges(cycle: list[int]) -> list[tuple[int, int]]:
+    return [
+        (cycle[k], cycle[(k + 1) % len(cycle)]) for k in range(len(cycle))
+    ]
+
+
+def _merge_two_cycles(
+    c1: list[int],
+    c2: list[int],
+    points: list[Point],
+    other_edges: list[tuple[int, int]],
+) -> tuple[list[int], float]:
+    """Merge two cycles by the cheapest feasible 2-exchange.
+
+    Removing ``(a, b)`` from ``c1`` and ``(c, d)`` from ``c2`` and
+    adding ``(a, d)`` and ``(c, b)`` splices ``c2`` into ``c1``.  Both
+    orientations of ``c2`` are tried — cycle direction is a logical
+    choice, not a geometric one, and the cheapest splice frequently
+    needs the reversed orientation.  A splice is *feasible* when the
+    two new edges neither conflict with each other nor with any edge
+    that remains selected.  Falls back to the cheapest splice ignoring
+    third-party conflicts when no fully clean splice exists (the 2-SAT
+    stage then reports residual crossings honestly).
+    """
+
+    def splice_cost(a: int, b: int, c: int, d: int) -> float:
+        return (
+            points[a].manhattan(points[d])
+            + points[c].manhattan(points[b])
+            - points[a].manhattan(points[b])
+            - points[c].manhattan(points[d])
+        )
+
+    def new_edges_clean(
+        a: int, b: int, c: int, d: int, cycle2: list[int], strict: bool
+    ) -> bool:
+        e_ad = (points[a], points[d])
+        e_cb = (points[c], points[b])
+        if edges_conflict(e_ad, e_cb):
+            return False
+        if not strict:
+            return True
+        remaining = [
+            e
+            for e in _cycle_edges(c1) + _cycle_edges(cycle2) + other_edges
+            if e not in ((a, b), (c, d))
+        ]
+        for i, j in remaining:
+            other = (points[i], points[j])
+            if edges_conflict(e_ad, other) or edges_conflict(e_cb, other):
+                return False
+        return True
+
+    orientations = [list(c2), list(reversed(c2))]
+    candidates: list[tuple[float, int, int, int, int, int]] = []
+    for orient_idx, cycle2 in enumerate(orientations):
+        for a, b in _cycle_edges(c1):
+            for c, d in _cycle_edges(cycle2):
+                candidates.append(
+                    (splice_cost(a, b, c, d), a, b, c, d, orient_idx)
+                )
+    candidates.sort(key=lambda item: item[0])
+    for strict in (True, False):
+        for cost, a, b, c, d, orient_idx in candidates:
+            cycle2 = orientations[orient_idx]
+            if new_edges_clean(a, b, c, d, cycle2, strict):
+                # Splice: ... a -> d ... c -> b ...
+                ia = c1.index(a)
+                ic = cycle2.index(c)
+                rotated = cycle2[ic + 1 :] + cycle2[: ic + 1]  # d ... c
+                merged = c1[: ia + 1] + rotated + c1[ia + 1 :]
+                return merged, cost
+    raise SolveError("no feasible splice between sub-cycles")
+
+
+def _staircase_routes(a: Point, b: Point) -> list[RectilinearPath]:
+    """Two-bend monotone staircase routes between two points.
+
+    A staircase detour keeps the Manhattan length of the connection but
+    frees the middle of the span, which resolves realization conflicts
+    that the two plain L-shapes cannot (the MILP's pairwise constraints
+    do not guarantee *global* single-bend realizability).  Returns the
+    VHV and HVH mid-split variants, or nothing for axis-aligned pairs.
+    """
+    if abs(a.x - b.x) <= 1e-9 or abs(a.y - b.y) <= 1e-9:
+        return []
+    y_mid = (a.y + b.y) / 2.0
+    x_mid = (a.x + b.x) / 2.0
+    vhv = RectilinearPath((a, Point(a.x, y_mid), Point(b.x, y_mid), b))
+    hvh = RectilinearPath((a, Point(x_mid, a.y), Point(x_mid, b.y), b))
+    return [vhv, hvh]
+
+
+def _shared_points(e1, e2) -> list[Point]:
+    return [
+        p
+        for p in (e1[0], e1[1])
+        if p.almost_equals(e2[0]) or p.almost_equals(e2[1])
+    ]
+
+
+def _backtrack_realizations(
+    edges: list[tuple[Point, Point]],
+    options: list[list[RectilinearPath]],
+    max_nodes: int = 200_000,
+) -> list[RectilinearPath] | None:
+    """Exhaustive crossing-free realization search with forward checking.
+
+    ``options[k]`` are the candidate paths of edge ``k``.  Returns one
+    globally crossing-free choice per edge, or ``None`` when none
+    exists within the node budget.
+    """
+    n = len(edges)
+    compatible: dict[tuple[int, int], set[tuple[int, int]]] = {}
+    for k1, k2 in itertools.combinations(range(n), 2):
+        shared = _shared_points(edges[k1], edges[k2])
+        ok = {
+            (i1, i2)
+            for i1, r1 in enumerate(options[k1])
+            for i2, r2 in enumerate(options[k2])
+            if not paths_cross(r1, r2, ignore=shared)
+        }
+        if not ok:
+            return None
+        compatible[(k1, k2)] = ok
+
+    def allowed_pair(k1: int, i1: int, k2: int, i2: int) -> bool:
+        if k1 < k2:
+            return (i1, i2) in compatible[(k1, k2)]
+        return (i2, i1) in compatible[(k2, k1)]
+
+    # Most-constrained-first static order.
+    order_idx = sorted(range(n), key=lambda k: len(options[k]))
+    chosen: dict[int, int] = {}
+    nodes = 0
+
+    def dfs(depth: int) -> bool:
+        nonlocal nodes
+        if depth == n:
+            return True
+        nodes += 1
+        if nodes > max_nodes:
+            return False
+        k = order_idx[depth]
+        for i in range(len(options[k])):
+            if all(allowed_pair(k, i, kk, ii) for kk, ii in chosen.items()):
+                chosen[k] = i
+                if dfs(depth + 1):
+                    return True
+                del chosen[k]
+        return False
+
+    if not dfs(0):
+        return None
+    return [options[k][chosen[k]] for k in range(n)]
+
+
+def _choose_realizations(
+    order: list[int], points: list[Point]
+) -> tuple[list[RectilinearPath], int]:
+    """Pick one realization per tour edge, crossing-free if possible.
+
+    Three tiers:
+
+    1. exact 2-SAT over the two L-shaped options per edge;
+    2. if unsatisfiable, exhaustive backtracking over an extended
+       option set that adds two-bend staircase detours (same Manhattan
+       length, different occupied track);
+    3. as a last resort, a greedy crossing-minimizing assignment whose
+       residual crossings are reported in ``RingTour.crossing_count``.
+    """
+    n = len(order)
+    edges = [
+        (points[order[k]], points[order[(k + 1) % n]]) for k in range(n)
+    ]
+    options = [list(edge_realizations(*e)) for e in edges]
+
+    sat = TwoSat(n)
+    for k, opts in enumerate(options):
+        if len(opts) == 1:
+            # Straight edge: both boolean values mean the same path;
+            # pin to True so clauses reference a consistent value.
+            sat.force(k, True)
+    for k1, k2 in itertools.combinations(range(n), 2):
+        shared = _shared_points(edges[k1], edges[k2])
+        for v1, r1 in _boolean_options(options[k1]):
+            for v2, r2 in _boolean_options(options[k2]):
+                if paths_cross(r1, r2, ignore=shared):
+                    sat.forbid(k1, v1, k2, v2)
+    assignment = sat.solve()
+    if assignment is not None:
+        paths = [
+            opts[0] if len(opts) == 1 else opts[0 if assignment[k] else 1]
+            for k, opts in enumerate(options)
+        ]
+        return paths, 0
+
+    extended = [
+        opts + _staircase_routes(*edges[k]) for k, opts in enumerate(options)
+    ]
+    solved = _backtrack_realizations(edges, extended)
+    if solved is not None:
+        return solved, 0
+
+    # Greedy fallback: minimize crossings edge by edge.
+    paths: list[RectilinearPath] = []
+    total_crossings = 0
+    for k, opts in enumerate(extended):
+        best_path = None
+        best_crossings = math.inf
+        for candidate in opts:
+            crossings = 0
+            for prev_k, prev in enumerate(paths):
+                shared = _shared_points(edges[k], edges[prev_k])
+                if paths_cross(candidate, prev, ignore=shared):
+                    crossings += 1
+            if crossings < best_crossings:
+                best_crossings = crossings
+                best_path = candidate
+        assert best_path is not None
+        paths.append(best_path)
+        total_crossings += int(best_crossings)
+    return paths, total_crossings
+
+
+def _boolean_options(opts):
+    """Map realization paths onto 2-SAT boolean values.
+
+    Index 0 (vertical-first) is True; straight edges expose their single
+    path under both values to keep clause generation uniform.
+    """
+    if len(opts) == 1:
+        return [(True, opts[0]), (False, opts[0])]
+    return [(True, opts[0]), (False, opts[1])]
+
+
+def construct_ring_tour(
+    points: list[Point],
+    backend: str = "auto",
+    time_limit: float | None = None,
+) -> RingTour:
+    """Synthesize the minimum-length crossing-free ring tour.
+
+    ``backend`` selects the MILP solver (see :mod:`repro.milp`).
+    Raises :class:`~repro.milp.SolveError` when the relaxed model is
+    infeasible (e.g. duplicate node positions making every drawing
+    illegal).
+    """
+    n = len(points)
+    if n < 3:
+        raise ValueError("a ring router needs at least 3 nodes")
+    for a, b in itertools.combinations(range(n), 2):
+        if points[a].almost_equals(points[b]):
+            raise ValueError(f"nodes {a} and {b} share a position")
+
+    conflicts = _build_edge_conflicts(points)
+
+    model = Model("xring-step1")
+    b_vars: dict[tuple[int, int], object] = {}
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                b_vars[(i, j)] = model.binary_var(f"b_{i}_{j}")
+
+    # (1) every vertex has exactly one incoming and one outgoing edge.
+    for i in range(n):
+        model.add_constraint(
+            lin_sum(b_vars[(i, j)] for j in range(n) if j != i) == 1,
+            name=f"out_{i}",
+        )
+        model.add_constraint(
+            lin_sum(b_vars[(j, i)] for j in range(n) if j != i) == 1,
+            name=f"in_{i}",
+        )
+
+    # (2) no 2-cycles.
+    for i in range(n):
+        for j in range(i + 1, n):
+            model.add_constraint(
+                b_vars[(i, j)] + b_vars[(j, i)] <= 1, name=f"two_cycle_{i}_{j}"
+            )
+
+    # (3) conflicting pairs cannot both be selected (in any direction).
+    added: set[frozenset[tuple[int, int]]] = set()
+    for pair, conflicting in conflicts.items():
+        for other in conflicting:
+            key = frozenset((pair, other))
+            if key in added:
+                continue
+            added.add(key)
+            (i, j), (p, q) = pair, other
+            model.add_constraint(
+                b_vars[(i, j)]
+                + b_vars[(j, i)]
+                + b_vars[(p, q)]
+                + b_vars[(q, p)]
+                <= 1,
+                name=f"conflict_{i}_{j}_{p}_{q}",
+            )
+
+    # (4) minimize total Manhattan length.
+    objective = lin_sum(
+        var * points[i].manhattan(points[j]) for (i, j), var in b_vars.items()
+    )
+    model.minimize(objective)
+
+    options = {"time_limit": time_limit} if time_limit else {}
+    solution = model.solve(backend=backend, **options)
+    if not solution.is_optimal:
+        raise SolveError(f"ring MILP failed: {solution.status.value}")
+
+    selected = {
+        edge for edge, var in b_vars.items() if solution.value(var, as_int=True) == 1
+    }
+    cycles = _extract_cycles(selected, n)
+
+    # Heuristic sub-cycle merging (Fig. 6(f)): repeatedly splice the
+    # cheapest-to-merge pair of cycles until one tour remains.
+    while len(cycles) > 1:
+        best: tuple[float, int, int, list[int]] | None = None
+        for idx1, idx2 in itertools.combinations(range(len(cycles)), 2):
+            others = [
+                e
+                for k, cycle in enumerate(cycles)
+                if k not in (idx1, idx2)
+                for e in _cycle_edges(cycle)
+            ]
+            try:
+                merged, cost = _merge_two_cycles(
+                    cycles[idx1], cycles[idx2], points, others
+                )
+            except SolveError:
+                continue
+            if best is None or cost < best[0]:
+                best = (cost, idx1, idx2, merged)
+        if best is None:
+            raise SolveError("could not merge sub-cycles into one tour")
+        _, idx1, idx2, merged = best
+        cycles = [
+            cycle for k, cycle in enumerate(cycles) if k not in (idx1, idx2)
+        ]
+        cycles.append(merged)
+
+    order = cycles[0]
+    paths, crossing_count = _choose_realizations(order, points)
+
+    node_position: dict[int, float] = {}
+    travelled = 0.0
+    for k, node in enumerate(order):
+        node_position[node] = travelled
+        travelled += paths[k].length
+    return RingTour(
+        order=tuple(order),
+        edge_paths=tuple(paths),
+        points=tuple(points),
+        length_mm=travelled,
+        node_position_mm=node_position,
+        crossing_count=crossing_count,
+    )

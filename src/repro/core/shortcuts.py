@@ -1,0 +1,613 @@
+"""Step 2: shortcut construction (Sec. III-B).
+
+Nodes that are physically close but far apart along the ring get a
+chord ("shortcut") connecting their senders and receivers directly.  A
+shortcut between ``n_i`` and ``n_j`` is *feasible* when an L-shaped
+path between the two nodes crosses no ring waveguide; its *gain* is
+``min(len_cw, len_ccw) - len_shortcut``.  Shortcuts are selected
+greedily by gain, subject to:
+
+- at most one shortcut per node;
+- a shortcut may cross at most one other shortcut — the crossing is
+  then implemented with crossing switching elements, which additionally
+  route the two "inner" node pairs (Fig. 7), provided that also pays a
+  positive gain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry import (
+    Point,
+    RectilinearPath,
+    crossing_points,
+    l_routes,
+    paths_cross,
+)
+from repro.core.ring import RingTour
+
+
+class LegDirection(enum.Enum):
+    """Which of a shortcut's two waveguides a route leg uses."""
+
+    FORWARD = "forward"  # node_a -> node_b
+    BACKWARD = "backward"  # node_b -> node_a
+
+
+@dataclass(frozen=True)
+class ShortcutLeg:
+    """One leg of a shortcut-served route, in waveguide coordinates.
+
+    ``start_mm``/``end_mm`` are distances along the chosen waveguide of
+    shortcut ``shortcut_index`` in its propagation direction.
+    """
+
+    shortcut_index: int
+    direction: LegDirection
+    start_mm: float
+    end_mm: float
+
+
+@dataclass(frozen=True)
+class Shortcut:
+    """A selected shortcut chord between two ring nodes.
+
+    ``path`` runs from ``node_a``'s position to ``node_b``'s; the
+    physical implementation is a pair of parallel waveguides (one per
+    direction) sharing this geometry.  ``partner`` is the index of the
+    one shortcut this one crosses (or ``None``), and
+    ``crossing_point``/``crossing_dist_mm`` locate the CSE.
+    """
+
+    node_a: int
+    node_b: int
+    path: RectilinearPath
+    gain_mm: float
+    partner: int | None = None
+    crossing_point: Point | None = None
+    crossing_dist_mm: float | None = None
+
+    @property
+    def length_mm(self) -> float:
+        """Physical length of the shortcut waveguides."""
+        return self.path.length
+
+
+@dataclass
+class ShortcutPlan:
+    """The selected shortcuts and every node pair they serve.
+
+    ``served`` maps ordered pairs ``(src, dst)`` to the leg sequence
+    implementing them (one leg for direct shortcut signals, two legs
+    joined at a CSE for merged signals).
+    """
+
+    shortcuts: list[Shortcut] = field(default_factory=list)
+    served: dict[tuple[int, int], tuple[ShortcutLeg, ...]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def crossing_pairs(self) -> list[tuple[int, int]]:
+        """Indices of shortcut pairs that cross (each listed once)."""
+        pairs = []
+        for idx, shortcut in enumerate(self.shortcuts):
+            if shortcut.partner is not None and shortcut.partner > idx:
+                pairs.append((idx, shortcut.partner))
+        return pairs
+
+
+def _distance_along(path: RectilinearPath, point: Point) -> float:
+    """Distance from the path start to a point lying on the path."""
+    travelled = 0.0
+    for seg in path.segments:
+        if seg.contains_point(point):
+            return travelled + seg.a.manhattan(point)
+        travelled += seg.length
+    raise ValueError(f"point {point} not on path {path}")
+
+
+def _staircase_candidates(pa: Point, pb: Point) -> list[RectilinearPath]:
+    """Monotone staircase chords (same Manhattan length as an L).
+
+    Distant node pairs often have both plain L-shapes blocked by the
+    ring, while a two-bend staircase through the ring interior is
+    clear; trying a few split fractions costs nothing in length.
+    """
+    if abs(pa.x - pb.x) <= 1e-9 or abs(pa.y - pb.y) <= 1e-9:
+        return []
+    candidates = []
+    for fraction in (0.5, 0.25, 0.75):
+        y_mid = pa.y + (pb.y - pa.y) * fraction
+        x_mid = pa.x + (pb.x - pa.x) * fraction
+        candidates.append(
+            RectilinearPath((pa, Point(pa.x, y_mid), Point(pb.x, y_mid), pb))
+        )
+        candidates.append(
+            RectilinearPath((pa, Point(x_mid, pa.y), Point(x_mid, pb.y), pb))
+        )
+    return candidates
+
+
+def _chord_is_clean(tour: RingTour, chord: RectilinearPath, pa: Point, pb: Point) -> bool:
+    """True if the chord crosses the ring only within its attach zones.
+
+    Grid snapping lets a maze chord approach the ring within half a
+    routing pitch of its terminals; proper crossings there correspond
+    to the physical attachment taps, anything farther out is a real
+    illegal crossing.
+    """
+    for edge_path in tour.edge_paths:
+        for point in crossing_points(chord, edge_path, ignore=(pa, pb)):
+            if point.manhattan(pa) > 0.5 and point.manhattan(pb) > 0.5:
+                return False
+    return True
+
+
+def _feasible_realizations(
+    tour: RingTour, node_a: int, node_b: int
+) -> list[RectilinearPath]:
+    """Chord realizations (L or staircase) crossing no ring waveguide."""
+    pa = tour.points[node_a]
+    pb = tour.points[node_b]
+    feasible = []
+    for candidate in list(l_routes(pa, pb)) + _staircase_candidates(pa, pb):
+        if not any(
+            paths_cross(candidate, edge_path, ignore=(pa, pb))
+            for edge_path in tour.edge_paths
+        ):
+            feasible.append(candidate)
+    return feasible
+
+
+class _ChordMaze:
+    """Grid A* that finds chords avoiding the ring curve.
+
+    The ring is a simple closed rectilinear curve, so the region it
+    encloses is connected and *some* crossing-free chord always exists
+    between two ring nodes (Jordan curve theorem) — it just may need
+    more bends than an L or a staircase.  The maze router finds a
+    near-shortest one; its real routed length (not the Manhattan
+    distance) then feeds the gain function.
+    """
+
+    _PITCH = 0.2
+
+    def __init__(self, tour: RingTour) -> None:
+        self.tour = tour
+        points = [p for path in tour.edge_paths for p in path.points]
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        margin = 0.6
+        self.x0 = min(xs) - margin
+        self.y0 = min(ys) - margin
+        self.nx = int(round((max(xs) - min(xs) + 2 * margin) / self._PITCH)) + 1
+        self.ny = int(round((max(ys) - min(ys) + 2 * margin) / self._PITCH)) + 1
+        self._blocked = self._block_ring_edges()
+
+    def _vertex_point(self, v: tuple[int, int]) -> Point:
+        return Point(self.x0 + v[0] * self._PITCH, self.y0 + v[1] * self._PITCH)
+
+    def _snap(self, p: Point) -> tuple[int, int]:
+        ix = min(max(int(round((p.x - self.x0) / self._PITCH)), 0), self.nx - 1)
+        iy = min(max(int(round((p.y - self.y0) / self._PITCH)), 0), self.ny - 1)
+        return (ix, iy)
+
+    def _block_ring_edges(self) -> set[frozenset[tuple[int, int]]]:
+        """Grid edges that intersect any ring segment."""
+        return self.blocked_by_paths(self.tour.edge_paths)
+
+    def blocked_by_paths(self, paths) -> set[frozenset[tuple[int, int]]]:
+        """Grid edges intersecting any segment of the given paths."""
+        from repro.geometry.segment import IntersectionKind, Segment, classify_intersection
+
+        blocked: set[frozenset[tuple[int, int]]] = set()
+        pitch = self._PITCH
+        for path in paths:
+            for seg in path.segments:
+                lo_ix = max(int((min(seg.a.x, seg.b.x) - self.x0) / pitch) - 1, 0)
+                hi_ix = min(int((max(seg.a.x, seg.b.x) - self.x0) / pitch) + 2, self.nx - 1)
+                lo_iy = max(int((min(seg.a.y, seg.b.y) - self.y0) / pitch) - 1, 0)
+                hi_iy = min(int((max(seg.a.y, seg.b.y) - self.y0) / pitch) + 2, self.ny - 1)
+                for ix in range(lo_ix, hi_ix + 1):
+                    for iy in range(lo_iy, hi_iy + 1):
+                        a = self._vertex_point((ix, iy))
+                        for dx, dy in ((1, 0), (0, 1)):
+                            jx, jy = ix + dx, iy + dy
+                            if jx >= self.nx or jy >= self.ny:
+                                continue
+                            b = self._vertex_point((jx, jy))
+                            inter = classify_intersection(Segment(a, b), seg)
+                            if inter.kind is not IntersectionKind.DISJOINT:
+                                blocked.add(frozenset(((ix, iy), (jx, jy))))
+        return blocked
+
+    def chord(
+        self,
+        pa: Point,
+        pb: Point,
+        extra_blocked: set[frozenset[tuple[int, int]]] | None = None,
+    ) -> RectilinearPath | None:
+        """A near-shortest crossing-free chord from ``pa`` to ``pb``.
+
+        Grid edges within half a pitch of an endpoint are unblocked so
+        the chord can leave/enter the node where it sits on the ring.
+        ``extra_blocked`` adds obstacles (e.g. already-selected
+        shortcuts the new chord must not cross).
+        """
+        import heapq
+
+        blocked = (
+            self._blocked if not extra_blocked else self._blocked | extra_blocked
+        )
+        start, goal = self._snap(pa), self._snap(pb)
+        if start == goal:
+            return None
+
+        def near_terminal(v: tuple[int, int]) -> bool:
+            p = self._vertex_point(v)
+            return p.manhattan(pa) <= 0.45 or p.manhattan(pb) <= 0.45
+
+        best = {start: 0.0}
+        parent: dict[tuple[int, int], tuple[int, int]] = {}
+        gp = self._vertex_point(goal)
+        heap = [(self._vertex_point(start).manhattan(gp), start)]
+        found = False
+        while heap:
+            _, v = heapq.heappop(heap)
+            if v == goal:
+                found = True
+                break
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                w = (v[0] + dx, v[1] + dy)
+                if not (0 <= w[0] < self.nx and 0 <= w[1] < self.ny):
+                    continue
+                key = frozenset((v, w))
+                if key in blocked and not (near_terminal(v) or near_terminal(w)):
+                    continue
+                cost = best[v] + self._PITCH
+                if cost < best.get(w, float("inf")):
+                    best[w] = cost
+                    parent[w] = v
+                    heapq.heappush(
+                        heap, (cost + self._vertex_point(w).manhattan(gp), w)
+                    )
+        if not found:
+            return None
+        vertices = [goal]
+        v = goal
+        while v in parent:
+            v = parent[v]
+            vertices.append(v)
+        vertices.reverse()
+        points = [pa]
+        first = self._vertex_point(vertices[0])
+        points.append(Point(pa.x, first.y))
+        for v in vertices:
+            points.append(self._vertex_point(v))
+        last = self._vertex_point(vertices[-1])
+        points.append(Point(pb.x, last.y))
+        points.append(pb)
+        return _simplify(points)
+
+
+def _simplify(points: list[Point]) -> RectilinearPath:
+    """Drop redundant collinear vertices and build the path."""
+    cleaned: list[Point] = []
+    for p in points:
+        if cleaned and cleaned[-1].almost_equals(p):
+            continue
+        while len(cleaned) >= 2:
+            a, b = cleaned[-2], cleaned[-1]
+            same_col = abs(a.x - b.x) <= 1e-9 and abs(b.x - p.x) <= 1e-9
+            same_row = abs(a.y - b.y) <= 1e-9 and abs(b.y - p.y) <= 1e-9
+            if same_col or same_row:
+                cleaned.pop()
+            else:
+                break
+        cleaned.append(p)
+    return RectilinearPath(cleaned)
+
+
+def _ring_gain(tour: RingTour, node_a: int, node_b: int, chord_mm: float) -> float:
+    """Gain of serving (a, b) on the chord instead of the ring."""
+    best_ring = min(
+        tour.cw_distance(node_a, node_b), tour.ccw_distance(node_a, node_b)
+    )
+    return best_ring - chord_mm
+
+
+def select_shortcuts(
+    tour: RingTour,
+    *,
+    enabled: bool = True,
+    max_shortcuts: int | None = None,
+    loss=None,
+    selection: str = "gain",
+    demands: tuple[tuple[int, int], ...] | None = None,
+) -> ShortcutPlan:
+    """Greedy gain-driven shortcut selection with CSE merging.
+
+    ``enabled=False`` returns an empty plan (used by the shortcut
+    ablation study and by the ring baselines, which have no shortcuts).
+    ``loss`` (a :class:`~repro.photonics.parameters.LossParameters`)
+    makes the merge decisions loss-aware, per the paper's "only
+    introduce shortcuts when they benefit the network performance":
+    a CSE-merged inner pair costs one extra drop, so it is only served
+    when its propagation savings exceed the drop loss, and a crossing
+    between shortcuts is only accepted when the merged pairs' benefit
+    outweighs the crossing loss imposed on the direct signals.
+    ``selection`` orders the greedy pass: ``"gain"`` (the paper's rule:
+    largest length saving first) or ``"ring_length"`` (longest-suffering
+    pair first — attacks the worst-case path directly; exposed for the
+    ablation study).  ``demands`` restricts candidates and served pairs
+    to actual communication demands (``None`` means all-to-all, the
+    paper's traffic).
+    """
+    if selection not in ("gain", "ring_length"):
+        raise ValueError(f"unknown selection policy {selection!r}")
+    plan = ShortcutPlan()
+    if not enabled:
+        return plan
+
+    n = tour.size
+    demand_set = set(demands) if demands is not None else None
+    maze: _ChordMaze | None = None
+    candidates: list[tuple[float, int, int, list[RectilinearPath]]] = []
+    for node_a in range(n):
+        for node_b in range(node_a + 1, n):
+            if demand_set is not None and not (
+                (node_a, node_b) in demand_set or (node_b, node_a) in demand_set
+            ):
+                continue
+            realizations = _feasible_realizations(tour, node_a, node_b)
+            if not realizations:
+                # No straight chord exists; a maze-routed one always
+                # does (the ring interior is connected) — try it when
+                # the pair stands to gain substantially.
+                best_ring = min(
+                    tour.cw_distance(node_a, node_b),
+                    tour.ccw_distance(node_a, node_b),
+                )
+                manhattan = tour.points[node_a].manhattan(tour.points[node_b])
+                if best_ring - manhattan < 0.25 * best_ring:
+                    continue
+                if maze is None:
+                    maze = _ChordMaze(tour)
+                chord = maze.chord(tour.points[node_a], tour.points[node_b])
+                if chord is None or not _chord_is_clean(
+                    tour, chord, tour.points[node_a], tour.points[node_b]
+                ):
+                    continue
+                realizations = [chord]
+            gain = _ring_gain(
+                tour, node_a, node_b, realizations[0].length
+            )
+            if gain > 1e-9:
+                candidates.append((gain, node_a, node_b, realizations))
+    if selection == "gain":
+        candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+    else:  # ring_length: longest-suffering pairs first
+        candidates.sort(
+            key=lambda item: (
+                -min(
+                    tour.cw_distance(item[1], item[2]),
+                    tour.ccw_distance(item[1], item[2]),
+                ),
+                -item[0],
+            )
+        )
+
+    used_nodes: set[int] = set()
+    for gain, node_a, node_b, realizations in candidates:
+        if max_shortcuts is not None and len(plan.shortcuts) >= max_shortcuts:
+            break
+        if node_a in used_nodes or node_b in used_nodes:
+            continue
+        chosen = _choose_realization(plan, realizations)
+        if chosen is None:
+            # Every stored realization tangles with selected shortcuts;
+            # try a fresh maze chord that treats them as obstacles.
+            if maze is None:
+                maze = _ChordMaze(tour)
+            extra = maze.blocked_by_paths([s.path for s in plan.shortcuts])
+            retry = maze.chord(
+                tour.points[node_a], tour.points[node_b], extra_blocked=extra
+            )
+            if retry is None or _ring_gain(tour, node_a, node_b, retry.length) <= 1e-9:
+                continue
+            if not _chord_is_clean(
+                tour, retry, tour.points[node_a], tour.points[node_b]
+            ):
+                continue
+            if any(paths_cross(retry, s.path) for s in plan.shortcuts):
+                continue
+            gain = _ring_gain(tour, node_a, node_b, retry.length)
+            chosen = (retry, None)
+        path, partner = chosen
+        if partner is not None and loss is not None:
+            if not _crossing_is_worth_it(
+                tour, plan.shortcuts[partner], node_a, node_b, path, loss
+            ):
+                # Try a crossing-free realization instead, else skip.
+                clean = [
+                    r
+                    for r in realizations
+                    if not any(
+                        paths_cross(r, other.path) for other in plan.shortcuts
+                    )
+                ]
+                if not clean:
+                    continue
+                path, partner = clean[0], None
+        index = len(plan.shortcuts)
+        shortcut = Shortcut(node_a, node_b, path, gain)
+        if partner is not None:
+            other = plan.shortcuts[partner]
+            point = crossing_points(path, other.path)[0]
+            shortcut = Shortcut(
+                node_a,
+                node_b,
+                path,
+                gain,
+                partner=partner,
+                crossing_point=point,
+                crossing_dist_mm=_distance_along(path, point),
+            )
+            plan.shortcuts[partner] = Shortcut(
+                other.node_a,
+                other.node_b,
+                other.path,
+                other.gain_mm,
+                partner=index,
+                crossing_point=point,
+                crossing_dist_mm=_distance_along(other.path, point),
+            )
+        plan.shortcuts.append(shortcut)
+        used_nodes.update((node_a, node_b))
+
+    _register_served_pairs(plan, tour, loss, demand_set)
+    return plan
+
+
+def _cse_benefit_db(tour: RingTour, src: int, dst: int, route_mm: float, loss) -> float:
+    """dB benefit of serving (src, dst) through a CSE-merged route.
+
+    The merged route saves propagation over the best ring arc but
+    costs one extra MRR drop at the CSE.
+    """
+    best_ring = min(tour.cw_distance(src, dst), tour.ccw_distance(src, dst))
+    saved_mm = best_ring - route_mm
+    saved_db = (
+        loss.propagation(saved_mm) if saved_mm >= 0 else -loss.propagation(-saved_mm)
+    )
+    return saved_db - loss.drop_db
+
+
+def _crossing_is_worth_it(
+    tour: RingTour,
+    other: Shortcut,
+    node_a: int,
+    node_b: int,
+    path: RectilinearPath,
+    loss,
+) -> bool:
+    """Decide whether crossing ``other`` pays off in dB terms.
+
+    Costs: the four direct signals (both directions of both shortcuts)
+    each traverse one new crossing.  Gains: the merged inner pairs that
+    would clear the per-pair benefit bar.
+    """
+    points = crossing_points(path, other.path)
+    if not points:
+        return False
+    d_new = _distance_along(path, points[0])
+    d_other = _distance_along(other.path, points[0])
+    len_new, len_other = path.length, other.path.length
+    candidate_routes = [
+        (node_a, other.node_b, d_new + (len_other - d_other)),
+        (other.node_b, node_a, d_new + (len_other - d_other)),
+        (other.node_a, node_b, d_other + (len_new - d_new)),
+        (node_b, other.node_a, d_other + (len_new - d_new)),
+    ]
+    gain = sum(
+        max(0.0, _cse_benefit_db(tour, src, dst, route_mm, loss))
+        for src, dst, route_mm in candidate_routes
+    )
+    cost = 4 * loss.crossing_db
+    return gain > cost
+
+
+def _choose_realization(
+    plan: ShortcutPlan, realizations: list[RectilinearPath]
+) -> tuple[RectilinearPath, int | None] | None:
+    """Pick a realization crossing at most one partner-free shortcut.
+
+    Prefers a crossing-free realization; otherwise one crossing exactly
+    one already-selected shortcut that has no partner yet.  Returns
+    ``None`` when every realization violates the crossing budget.
+    """
+    best: tuple[RectilinearPath, int | None] | None = None
+    for candidate in realizations:
+        crossed = [
+            idx
+            for idx, other in enumerate(plan.shortcuts)
+            if paths_cross(candidate, other.path)
+        ]
+        if not crossed:
+            return candidate, None
+        if len(crossed) == 1 and plan.shortcuts[crossed[0]].partner is None:
+            proper = crossing_points(candidate, plan.shortcuts[crossed[0]].path)
+            if proper and best is None:
+                best = (candidate, crossed[0])
+    return best
+
+
+def _register_served_pairs(
+    plan: ShortcutPlan, tour: RingTour, loss=None, demand_set=None
+) -> None:
+    """Record every demanded node pair the plan serves, with leg geometry."""
+
+    def demanded(src: int, dst: int) -> bool:
+        return demand_set is None or (src, dst) in demand_set
+
+    for idx, shortcut in enumerate(plan.shortcuts):
+        a, b = shortcut.node_a, shortcut.node_b
+        length = shortcut.length_mm
+        if demanded(a, b):
+            plan.served[(a, b)] = (
+                ShortcutLeg(idx, LegDirection.FORWARD, 0.0, length),
+            )
+        if demanded(b, a):
+            plan.served[(b, a)] = (
+                ShortcutLeg(idx, LegDirection.BACKWARD, 0.0, length),
+            )
+
+    for idx1, idx2 in plan.crossing_pairs:
+        s1 = plan.shortcuts[idx1]
+        s2 = plan.shortcuts[idx2]
+        assert s1.crossing_dist_mm is not None
+        assert s2.crossing_dist_mm is not None
+        d1, d2 = s1.crossing_dist_mm, s2.crossing_dist_mm
+        len1, len2 = s1.length_mm, s2.length_mm
+        # Merged "inner" pairs (Fig. 7): (s1.a, s2.b) and (s2.a, s1.b),
+        # each in both directions, provided the CSE route still beats
+        # the ring.
+        merged = [
+            # src, dst, first (shortcut, dir, start, end), second leg
+            (
+                s1.node_a,
+                s2.node_b,
+                ShortcutLeg(idx1, LegDirection.FORWARD, 0.0, d1),
+                ShortcutLeg(idx2, LegDirection.FORWARD, d2, len2),
+            ),
+            (
+                s2.node_b,
+                s1.node_a,
+                ShortcutLeg(idx2, LegDirection.BACKWARD, 0.0, len2 - d2),
+                ShortcutLeg(idx1, LegDirection.BACKWARD, len1 - d1, len1),
+            ),
+            (
+                s2.node_a,
+                s1.node_b,
+                ShortcutLeg(idx2, LegDirection.FORWARD, 0.0, d2),
+                ShortcutLeg(idx1, LegDirection.FORWARD, d1, len1),
+            ),
+            (
+                s1.node_b,
+                s2.node_a,
+                ShortcutLeg(idx1, LegDirection.BACKWARD, 0.0, len1 - d1),
+                ShortcutLeg(idx2, LegDirection.BACKWARD, len2 - d2, len2),
+            ),
+        ]
+        for src, dst, leg1, leg2 in merged:
+            if not demanded(src, dst):
+                continue
+            route_mm = (leg1.end_mm - leg1.start_mm) + (leg2.end_mm - leg2.start_mm)
+            if loss is not None:
+                if _cse_benefit_db(tour, src, dst, route_mm, loss) > 1e-9:
+                    plan.served[(src, dst)] = (leg1, leg2)
+            elif _ring_gain(tour, src, dst, route_mm) > 1e-9:
+                plan.served[(src, dst)] = (leg1, leg2)

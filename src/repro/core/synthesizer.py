@@ -1,0 +1,124 @@
+"""Top-level XRing synthesis flow.
+
+:class:`XRingSynthesizer` runs the paper's four steps in order on a
+:class:`~repro.network.Network` and returns an
+:class:`~repro.core.design.XRingDesign`.  :class:`SynthesisOptions`
+exposes every knob the experiments and ablations need (wavelength
+budget, shortcut/opening toggles, PDN mode, MILP backend).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.design import XRingDesign
+from repro.core.mapping import map_signals
+from repro.core.pdn import build_pdn
+from repro.core.ring import RingTour, construct_ring_tour
+from repro.core.shortcuts import ShortcutPlan, select_shortcuts
+from repro.network import Network
+from repro.photonics.parameters import ORING_LOSSES, LossParameters
+
+
+@dataclass
+class SynthesisOptions:
+    """Configuration of one synthesis run.
+
+    ``wl_budget=None`` defaults to the node count N, the paper's
+    typical best setting; experiments sweep this value explicitly.
+    ``pdn_mode`` may be ``"internal"`` (XRing), ``"external"``
+    (baseline-style, crossings counted) or ``None`` (no PDN, Table I).
+    """
+
+    wl_budget: int | None = None
+    #: Step-1 algorithm: "milp" (the paper's exact model) or
+    #: "heuristic" (nearest-neighbour + 2-opt + conflict repair, for
+    #: networks beyond the paper's 32 nodes).
+    ring_method: str = "milp"
+    enable_shortcuts: bool = True
+    shortcut_selection: str = "gain"
+    enable_openings: bool = True
+    pdn_mode: str | None = "internal"
+    mapping_order: str = "length"
+    direction_policy: str = "shortest"
+    milp_backend: str = "auto"
+    milp_time_limit: float | None = None
+    loss: LossParameters = field(default_factory=lambda: ORING_LOSSES)
+    label: str = "xring"
+
+
+class XRingSynthesizer:
+    """Runs Steps 1-4 on a network."""
+
+    def __init__(self, network: Network, options: SynthesisOptions | None = None):
+        self.network = network
+        self.options = options or SynthesisOptions()
+
+    def run(self, tour: RingTour | None = None) -> XRingDesign:
+        """Synthesize the router; ``tour`` may be supplied to reuse a
+        previously constructed ring (the experiments share Step 1
+        between XRing and the ring baselines, as the paper does for
+        ORNoC)."""
+        opts = self.options
+        started = time.perf_counter()
+
+        if tour is None:
+            if opts.ring_method == "milp":
+                tour = construct_ring_tour(
+                    list(self.network.positions),
+                    backend=opts.milp_backend,
+                    time_limit=opts.milp_time_limit,
+                )
+            elif opts.ring_method == "heuristic":
+                from repro.core.heuristic_ring import construct_ring_tour_heuristic
+
+                tour = construct_ring_tour_heuristic(list(self.network.positions))
+            else:
+                raise ValueError(f"unknown ring method {opts.ring_method!r}")
+
+        shortcut_plan = select_shortcuts(
+            tour,
+            enabled=opts.enable_shortcuts,
+            loss=opts.loss,
+            selection=opts.shortcut_selection,
+            demands=self.network.demands(),
+        )
+
+        wl_budget = opts.wl_budget or self.network.size
+        mapping = map_signals(
+            tour,
+            self.network.demands(),
+            shortcut_plan,
+            wl_budget,
+            open_rings=opts.enable_openings,
+            order=opts.mapping_order,
+            direction_policy=opts.direction_policy,
+        )
+
+        pdn = None
+        if opts.pdn_mode is not None:
+            pdn = build_pdn(
+                tour,
+                mapping,
+                shortcut_plan,
+                opts.loss,
+                self.network.bounding_box(),
+                mode=opts.pdn_mode,
+            )
+
+        elapsed = time.perf_counter() - started
+        return XRingDesign(
+            network=self.network,
+            tour=tour,
+            shortcut_plan=shortcut_plan,
+            mapping=mapping,
+            pdn=pdn,
+            synthesis_time_s=elapsed,
+            label=opts.label,
+        )
+
+
+def synthesize(network: Network, **option_kwargs) -> XRingDesign:
+    """One-call convenience API: ``synthesize(network, wl_budget=14)``."""
+    return XRingSynthesizer(network, SynthesisOptions(**option_kwargs)).run()

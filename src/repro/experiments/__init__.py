@@ -1,0 +1,43 @@
+"""Experiment harnesses regenerating the paper's tables.
+
+- :mod:`repro.experiments.table1` — Table I: 8/16-node routers without
+  PDNs (three crossbar tool/topology pairs + ORNoC, ORing, XRing).
+- :mod:`repro.experiments.table2` — Table II: ORNoC vs XRing with PDNs
+  for 8/16/32 nodes, min-power and max-SNR #wl settings.
+- :mod:`repro.experiments.table3` — Table III: ORing vs XRing, 16
+  nodes, min-power and max-SNR settings.
+- :mod:`repro.experiments.ablations` — shortcut/opening ablations and
+  the #wl sweep behind the tables' "best setting" methodology.
+
+Every harness returns plain row dataclasses and offers a
+``format_*`` helper that prints the same columns as the paper.
+"""
+
+from repro.experiments.common import RingRouterRow, best_setting, sweep_ring_router
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.table2 import run_table2, format_table2
+from repro.experiments.table3 import run_table3, format_table3
+from repro.experiments.ablations import (
+    run_shortcut_ablation,
+    run_wavelength_sweep,
+    format_ablation,
+)
+from repro.experiments.scaling import ScalingRow, format_scaling, run_scaling
+
+__all__ = [
+    "RingRouterRow",
+    "sweep_ring_router",
+    "best_setting",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "run_table3",
+    "format_table3",
+    "run_shortcut_ablation",
+    "run_wavelength_sweep",
+    "format_ablation",
+    "ScalingRow",
+    "run_scaling",
+    "format_scaling",
+]

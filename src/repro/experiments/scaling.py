@@ -1,0 +1,106 @@
+"""Scaling study beyond the paper's 32 nodes (extension experiment E6).
+
+The paper's conclusion highlights computational efficiency ("within
+one second" including the PDN).  This harness measures how both Step-1
+algorithms — the exact MILP and the heuristic construction
+(:mod:`repro.core.heuristic_ring`) — scale with network size, and how
+the synthesized quality (tour length, worst-case insertion loss,
+laser power) tracks between them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.design import XRingDesign
+from repro.core.heuristic_ring import construct_ring_tour_heuristic
+from repro.core.ring import construct_ring_tour
+from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.experiments.common import RingRouterRow, evaluate_design
+from repro.network import Network
+from repro.network.placement import extended_placement, psion_placement
+from repro.photonics.parameters import (
+    NIKDAST_CROSSTALK,
+    ORING_LOSSES,
+    CrosstalkParameters,
+    LossParameters,
+)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One (size, method) measurement."""
+
+    num_nodes: int
+    method: str
+    tour_length_mm: float
+    tour_time_s: float
+    total_time_s: float
+    row: RingRouterRow
+
+
+def _network(num_nodes: int) -> Network:
+    try:
+        points, die = psion_placement(num_nodes)
+    except ValueError:
+        points, die = extended_placement(num_nodes)
+    return Network.from_positions(points, die=die)
+
+
+def run_scaling(
+    sizes: tuple[int, ...] = (8, 16, 32, 64),
+    methods: tuple[str, ...] = ("milp", "heuristic"),
+    milp_limit: int = 32,
+    loss: LossParameters = ORING_LOSSES,
+    xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
+) -> list[ScalingRow]:
+    """Measure synthesis time and quality per size and method.
+
+    The MILP is skipped above ``milp_limit`` nodes (its conflict-set
+    construction grows quartically with N).
+    """
+    rows: list[ScalingRow] = []
+    for num_nodes in sizes:
+        network = _network(num_nodes)
+        for method in methods:
+            if method == "milp" and num_nodes > milp_limit:
+                continue
+            started = time.perf_counter()
+            if method == "milp":
+                tour = construct_ring_tour(list(network.positions))
+            else:
+                tour = construct_ring_tour_heuristic(list(network.positions))
+            tour_time = time.perf_counter() - started
+
+            design: XRingDesign = XRingSynthesizer(
+                network, SynthesisOptions(wl_budget=num_nodes, loss=loss)
+            ).run(tour=tour)
+            total_time = time.perf_counter() - started
+            rows.append(
+                ScalingRow(
+                    num_nodes=num_nodes,
+                    method=method,
+                    tour_length_mm=tour.length_mm,
+                    tour_time_s=tour_time,
+                    total_time_s=total_time,
+                    row=evaluate_design(design, loss, xtalk),
+                )
+            )
+    return rows
+
+
+def format_scaling(rows: list[ScalingRow]) -> str:
+    """Pretty-print the scaling study."""
+    header = (
+        f"{'N':>4}{'method':>11}{'ring(mm)':>10}{'t_tour(s)':>11}"
+        f"{'t_total(s)':>11}{'il_w':>7}{'P(W)':>9}{'#s':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for item in rows:
+        lines.append(
+            f"{item.num_nodes:>4}{item.method:>11}{item.tour_length_mm:>10.1f}"
+            f"{item.tour_time_s:>11.2f}{item.total_time_s:>11.2f}"
+            f"{item.row.il_w:>7.2f}{item.row.power_w:>9.3f}{item.row.noisy:>5}"
+        )
+    return "\n".join(lines)

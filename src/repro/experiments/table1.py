@@ -1,0 +1,112 @@
+"""Table I: 8- and 16-node WRONoC routers without PDNs.
+
+Rows, as in the paper: PROTON+/λ-router, PlanarONoC/λ-router,
+ToPro/GWOR (8 nodes) or ToPro/Light (16 nodes), then the ring routers
+ORNoC, ORing and XRing (no PDN, #wl swept for minimum worst-case
+insertion loss).  Columns: #wl, il_w (dB), L (mm), C, T (s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.crossbar import Gwor, LambdaRouter, Light
+from repro.baselines.tools import PLANARONOC, PROTON_PLUS, TOPRO, evaluate_crossbar
+from repro.core.ring import construct_ring_tour
+from repro.experiments.common import RingRouterRow, best_setting, sweep_ring_router
+from repro.network import Network
+from repro.network.placement import proton_placement
+from repro.photonics.parameters import PROTON_LOSSES, LossParameters
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One Table I row (no power / SNR columns)."""
+
+    tool: str
+    router: str
+    wl: int
+    il_w: float
+    length_mm: float
+    crossings: int
+    time_s: float
+
+
+def _crossbar_rows(network: Network, loss: LossParameters) -> list[Table1Row]:
+    n = network.size
+    topro_topology = Gwor(n) if n == 8 else Light(n)
+    combos = [
+        ("Proton+", LambdaRouter(n), PROTON_PLUS),
+        ("PlanarONoC", LambdaRouter(n), PLANARONOC),
+        ("ToPro", topro_topology, TOPRO),
+    ]
+    rows = []
+    for tool_name, topology, config in combos:
+        evaluation = evaluate_crossbar(topology, network, config, loss)
+        rows.append(
+            Table1Row(
+                tool=tool_name,
+                router=topology.name,
+                wl=evaluation.wl_count,
+                il_w=evaluation.il_w,
+                length_mm=evaluation.worst_length_mm,
+                crossings=evaluation.worst_crossings,
+                time_s=evaluation.synthesis_time_s,
+            )
+        )
+    return rows
+
+
+def _ring_row(label: str, row: RingRouterRow) -> Table1Row:
+    return Table1Row(
+        tool=label,
+        router="ring",
+        wl=row.wl,
+        il_w=row.il_w,
+        length_mm=row.length_mm,
+        crossings=row.crossings,
+        time_s=row.time_s,
+    )
+
+
+def run_table1(
+    num_nodes: int,
+    loss: LossParameters = PROTON_LOSSES,
+    budgets: list[int] | None = None,
+) -> list[Table1Row]:
+    """Regenerate one half of Table I (``num_nodes`` in {8, 16}).
+
+    Ring routers are evaluated without PDNs ("for a fair comparison,
+    we do not perform PDN design", Sec. IV-A) and swept over #wl for
+    minimum worst-case insertion loss.
+    """
+    positions, die = proton_placement(num_nodes)
+    network = Network.from_positions(positions, die=die)
+    rows = _crossbar_rows(network, loss)
+
+    tour = construct_ring_tour(list(network.positions))
+    for kind in ("ornoc", "oring", "xring"):
+        sweep = sweep_ring_router(
+            network,
+            kind,
+            budgets,
+            tour=tour,
+            loss=loss,
+            xtalk=None,
+            pdn=False,
+        )
+        rows.append(_ring_row(kind.capitalize(), best_setting(sweep, "il")))
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Pretty-print rows with the paper's column layout."""
+    header = f"{'Tool/Method':<14}{'Router':<16}{'#wl':>4}{'il_w':>8}{'L':>8}{'C':>6}{'T':>9}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.tool:<14}{row.router:<16}{row.wl:>4}"
+            f"{row.il_w:>8.2f}{row.length_mm:>8.1f}{row.crossings:>6}"
+            f"{row.time_s:>9.2f}"
+        )
+    return "\n".join(lines)

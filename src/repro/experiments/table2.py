@@ -1,0 +1,95 @@
+"""Table II: ORNoC vs XRing with PDNs (8-, 16-, 32-node networks).
+
+For each network size, both routers share the Step-1 ring tour (the
+paper synthesizes ORNoC "based on our ring waveguide connection
+results") and sweep #wl; the reported settings are the ones minimizing
+laser power and maximizing worst-case SNR (at 16 and 32 nodes the same
+setting wins both objectives in the paper, and the harness reports
+whichever rows the sweep selects).  Columns: #wl, il*_w, L, C, P (W),
+#s, SNR_w (dB), T (s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ring import construct_ring_tour
+from repro.experiments.common import (
+    RingRouterRow,
+    best_setting,
+    sweep_ring_router,
+)
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.photonics.parameters import (
+    NIKDAST_CROSSTALK,
+    ORING_LOSSES,
+    CrosstalkParameters,
+    LossParameters,
+)
+
+
+@dataclass(frozen=True)
+class Table2Block:
+    """One objective block of Table II (min power / max SNR)."""
+
+    num_nodes: int
+    objective: str
+    ornoc: RingRouterRow
+    xring: RingRouterRow
+
+
+def run_table2(
+    sizes: tuple[int, ...] = (8, 16, 32),
+    loss: LossParameters = ORING_LOSSES,
+    xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
+    budgets: dict[int, list[int]] | None = None,
+) -> list[Table2Block]:
+    """Regenerate Table II for the requested network sizes."""
+    blocks: list[Table2Block] = []
+    for num_nodes in sizes:
+        positions, die = psion_placement(num_nodes)
+        network = Network.from_positions(positions, die=die)
+        tour = construct_ring_tour(list(network.positions))
+        size_budgets = budgets.get(num_nodes) if budgets else None
+        sweeps = {
+            kind: sweep_ring_router(
+                network,
+                kind,
+                size_budgets,
+                tour=tour,
+                loss=loss,
+                xtalk=xtalk,
+                pdn=True,
+            )
+            for kind in ("ornoc", "xring")
+        }
+        for objective in ("power", "snr"):
+            blocks.append(
+                Table2Block(
+                    num_nodes=num_nodes,
+                    objective=objective,
+                    ornoc=best_setting(sweeps["ornoc"], objective),
+                    xring=best_setting(sweeps["xring"], objective),
+                )
+            )
+    return blocks
+
+
+def format_table2(blocks: list[Table2Block]) -> str:
+    """Pretty-print Table II blocks with the paper's columns."""
+    header = (
+        f"{'Setting':<28}{'Router':<8}{'#wl':>4}{'il*_w':>8}{'L':>8}"
+        f"{'C':>5}{'P':>9}{'#s':>5}{'SNR_w':>7}{'T':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for block in blocks:
+        setting = f"{block.num_nodes}-node, {block.objective}"
+        for name, row in (("ORNoC", block.ornoc), ("XRing", block.xring)):
+            lines.append(
+                f"{setting:<28}{name:<8}{row.wl:>4}{row.il_w:>8.2f}"
+                f"{row.length_mm:>8.1f}{row.crossings:>5}{row.power_w:>9.3f}"
+                f"{row.noisy:>5}{row.snr_text:>7}{row.time_s:>8.2f}"
+            )
+            setting = ""
+    return "\n".join(lines)

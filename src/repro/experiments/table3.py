@@ -1,0 +1,77 @@
+"""Table III: ORing vs XRing with PDNs, 16-node network.
+
+Same columns as Table II; the two settings reported are the #wl that
+minimizes laser power and the one that maximizes worst-case SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ring import construct_ring_tour
+from repro.experiments.common import (
+    RingRouterRow,
+    best_setting,
+    sweep_ring_router,
+)
+from repro.network import Network
+from repro.network.placement import oring_placement
+from repro.photonics.parameters import (
+    NIKDAST_CROSSTALK,
+    ORING_LOSSES,
+    CrosstalkParameters,
+    LossParameters,
+)
+
+
+@dataclass(frozen=True)
+class Table3Block:
+    """One objective block of Table III."""
+
+    objective: str
+    oring: RingRouterRow
+    xring: RingRouterRow
+
+
+def run_table3(
+    loss: LossParameters = ORING_LOSSES,
+    xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
+    budgets: list[int] | None = None,
+) -> list[Table3Block]:
+    """Regenerate Table III (16-node, ORing node positions)."""
+    positions, die = oring_placement()
+    network = Network.from_positions(positions, die=die)
+    tour = construct_ring_tour(list(network.positions))
+    sweeps = {
+        kind: sweep_ring_router(
+            network, kind, budgets, tour=tour, loss=loss, xtalk=xtalk, pdn=True
+        )
+        for kind in ("oring", "xring")
+    }
+    return [
+        Table3Block(
+            objective=objective,
+            oring=best_setting(sweeps["oring"], objective),
+            xring=best_setting(sweeps["xring"], objective),
+        )
+        for objective in ("power", "snr")
+    ]
+
+
+def format_table3(blocks: list[Table3Block]) -> str:
+    """Pretty-print Table III blocks with the paper's columns."""
+    header = (
+        f"{'Setting':<18}{'Router':<8}{'#wl':>4}{'il*_w':>8}{'L':>8}"
+        f"{'C':>5}{'P':>9}{'#s':>5}{'SNR_w':>7}{'T':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for block in blocks:
+        setting = f"16-node, {block.objective}"
+        for name, row in (("ORing", block.oring), ("XRing", block.xring)):
+            lines.append(
+                f"{setting:<18}{name:<8}{row.wl:>4}{row.il_w:>8.2f}"
+                f"{row.length_mm:>8.1f}{row.crossings:>5}{row.power_w:>9.3f}"
+                f"{row.noisy:>5}{row.snr_text:>7}{row.time_s:>8.2f}"
+            )
+            setting = ""
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Rectilinear geometry substrate for WRONoC physical design.
+
+All waveguides in this reproduction are routed rectilinearly (horizontal
+and vertical segments only), matching the paper's assumption that "
+waveguides are routed either horizontally or vertically" (Sec. III-A).
+The package provides:
+
+- :class:`Point` — immutable 2-D points with Manhattan metrics.
+- :class:`Segment` — axis-aligned segments with exact intersection
+  classification (disjoint / point touch / proper crossing / collinear
+  overlap).
+- :class:`RectilinearPath` — polylines of axis-aligned segments, plus the
+  two canonical L-shaped realizations of a two-pin connection.
+- Crossing predicates used by the XRing MILP: :func:`paths_cross`,
+  :func:`count_crossings`, :func:`edges_conflict`,
+  :func:`edge_realizations`.
+- :class:`BBox` — axis-aligned bounding boxes.
+
+Coordinates are floats in millimetres throughout the library; a global
+tolerance :data:`EPS` guards float comparisons.
+"""
+
+from repro.geometry.point import EPS, Point, manhattan
+from repro.geometry.segment import (
+    Intersection,
+    IntersectionKind,
+    Segment,
+    classify_intersection,
+)
+from repro.geometry.path import RectilinearPath, distance_along, l_route, l_routes
+from repro.geometry.crossing import (
+    count_crossings,
+    crossing_points,
+    edge_realizations,
+    edges_conflict,
+    paths_cross,
+)
+from repro.geometry.bbox import BBox
+from repro.geometry.polygon import RectilinearPolygon
+
+__all__ = [
+    "EPS",
+    "Point",
+    "manhattan",
+    "Segment",
+    "Intersection",
+    "IntersectionKind",
+    "classify_intersection",
+    "RectilinearPath",
+    "distance_along",
+    "l_route",
+    "l_routes",
+    "paths_cross",
+    "count_crossings",
+    "crossing_points",
+    "edges_conflict",
+    "edge_realizations",
+    "BBox",
+    "RectilinearPolygon",
+]

@@ -1,0 +1,80 @@
+"""Axis-aligned bounding boxes for floorplan bookkeeping."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.geometry.point import EPS, Point
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmax < self.xmin - EPS or self.ymax < self.ymin - EPS:
+            raise ValueError("empty bounding box")
+
+    @classmethod
+    def of_points(cls, points: Iterable[Point]) -> "BBox":
+        """Smallest box containing all ``points`` (non-empty)."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("no points given")
+        return cls(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.ymax - self.ymin
+
+    @property
+    def center(self) -> Point:
+        """Geometric centre of the box."""
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def half_perimeter(self) -> float:
+        """Half-perimeter wirelength (HPWL) of the box."""
+        return self.width + self.height
+
+    def contains(self, p: Point, tol: float = EPS) -> bool:
+        """True if ``p`` is inside or on the boundary."""
+        return (
+            self.xmin - tol <= p.x <= self.xmax + tol
+            and self.ymin - tol <= p.y <= self.ymax + tol
+        )
+
+    def inflate(self, margin: float) -> "BBox":
+        """Return the box grown by ``margin`` on every side."""
+        return BBox(
+            self.xmin - margin,
+            self.ymin - margin,
+            self.xmax + margin,
+            self.ymax + margin,
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest box containing both boxes."""
+        return BBox(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )

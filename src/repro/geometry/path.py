@@ -1,0 +1,140 @@
+"""Rectilinear polylines and L-shaped two-pin routes.
+
+Sec. III-A of the paper considers exactly two routing options for a
+waveguide between two nodes: vertical-then-horizontal or
+horizontal-then-vertical (Fig. 6(b)).  :func:`l_routes` enumerates those
+realizations; axis-aligned node pairs have a single straight
+realization.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.geometry.point import EPS, Point
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class RectilinearPath:
+    """An open polyline made of axis-aligned segments.
+
+    ``points`` are the polyline vertices in order.  Consecutive
+    duplicate vertices are dropped at construction so that every stored
+    segment has positive length; the path must contain at least two
+    distinct vertices and every leg must be axis-aligned.
+    """
+
+    points: tuple[Point, ...]
+    _segments: tuple[Segment, ...] = field(init=False, repr=False, compare=False)
+
+    def __init__(self, points: Iterable[Point]):
+        cleaned: list[Point] = []
+        for p in points:
+            if cleaned and cleaned[-1].almost_equals(p):
+                continue
+            cleaned.append(p)
+        if len(cleaned) < 2:
+            raise ValueError("a path needs at least two distinct points")
+        object.__setattr__(self, "points", tuple(cleaned))
+        segments = tuple(
+            Segment(a, b) for a, b in zip(cleaned, cleaned[1:])
+        )
+        object.__setattr__(self, "_segments", segments)
+
+    @property
+    def start(self) -> Point:
+        """First vertex of the path."""
+        return self.points[0]
+
+    @property
+    def end(self) -> Point:
+        """Last vertex of the path."""
+        return self.points[-1]
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        """The axis-aligned legs of the path, in order."""
+        return self._segments
+
+    @property
+    def length(self) -> float:
+        """Total path length (sum of leg lengths)."""
+        return sum(s.length for s in self._segments)
+
+    @property
+    def bend_count(self) -> int:
+        """Number of 90-degree bends along the path.
+
+        Bends matter physically: every bend adds a small bending loss
+        (see :mod:`repro.photonics.parameters`).
+        """
+        bends = 0
+        for s1, s2 in zip(self._segments, self._segments[1:]):
+            if s1.is_horizontal != s2.is_horizontal:
+                bends += 1
+        return bends
+
+    def contains_point(self, p: Point, tol: float = EPS) -> bool:
+        """True if ``p`` lies on any leg of the path."""
+        return any(s.contains_point(p, tol) for s in self._segments)
+
+    def reversed(self) -> "RectilinearPath":
+        """Return the path traversed in the opposite direction."""
+        return RectilinearPath(tuple(reversed(self.points)))
+
+    def concat(self, other: "RectilinearPath") -> "RectilinearPath":
+        """Concatenate ``other`` onto this path.
+
+        ``other`` must start where this path ends.
+        """
+        if not self.end.almost_equals(other.start):
+            raise ValueError(
+                f"cannot concat: {self.end} != {other.start}"
+            )
+        return RectilinearPath(self.points + other.points[1:])
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " -> ".join(str(p) for p in self.points)
+
+
+def distance_along(path: RectilinearPath, point: Point) -> float:
+    """Distance from the path start to a point lying on the path.
+
+    Raises ``ValueError`` when the point is not on the path.  Used to
+    locate crossing points (CSEs, PDN crossings) in waveguide
+    coordinates.
+    """
+    travelled = 0.0
+    for seg in path.segments:
+        if seg.contains_point(point):
+            return travelled + seg.a.manhattan(point)
+        travelled += seg.length
+    raise ValueError(f"point {point} does not lie on the path")
+
+
+def l_route(a: Point, b: Point, vertical_first: bool) -> RectilinearPath:
+    """Return one L-shaped route from ``a`` to ``b``.
+
+    With ``vertical_first`` the route first moves vertically to ``b``'s
+    row and then horizontally; otherwise horizontally first.  If the two
+    points share a row or column the result degenerates to the single
+    straight segment (both options coincide).
+    """
+    corner = Point(a.x, b.y) if vertical_first else Point(b.x, a.y)
+    return RectilinearPath((a, corner, b))
+
+
+def l_routes(a: Point, b: Point) -> tuple[RectilinearPath, ...]:
+    """Return all distinct L-shaped realizations between ``a`` and ``b``.
+
+    Two realizations for generic point pairs (Fig. 6(b) in the paper);
+    a single straight realization when the points are axis-aligned.
+    """
+    if abs(a.x - b.x) <= EPS or abs(a.y - b.y) <= EPS:
+        return (RectilinearPath((a, b)),)
+    return (l_route(a, b, vertical_first=True), l_route(a, b, vertical_first=False))

@@ -1,0 +1,61 @@
+"""Immutable 2-D points and Manhattan metrics.
+
+The paper measures every waveguide length as the Manhattan distance
+between its two terminals (Sec. III-A, objective (4)), so the Manhattan
+metric is the fundamental distance in this library.  Coordinates are in
+millimetres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Absolute tolerance for float coordinate comparisons.  Node positions
+#: and routing grids in the evaluated networks are on a 0.1 mm-or-coarser
+#: raster, so 1e-9 mm is far below any meaningful geometric feature.
+EPS: float = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the chip plane (millimetre coordinates)."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Return the Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def euclidean(self, other: "Point") -> float:
+        """Return the Euclidean (L2) distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint of the straight segment to ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def almost_equals(self, other: "Point", tol: float = EPS) -> bool:
+        """Return True if both coordinates match within ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return the point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x:g}, {self.y:g})"
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Module-level convenience alias for :meth:`Point.manhattan`."""
+    return a.manhattan(b)

@@ -1,0 +1,97 @@
+"""Closed rectilinear polygons (the ring outline as a region).
+
+The synthesized ring is a simple closed rectilinear curve; several
+properties the paper relies on are statements about the *region* it
+encloses — shortcut chords run through the interior, the PDN gap sits
+between nested offsets, openings connect interior to exterior.  This
+module provides the region view: point containment (even-odd ray
+casting specialized to axis-aligned edges), the enclosed area
+(shoelace), and construction from a ring tour's edge paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.geometry.point import EPS, Point
+from repro.geometry.segment import Segment
+
+
+class RectilinearPolygon:
+    """A simple closed polygon with axis-aligned edges."""
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        cleaned: list[Point] = []
+        for p in vertices:
+            if cleaned and cleaned[-1].almost_equals(p):
+                continue
+            cleaned.append(p)
+        if len(cleaned) >= 2 and cleaned[0].almost_equals(cleaned[-1]):
+            cleaned.pop()
+        if len(cleaned) < 4:
+            raise ValueError("a rectilinear polygon needs at least 4 vertices")
+        for a, b in zip(cleaned, cleaned[1:] + cleaned[:1]):
+            if abs(a.x - b.x) > EPS and abs(a.y - b.y) > EPS:
+                raise ValueError(f"edge {a}-{b} is not axis-aligned")
+        self.vertices: tuple[Point, ...] = tuple(cleaned)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable) -> "RectilinearPolygon":
+        """Build from consecutive edge paths forming a closed curve.
+
+        Accepts the ``edge_paths`` of a
+        :class:`~repro.core.ring.RingTour`: each path's end must meet
+        the next path's start.
+        """
+        vertices: list[Point] = []
+        for path in paths:
+            for p in path.points[:-1]:
+                vertices.append(p)
+        return cls(vertices)
+
+    @property
+    def edges(self) -> list[Segment]:
+        """The polygon's boundary segments, in order."""
+        cycle = list(self.vertices) + [self.vertices[0]]
+        return [Segment(a, b) for a, b in zip(cycle, cycle[1:])]
+
+    def area(self) -> float:
+        """Enclosed area via the shoelace formula (always positive)."""
+        total = 0.0
+        cycle = list(self.vertices) + [self.vertices[0]]
+        for a, b in zip(cycle, cycle[1:]):
+            total += a.x * b.y - b.x * a.y
+        return abs(total) / 2.0
+
+    def perimeter(self) -> float:
+        """Total boundary length."""
+        return sum(edge.length for edge in self.edges)
+
+    def on_boundary(self, p: Point, tol: float = EPS) -> bool:
+        """True if ``p`` lies on any boundary edge."""
+        return any(edge.contains_point(p, tol) for edge in self.edges)
+
+    def contains(self, p: Point, *, include_boundary: bool = True) -> bool:
+        """Even-odd containment test for axis-aligned boundaries.
+
+        Casts a horizontal ray towards +x and counts crossings of the
+        polygon's *vertical* edges, treating an edge's lower endpoint
+        as included and its upper endpoint as excluded so vertices are
+        not double-counted.
+        """
+        if self.on_boundary(p):
+            return include_boundary
+        crossings = 0
+        for edge in self.edges:
+            if not edge.is_vertical:
+                continue
+            x = edge.fixed
+            if x <= p.x + EPS:
+                continue
+            y_lo, y_hi = edge.lo, edge.hi
+            if y_lo - EPS <= p.y < y_hi - EPS:
+                crossings += 1
+        return crossings % 2 == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RectilinearPolygon({len(self.vertices)} vertices)"

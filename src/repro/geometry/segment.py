@@ -1,0 +1,159 @@
+"""Axis-aligned segments and exact intersection classification.
+
+Waveguide crossings are the dominant source of insertion loss and
+first-order crosstalk in WRONoC routers (Sec. II-B), so the library
+needs a watertight notion of "two waveguide segments cross".  This
+module classifies the intersection of two axis-aligned segments into:
+
+- ``DISJOINT`` — no common point;
+- ``TOUCH`` — exactly one common point that is an endpoint of at least
+  one of the segments (a T-junction or an endpoint meeting);
+- ``CROSS`` — exactly one common point interior to both segments
+  (a proper waveguide crossing);
+- ``OVERLAP`` — collinear segments sharing a sub-segment of positive
+  length (never physically realizable for two distinct waveguides).
+
+Degenerate (zero-length) segments are rejected at construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry.point import EPS, Point
+
+
+class IntersectionKind(enum.Enum):
+    """How two axis-aligned segments intersect."""
+
+    DISJOINT = "disjoint"
+    TOUCH = "touch"
+    CROSS = "cross"
+    OVERLAP = "overlap"
+
+
+@dataclass(frozen=True, slots=True)
+class Intersection:
+    """Result of classifying a segment pair.
+
+    ``point`` is the single common point for ``TOUCH``/``CROSS`` and
+    ``None`` otherwise.  For ``OVERLAP`` the shared sub-segment is given
+    by ``overlap``.
+    """
+
+    kind: IntersectionKind
+    point: Point | None = None
+    overlap: tuple[Point, Point] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """An axis-aligned segment between two distinct points."""
+
+    a: Point
+    b: Point
+
+    def __post_init__(self) -> None:
+        if self.a.almost_equals(self.b):
+            raise ValueError(f"degenerate segment at {self.a}")
+        if (
+            abs(self.a.x - self.b.x) > EPS
+            and abs(self.a.y - self.b.y) > EPS
+        ):
+            raise ValueError(
+                f"segment {self.a}-{self.b} is not axis-aligned"
+            )
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True if the segment runs along the x axis."""
+        return abs(self.a.y - self.b.y) <= EPS
+
+    @property
+    def is_vertical(self) -> bool:
+        """True if the segment runs along the y axis."""
+        return abs(self.a.x - self.b.x) <= EPS
+
+    @property
+    def length(self) -> float:
+        """Segment length (Manhattan == Euclidean for axis-aligned)."""
+        return self.a.manhattan(self.b)
+
+    @property
+    def lo(self) -> float:
+        """Smaller varying coordinate (x if horizontal, y if vertical)."""
+        return min(self.a.x, self.b.x) if self.is_horizontal else min(self.a.y, self.b.y)
+
+    @property
+    def hi(self) -> float:
+        """Larger varying coordinate (x if horizontal, y if vertical)."""
+        return max(self.a.x, self.b.x) if self.is_horizontal else max(self.a.y, self.b.y)
+
+    @property
+    def fixed(self) -> float:
+        """The constant coordinate (y if horizontal, x if vertical)."""
+        return self.a.y if self.is_horizontal else self.a.x
+
+    def contains_point(self, p: Point, tol: float = EPS) -> bool:
+        """True if ``p`` lies on the segment (endpoints included)."""
+        if self.is_horizontal:
+            return abs(p.y - self.fixed) <= tol and self.lo - tol <= p.x <= self.hi + tol
+        return abs(p.x - self.fixed) <= tol and self.lo - tol <= p.y <= self.hi + tol
+
+    def has_endpoint(self, p: Point, tol: float = EPS) -> bool:
+        """True if ``p`` coincides with either endpoint."""
+        return self.a.almost_equals(p, tol) or self.b.almost_equals(p, tol)
+
+    def reversed(self) -> "Segment":
+        """Return the same segment with swapped endpoints."""
+        return Segment(self.b, self.a)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.a} -> {self.b}]"
+
+
+def _classify_perpendicular(h: Segment, v: Segment) -> Intersection:
+    """Classify a horizontal/vertical segment pair."""
+    x, y = v.fixed, h.fixed
+    if not (h.lo - EPS <= x <= h.hi + EPS and v.lo - EPS <= y <= v.hi + EPS):
+        return Intersection(IntersectionKind.DISJOINT)
+    p = Point(x, y)
+    at_h_end = h.has_endpoint(p)
+    at_v_end = v.has_endpoint(p)
+    if at_h_end or at_v_end:
+        return Intersection(IntersectionKind.TOUCH, point=p)
+    return Intersection(IntersectionKind.CROSS, point=p)
+
+
+def _classify_parallel(s1: Segment, s2: Segment) -> Intersection:
+    """Classify two parallel (both-H or both-V) segments."""
+    if abs(s1.fixed - s2.fixed) > EPS:
+        return Intersection(IntersectionKind.DISJOINT)
+    lo = max(s1.lo, s2.lo)
+    hi = min(s1.hi, s2.hi)
+    if lo > hi + EPS:
+        return Intersection(IntersectionKind.DISJOINT)
+    horizontal = s1.is_horizontal
+    if abs(hi - lo) <= EPS:
+        p = Point(lo, s1.fixed) if horizontal else Point(s1.fixed, lo)
+        return Intersection(IntersectionKind.TOUCH, point=p)
+    if horizontal:
+        pa, pb = Point(lo, s1.fixed), Point(hi, s1.fixed)
+    else:
+        pa, pb = Point(s1.fixed, lo), Point(s1.fixed, hi)
+    return Intersection(IntersectionKind.OVERLAP, overlap=(pa, pb))
+
+
+def classify_intersection(s1: Segment, s2: Segment) -> Intersection:
+    """Classify how two axis-aligned segments intersect.
+
+    A point on the boundary (within :data:`EPS`) is treated as on the
+    segment; an intersection point coinciding with an endpoint of either
+    segment is a ``TOUCH``, not a ``CROSS``.
+    """
+    if s1.is_horizontal and s2.is_vertical:
+        return _classify_perpendicular(s1, s2)
+    if s1.is_vertical and s2.is_horizontal:
+        return _classify_perpendicular(s2, s1)
+    return _classify_parallel(s1, s2)

@@ -1,0 +1,109 @@
+"""JSON reports of designs and evaluations.
+
+``design_report`` flattens a synthesized design plus its evaluation
+into plain dictionaries (for dashboards, regression tracking, or
+diffing synthesis runs); ``save_report`` writes them to disk.  Only
+built-in types appear in the output, so ``json.load`` round-trips it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.analysis.report import RouterEvaluation
+from repro.analysis.resources import resource_report
+from repro.core.design import XRingDesign
+
+
+def _none_if_nan(value: float | None) -> float | None:
+    if value is None:
+        return None
+    return None if math.isnan(value) else value
+
+
+def design_report(
+    design: XRingDesign, evaluation: RouterEvaluation | None = None
+) -> dict:
+    """A JSON-safe summary of one synthesized design.
+
+    Includes the network, tour, shortcut, mapping and PDN structure
+    plus (when given) the evaluation metrics and resource counts.
+    """
+    report: dict = {
+        "label": design.label,
+        "network": {
+            "size": design.network.size,
+            "positions": [
+                [p.x, p.y] for p in design.network.positions
+            ],
+        },
+        "tour": {
+            "order": list(design.tour.order),
+            "length_mm": design.tour.length_mm,
+            "crossings": design.tour.crossing_count,
+        },
+        "shortcuts": [
+            {
+                "nodes": [s.node_a, s.node_b],
+                "length_mm": s.length_mm,
+                "gain_mm": s.gain_mm,
+                "partner": s.partner,
+            }
+            for s in design.shortcut_plan.shortcuts
+        ],
+        "rings": [
+            {
+                "rid": ring.rid,
+                "direction": ring.direction.value,
+                "opening_node": ring.opening_node,
+            }
+            for ring in design.mapping.rings
+        ],
+        "wavelength_budget": design.mapping.wl_budget,
+        "synthesis_time_s": design.synthesis_time_s,
+    }
+    if design.pdn is not None:
+        report["pdn"] = {
+            "mode": design.pdn.mode,
+            "splitters": design.pdn.splitter_count,
+            "crossings": design.pdn.crossing_count,
+            "waveguide_mm": design.pdn.total_waveguide_mm,
+        }
+    resources = resource_report(design)
+    report["resources"] = {
+        "waveguide_mm": resources.waveguide_mm,
+        "mrr_count": resources.mrr_count,
+        "modulator_count": resources.modulator_count,
+        "splitter_count": resources.splitter_count,
+        "crossing_count": resources.crossing_count,
+        "footprint_mm2": resources.footprint_mm2,
+    }
+    if evaluation is not None:
+        report["evaluation"] = {
+            "wl_count": evaluation.wl_count,
+            "il_w_db": evaluation.il_w,
+            "worst_length_mm": evaluation.worst_length_mm,
+            "worst_crossings": evaluation.worst_crossings,
+            "power_w": _none_if_nan(evaluation.power_w),
+            "noisy_signals": evaluation.noisy_signals,
+            "signal_count": evaluation.signal_count,
+            "snr_worst_db": _none_if_nan(evaluation.snr_worst_db),
+            "noise_free_fraction": evaluation.noise_free_fraction,
+        }
+    return report
+
+
+def save_report(
+    path: str | Path,
+    design: XRingDesign,
+    evaluation: RouterEvaluation | None = None,
+) -> Path:
+    """Write the design report as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(design_report(design, evaluation), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path

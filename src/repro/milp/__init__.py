@@ -1,0 +1,41 @@
+"""Mixed-integer linear programming substrate.
+
+The paper formulates ring-waveguide construction as an MILP and solves
+it with Gurobi.  Gurobi is proprietary and unavailable here, so this
+package provides a self-contained replacement:
+
+- a small modelling layer (:class:`Model`, :class:`Var`,
+  :class:`LinExpr`, :class:`Constraint`) with natural operator
+  overloading, in the spirit of ``gurobipy``/``pulp``;
+- a default backend on :func:`scipy.optimize.milp` (the bundled HiGHS
+  solver), which is exact and fast for the problem sizes the paper
+  evaluates (N <= 32 nodes, i.e. <= 992 binaries);
+- a from-scratch pure-Python branch-and-bound backend over a dense
+  two-phase simplex (:mod:`repro.milp.simplex`), kept as an
+  independently tested fallback and used by the unit tests to
+  cross-check the HiGHS results on small instances.
+
+Both backends return the same :class:`Solution` type; models choose a
+backend by name via ``Model.solve(backend=...)``.
+"""
+
+from repro.milp.expression import LinExpr, Var
+from repro.milp.model import (
+    Constraint,
+    Model,
+    Sense,
+    Solution,
+    SolveError,
+    SolveStatus,
+)
+
+__all__ = [
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "Sense",
+    "Model",
+    "Solution",
+    "SolveStatus",
+    "SolveError",
+]

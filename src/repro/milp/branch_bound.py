@@ -1,0 +1,144 @@
+"""Pure-Python branch-and-bound MILP backend.
+
+Best-first branch-and-bound over LP relaxations solved by
+:mod:`repro.milp.simplex`.  Branching is on the most fractional integer
+variable; bounds are tightened per node (no constraint rows added), so
+each node is just a ``(lb, ub)`` pair plus its parent relaxation bound.
+
+This backend exists so the XRing flow runs without scipy and so tests
+can cross-check HiGHS answers with an independent implementation.  It
+is exact but slow; use it for instances up to roughly a hundred
+binaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+import numpy as np
+
+from repro.milp.model import Model, Sense, Solution, SolveStatus
+from repro.milp.simplex import LPStatus, solve_lp
+
+_INT_TOL = 1e-6
+
+
+def _model_matrices(model: Model):
+    n = model.num_vars
+    c = np.zeros(n)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+    m = len(model.constraints)
+    a_rows = np.zeros((m, n))
+    b = np.zeros(m)
+    senses: list[str] = []
+    for i, con in enumerate(model.constraints):
+        for idx, coeff in con.expr.coeffs.items():
+            a_rows[i, idx] = coeff
+        b[i] = con.rhs
+        senses.append(con.sense.value if isinstance(con.sense, Sense) else con.sense)
+    lb = np.array([v.lb for v in model.variables])
+    ub = np.array([v.ub for v in model.variables])
+    return c, a_rows, senses, b, lb, ub
+
+
+def _most_fractional(x: np.ndarray, integer_idx: list[int]) -> int | None:
+    best_idx: int | None = None
+    best_frac = _INT_TOL
+    for j in integer_idx:
+        frac = abs(x[j] - round(x[j]))
+        if frac > best_frac:
+            best_frac = frac
+            best_idx = j
+    return best_idx
+
+
+def solve_with_branch_bound(
+    model: Model,
+    max_nodes: int = 200_000,
+) -> Solution:
+    """Solve ``model`` exactly by branch-and-bound.
+
+    Raises no exception on node exhaustion; instead returns the best
+    incumbent with an explanatory message (status stays OPTIMAL only if
+    the tree was exhausted).
+    """
+    c, a_rows, senses, b, lb0, ub0 = _model_matrices(model)
+    integer_idx = [v.index for v in model.variables if v.is_integer]
+
+    root = solve_lp(c, a_rows, senses, b, lb0, ub0)
+    if root.status is LPStatus.INFEASIBLE:
+        return Solution(status=SolveStatus.INFEASIBLE, backend="branch_bound")
+    if root.status is LPStatus.UNBOUNDED:
+        return Solution(status=SolveStatus.UNBOUNDED, backend="branch_bound")
+
+    counter = itertools.count()
+    heap: list[tuple[float, int, np.ndarray, np.ndarray, np.ndarray]] = []
+    assert root.x is not None
+    heapq.heappush(heap, (root.objective, next(counter), root.x, lb0, ub0))
+
+    incumbent_obj = math.inf
+    incumbent_x: np.ndarray | None = None
+    nodes = 0
+    exhausted = True
+
+    while heap:
+        bound, _, x, lb, ub = heapq.heappop(heap)
+        if bound >= incumbent_obj - 1e-9:
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            exhausted = False
+            break
+
+        branch_var = _most_fractional(x, integer_idx)
+        if branch_var is None:
+            # Integer feasible: round tiny fractional noise away.
+            x_int = x.copy()
+            for j in integer_idx:
+                x_int[j] = round(x_int[j])
+            obj = float(c @ x_int)
+            if obj < incumbent_obj - 1e-9:
+                incumbent_obj = obj
+                incumbent_x = x_int
+            continue
+
+        floor_val = math.floor(x[branch_var] + _INT_TOL)
+        for lo_delta, hi_delta in (("down", None), (None, "up")):
+            new_lb = lb.copy()
+            new_ub = ub.copy()
+            if lo_delta == "down":
+                new_ub[branch_var] = floor_val
+            else:
+                new_lb[branch_var] = floor_val + 1
+            if new_lb[branch_var] > new_ub[branch_var] + 1e-9:
+                continue
+            child = solve_lp(c, a_rows, senses, b, new_lb, new_ub)
+            if child.status is not LPStatus.OPTIMAL or child.x is None:
+                continue
+            if child.objective < incumbent_obj - 1e-9:
+                heapq.heappush(
+                    heap,
+                    (child.objective, next(counter), child.x, new_lb, new_ub),
+                )
+
+    if incumbent_x is None:
+        if exhausted:
+            return Solution(status=SolveStatus.INFEASIBLE, backend="branch_bound")
+        return Solution(
+            status=SolveStatus.ERROR,
+            backend="branch_bound",
+            message=f"node limit {max_nodes} reached without incumbent",
+        )
+
+    objective = incumbent_obj + model.objective.constant
+    message = "" if exhausted else f"node limit {max_nodes} reached; best incumbent"
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        values=[float(v) for v in incumbent_x],
+        backend="branch_bound",
+        message=message,
+    )

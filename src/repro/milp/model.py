@@ -1,0 +1,254 @@
+"""The MILP model container and solve dispatch.
+
+``Model`` collects variables, constraints and a (minimization)
+objective, then dispatches to one of two interchangeable backends:
+
+- ``"scipy"`` — :func:`scipy.optimize.milp` (HiGHS), the default;
+- ``"branch_bound"`` — the pure-Python branch-and-bound of
+  :mod:`repro.milp.branch_bound`.
+
+``backend="auto"`` picks scipy when available and falls back to
+branch-and-bound otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.milp.expression import LinExpr, Var, lin_sum
+
+
+class Sense(enum.Enum):
+    """Constraint sense (normalized to ``expr (sense) 0``)."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+class SolveError(RuntimeError):
+    """Raised when a backend cannot produce a usable answer."""
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A normalized linear constraint ``expr (sense) rhs``.
+
+    Instances are produced by comparison operators on expressions; the
+    expression's constant is folded into ``rhs`` at construction.
+    """
+
+    expr: LinExpr
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        folded = LinExpr(dict(self.expr.coeffs), 0.0)
+        object.__setattr__(self, "rhs", self.rhs - self.expr.constant)
+        object.__setattr__(self, "expr", folded)
+
+    def named(self, name: str) -> "Constraint":
+        """Return a copy of the constraint carrying ``name``."""
+        return Constraint(self.expr, self.sense, self.rhs, name)
+
+    def satisfied_by(self, values: list[float], tol: float = 1e-6) -> bool:
+        """Check the constraint against a dense assignment vector."""
+        lhs = sum(c * values[idx] for idx, c in self.expr.coeffs.items())
+        if self.sense is Sense.LE:
+            return lhs <= self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs >= self.rhs - tol
+        return abs(lhs - self.rhs) <= tol
+
+
+@dataclass
+class Solution:
+    """Result of ``Model.solve``.
+
+    ``values`` is indexed by variable (via ``solution[var]``);
+    ``objective`` is the optimal objective when ``status`` is OPTIMAL.
+    """
+
+    status: SolveStatus
+    objective: float = math.nan
+    values: list[float] = field(default_factory=list)
+    backend: str = ""
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when an optimal solution was found."""
+        return self.status is SolveStatus.OPTIMAL
+
+    def __getitem__(self, var: Var) -> float:
+        return self.values[var.index]
+
+    def value(self, var: Var, *, as_int: bool = False):
+        """Value of ``var``; rounded to int when ``as_int`` is set."""
+        v = self.values[var.index]
+        return round(v) if as_int else v
+
+
+class Model:
+    """An MILP ``minimize c'x subject to Ax (<=,>=,==) b``."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.variables: list[Var] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+
+    # -- construction ------------------------------------------------------
+    def add_var(
+        self,
+        name: str = "",
+        lb: float = 0.0,
+        ub: float = math.inf,
+        *,
+        integer: bool = False,
+    ) -> Var:
+        """Create and register a new variable."""
+        if ub < lb:
+            raise ValueError(f"variable {name!r}: ub {ub} < lb {lb}")
+        var = Var(len(self.variables), name or f"x{len(self.variables)}", lb, ub, integer)
+        self.variables.append(var)
+        return var
+
+    def binary_var(self, name: str = "") -> Var:
+        """Create a 0/1 integer variable."""
+        return self.add_var(name, lb=0.0, ub=1.0, integer=True)
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint (optionally renaming it)."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (built from a comparison)"
+            )
+        if name:
+            constraint = constraint.named(name)
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr) -> None:
+        """Set the minimization objective."""
+        if isinstance(expr, Var):
+            expr = expr.to_expr()
+        if not isinstance(expr, LinExpr):
+            raise TypeError("objective must be a Var or LinExpr")
+        self.objective = expr.copy()
+
+    def minimize(self, expr) -> None:
+        """Alias of :meth:`set_objective` (minimization is canonical)."""
+        self.set_objective(expr)
+
+    def maximize(self, expr) -> None:
+        """Maximize ``expr`` by minimizing its negation."""
+        if isinstance(expr, Var):
+            expr = expr.to_expr()
+        self.set_objective(expr * -1.0)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        """Number of registered variables."""
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of registered constraints."""
+        return len(self.constraints)
+
+    @property
+    def num_binaries(self) -> int:
+        """Number of 0/1 integer variables."""
+        return sum(
+            1
+            for v in self.variables
+            if v.is_integer and v.lb == 0.0 and v.ub == 1.0
+        )
+
+    def lin_sum(self, items) -> LinExpr:
+        """Convenience re-export of :func:`repro.milp.expression.lin_sum`."""
+        return lin_sum(items)
+
+    # -- solving -------------------------------------------------------------
+    def solve(self, backend: str = "auto", **options) -> Solution:
+        """Solve the model and return a :class:`Solution`.
+
+        ``backend`` is one of ``"auto"``, ``"scipy"``,
+        ``"branch_bound"``.  Backend-specific keyword options are passed
+        through (e.g. ``time_limit`` for scipy, ``max_nodes`` for
+        branch-and-bound).
+        """
+        if backend == "auto":
+            try:
+                import scipy.optimize  # noqa: F401
+
+                backend = "scipy"
+            except ImportError:  # pragma: no cover - scipy is installed here
+                backend = "branch_bound"
+        if backend == "scipy":
+            from repro.milp.scipy_backend import solve_with_scipy
+
+            return solve_with_scipy(self, **options)
+        if backend == "branch_bound":
+            from repro.milp.branch_bound import solve_with_branch_bound
+
+            return solve_with_branch_bound(self, **options)
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Model({self.name!r}, vars={self.num_vars}, "
+            f"constraints={self.num_constraints})"
+        )
+
+    # -- export --------------------------------------------------------------
+    def to_lp_string(self) -> str:
+        """Serialize the model in CPLEX LP text format.
+
+        Handy for debugging a formulation or feeding the exact same
+        instance into an external solver.  Variables are emitted by
+        their registered names.
+        """
+
+        def term(coeff: float, name: str) -> str:
+            sign = "+" if coeff >= 0 else "-"
+            return f"{sign} {abs(coeff):g} {name}"
+
+        lines = ["Minimize", " obj:"]
+        objective_terms = [
+            term(coeff, self.variables[idx].name)
+            for idx, coeff in sorted(self.objective.coeffs.items())
+        ]
+        lines.append("  " + (" ".join(objective_terms) or "0"))
+        lines.append("Subject To")
+        for i, con in enumerate(self.constraints):
+            name = con.name or f"c{i}"
+            body = " ".join(
+                term(coeff, self.variables[idx].name)
+                for idx, coeff in sorted(con.expr.coeffs.items())
+            )
+            lines.append(f" {name}: {body or '0'} {con.sense.value} {con.rhs:g}")
+        lines.append("Bounds")
+        for var in self.variables:
+            ub = "+inf" if math.isinf(var.ub) else f"{var.ub:g}"
+            lines.append(f" {var.lb:g} <= {var.name} <= {ub}")
+        integers = [v.name for v in self.variables if v.is_integer]
+        if integers:
+            lines.append("General")
+            lines.append(" " + " ".join(integers))
+        lines.append("End")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,89 @@
+"""HiGHS backend via :func:`scipy.optimize.milp`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.milp.model import Model, Sense, Solution, SolveStatus
+
+
+def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
+    """Solve ``model`` with scipy's bundled HiGHS MILP solver.
+
+    Equality constraints become two-sided bounds ``rhs <= Ax <= rhs``;
+    inequalities get an infinite bound on the open side.
+    """
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    n = model.num_vars
+    c = np.zeros(n)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+
+    lb = np.array([v.lb for v in model.variables])
+    ub = np.array([v.ub for v in model.variables])
+    integrality = np.array(
+        [1 if v.is_integer else 0 for v in model.variables]
+    )
+
+    constraints = []
+    if model.constraints:
+        rows, cols, vals = [], [], []
+        lo = np.empty(len(model.constraints))
+        hi = np.empty(len(model.constraints))
+        for i, con in enumerate(model.constraints):
+            for idx, coeff in con.expr.coeffs.items():
+                rows.append(i)
+                cols.append(idx)
+                vals.append(coeff)
+            if con.sense is Sense.LE:
+                lo[i], hi[i] = -np.inf, con.rhs
+            elif con.sense is Sense.GE:
+                lo[i], hi[i] = con.rhs, np.inf
+            else:
+                lo[i], hi[i] = con.rhs, con.rhs
+        from scipy.sparse import csr_matrix
+
+        matrix = csr_matrix(
+            (vals, (rows, cols)), shape=(len(model.constraints), n)
+        )
+        constraints.append(LinearConstraint(matrix, lo, hi))
+
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+
+    result = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+        options=options,
+    )
+
+    if result.status == 0 and result.x is not None:
+        values = [float(x) for x in result.x]
+        objective = float(result.fun) + model.objective.constant
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=objective,
+            values=values,
+            backend="scipy",
+            message=result.message,
+        )
+    if result.status == 2:
+        return Solution(
+            status=SolveStatus.INFEASIBLE, backend="scipy", message=result.message
+        )
+    if result.status == 3:
+        return Solution(
+            status=SolveStatus.UNBOUNDED, backend="scipy", message=result.message
+        )
+    return Solution(
+        status=SolveStatus.ERROR,
+        objective=math.nan,
+        backend="scipy",
+        message=result.message,
+    )

@@ -1,0 +1,209 @@
+"""A dense two-phase primal simplex for LP relaxations.
+
+This is the LP engine underneath the pure-Python branch-and-bound
+backend.  It is intentionally simple and robust rather than fast:
+
+- general bounds are reduced to ``0 <= x' <= span`` by shifting, with
+  finite upper bounds added as explicit rows;
+- inequality rows receive slack/surplus columns and phase-1 artificial
+  variables drive a feasible basis;
+- Bland's rule guarantees termination (no cycling).
+
+Intended problem sizes are the test instances of the XRing ring model
+(tens of variables); production solves go through the HiGHS backend.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+_TOL = 1e-9
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass
+class LPResult:
+    """LP solve result: ``x`` is dense over the original variables."""
+
+    status: LPStatus
+    objective: float = math.nan
+    x: np.ndarray | None = None
+
+
+def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:
+    """Pivot the tableau on ``(row, col)`` and update the basis."""
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _TOL:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _run_simplex(tableau: np.ndarray, basis: list[int], cost: np.ndarray) -> LPStatus:
+    """Minimize ``cost`` over the tableau's feasible region in place.
+
+    The tableau holds rows ``[A | b]`` with a feasible basis.  Uses
+    Bland's smallest-index rule.
+    """
+    m, width = tableau.shape
+    n = width - 1
+    while True:
+        # Reduced costs: c_j - c_B' * B^-1 A_j.
+        cb = cost[basis]
+        reduced = cost[:n] - cb @ tableau[:, :n]
+        entering = -1
+        for j in range(n):
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return LPStatus.OPTIMAL
+        ratios_row = -1
+        best_ratio = math.inf
+        for r in range(m):
+            a = tableau[r, entering]
+            if a > _TOL:
+                ratio = tableau[r, n] / a
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (ratios_row < 0 or basis[r] < basis[ratios_row])
+                ):
+                    best_ratio = ratio
+                    ratios_row = r
+        if ratios_row < 0:
+            return LPStatus.UNBOUNDED
+        _pivot(tableau, basis, ratios_row, entering)
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_rows: np.ndarray,
+    senses: list[str],
+    b: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> LPResult:
+    """Minimize ``c'x`` s.t. ``A x (senses) b`` and ``lb <= x <= ub``.
+
+    ``senses`` entries are ``"<="``, ``">="`` or ``"=="`` per row.
+    Lower bounds must be finite; infinite upper bounds are allowed.
+    """
+    n = len(c)
+    if np.any(~np.isfinite(lb)):
+        raise ValueError("simplex backend requires finite lower bounds")
+    if np.any(ub < lb - _TOL):
+        return LPResult(LPStatus.INFEASIBLE)
+
+    # Shift x = lb + x'  (x' >= 0); fold shift into b.
+    shift = lb.copy()
+    b = b - a_rows @ shift if len(b) else b.copy()
+
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    row_senses: list[str] = []
+    for i in range(len(b)):
+        rows.append(a_rows[i].astype(float))
+        rhs.append(float(b[i]))
+        row_senses.append(senses[i])
+    # Finite upper bounds become explicit rows on shifted variables.
+    for j in range(n):
+        span = ub[j] - lb[j]
+        if math.isfinite(span):
+            row = np.zeros(n)
+            row[j] = 1.0
+            rows.append(row)
+            rhs.append(float(span))
+            row_senses.append("<=")
+
+    m = len(rows)
+    if m == 0:
+        # Unconstrained besides x' >= 0: optimum at 0 unless some
+        # negative cost coefficient makes it unbounded.
+        if np.any(c < -_TOL):
+            return LPResult(LPStatus.UNBOUNDED)
+        return LPResult(LPStatus.OPTIMAL, float(c @ shift), shift.copy())
+
+    # Count slack columns and build the phase-1 tableau.
+    n_slack = sum(1 for s in row_senses if s in ("<=", ">="))
+    total = n + n_slack + m  # + artificials (one per row, some unused)
+    tableau = np.zeros((m, total + 1))
+    slack_col = n
+    art_col = n + n_slack
+    basis: list[int] = []
+    artificials: list[int] = []
+    for i in range(m):
+        row = np.zeros(total)
+        row[:n] = rows[i]
+        bi = rhs[i]
+        sense = row_senses[i]
+        if bi < 0:
+            row[:n] = -row[:n]
+            bi = -bi
+            sense = {"<=": ">=", ">=": "<=", "==": "=="}[sense]
+        if sense == "<=":
+            row[slack_col] = 1.0
+            basis_col = slack_col
+            slack_col += 1
+        elif sense == ">=":
+            row[slack_col] = -1.0
+            slack_col += 1
+            row[art_col] = 1.0
+            basis_col = art_col
+            artificials.append(art_col)
+            art_col += 1
+        else:
+            row[art_col] = 1.0
+            basis_col = art_col
+            artificials.append(art_col)
+            art_col += 1
+        tableau[i, :total] = row
+        tableau[i, total] = bi
+        basis.append(basis_col)
+
+    # Phase 1: minimize the sum of artificials.
+    phase1_cost = np.zeros(total)
+    for col in artificials:
+        phase1_cost[col] = 1.0
+    status = _run_simplex(tableau, basis, phase1_cost)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(LPStatus.INFEASIBLE)
+    cb = phase1_cost[basis]
+    phase1_obj = float(cb @ tableau[:, total])
+    if phase1_obj > 1e-6:
+        return LPResult(LPStatus.INFEASIBLE)
+    # Drive any artificial still in the basis out (or its row is redundant).
+    for r in range(m):
+        if basis[r] in artificials:
+            pivot_col = -1
+            for j in range(n + n_slack):
+                if abs(tableau[r, j]) > 1e-7:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, r, pivot_col)
+
+    # Phase 2 over original + slack columns (artificials cost-blocked).
+    phase2_cost = np.zeros(total)
+    phase2_cost[:n] = c
+    for col in artificials:
+        phase2_cost[col] = 1e9  # keep artificials out of the basis
+    status = _run_simplex(tableau, basis, phase2_cost)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status)
+
+    x_shifted = np.zeros(total)
+    for r, col in enumerate(basis):
+        x_shifted[col] = tableau[r, total]
+    x = x_shifted[:n] + shift
+    return LPResult(LPStatus.OPTIMAL, float(c @ x), x)

@@ -1,0 +1,31 @@
+"""Network substrate: nodes, placements and traffic patterns.
+
+The paper evaluates 8-, 16- and 32-node networks where "a node sends
+signals to all other nodes except for itself", with node locations
+taken from PROTON+ [15] (Table I), PSION [20] (Table II) and ORing [17]
+(Table III); the 32-node case extends the 16-node floorplan.  Those
+exact coordinate tables are not reprinted in the paper, so this package
+generates regular-grid placements at publication-scale die sizes (see
+DESIGN.md, substitutions table).
+"""
+
+from repro.network.topology import Network, Node
+from repro.network.placement import (
+    extended_placement,
+    grid_placement,
+    oring_placement,
+    proton_placement,
+    psion_placement,
+)
+from repro.network.traffic import all_to_all
+
+__all__ = [
+    "Node",
+    "Network",
+    "grid_placement",
+    "proton_placement",
+    "psion_placement",
+    "oring_placement",
+    "extended_placement",
+    "all_to_all",
+]

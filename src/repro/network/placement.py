@@ -1,0 +1,147 @@
+"""Node placement generators for the evaluated networks.
+
+The exact coordinate tables of [15], [20] and [17] are not reprinted in
+the XRing paper; all three sources place the optical network interface
+of each processing cluster on a regular grid over the die.  We
+therefore generate regular grids at publication-scale pitches:
+
+- :func:`proton_placement` — Table I networks ("same node locations
+  ... as applied in [15]"), 2 mm pitch;
+- :func:`psion_placement` — Table II networks ("same node locations and
+  die dimension as applied in [20]"); the 32-node case extends the
+  16-node floorplan exactly as the paper describes;
+- :func:`oring_placement` — Table III network ("same node positions
+  ... proposed in [17]").
+
+With a 2 mm pitch the synthesized ring perimeters land in the same
+regime as the paper's path lengths (e.g. a 16-node ring of ~24 mm whose
+worst half-ring path is ~12 mm, against the paper's 11.7-13.6 mm).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import BBox, Point
+
+
+#: Deterministic per-node offsets (fractions of the pitch) that break
+#: the perfect-grid collinearity of a synthetic placement.  Real MPSoC
+#: floorplans (the node locations of [15] and [20]) never align network
+#: interfaces exactly; on an exactly regular grid every chord between
+#: distant nodes degenerates onto the ring itself, which would make the
+#: paper's shortcut construction (Fig. 7) trivially infeasible.
+_JITTER = (
+    (0.00, 0.06),
+    (0.11, -0.05),
+    (-0.08, 0.09),
+    (0.05, -0.11),
+    (-0.12, -0.04),
+    (0.08, 0.12),
+    (-0.05, -0.09),
+    (0.12, 0.04),
+    (-0.10, 0.11),
+    (0.04, -0.07),
+    (0.09, 0.08),
+    (-0.06, -0.12),
+    (0.07, 0.10),
+    (-0.11, 0.05),
+    (0.10, -0.08),
+    (-0.04, 0.07),
+)
+
+
+def grid_placement(
+    num_nodes: int,
+    pitch_mm: float = 2.0,
+    columns: int | None = None,
+    origin: Point = Point(1.0, 1.0),
+    jitter: float = 0.15,
+) -> list[Point]:
+    """Place ``num_nodes`` on a floorplan-like near-regular grid.
+
+    ``columns`` defaults to the smallest power-of-two-friendly near
+    square layout (4x2 for 8 nodes, 4x4 for 16, 8x4 for 32).  The grid
+    is complete: ``num_nodes`` must factor as ``columns * rows``.
+    ``jitter`` scales the deterministic per-node offsets (as a fraction
+    of the pitch) that emulate an irregular floorplan; pass 0 for an
+    exactly regular grid.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if pitch_mm <= 0:
+        raise ValueError("pitch must be positive")
+    if jitter < 0:
+        raise ValueError("jitter cannot be negative")
+    if columns is None:
+        columns = 2 ** math.ceil(math.log2(math.sqrt(num_nodes)))
+        while num_nodes % columns:
+            columns //= 2
+            if columns == 0:
+                raise ValueError(
+                    f"cannot infer a complete grid for {num_nodes} nodes; "
+                    "pass columns explicitly"
+                )
+    if num_nodes % columns:
+        raise ValueError(f"{num_nodes} nodes do not fill a {columns}-column grid")
+    rows = num_nodes // columns
+    points = []
+    for i in range(rows * columns):
+        jx, jy = _JITTER[(i * 7 + i // len(_JITTER)) % len(_JITTER)]
+        points.append(
+            Point(
+                origin.x + (i % columns) * pitch_mm + jx * jitter * pitch_mm / 0.15,
+                origin.y + (i // columns) * pitch_mm + jy * jitter * pitch_mm / 0.15,
+            )
+        )
+    return points
+
+
+def _die_for(points: list[Point], margin_mm: float = 1.0) -> BBox:
+    return BBox.of_points(points).inflate(margin_mm)
+
+
+def proton_placement(num_nodes: int) -> tuple[list[Point], BBox]:
+    """Table I placements (PROTON+-style), 8 or 16 nodes, 2 mm pitch."""
+    if num_nodes not in (8, 16):
+        raise ValueError("Table I evaluates 8- and 16-node networks")
+    points = grid_placement(num_nodes, pitch_mm=2.0)
+    return points, _die_for(points)
+
+
+def psion_placement(num_nodes: int) -> tuple[list[Point], BBox]:
+    """Table II placements (PSION-style): 8, 16, or 32 nodes.
+
+    The 32-node network "extends the node locations and die dimension
+    of the 16-node networks" (Sec. IV-B): we widen the 4x4 grid to 8x4
+    at the same pitch.
+    """
+    if num_nodes in (8, 16):
+        points = grid_placement(num_nodes, pitch_mm=2.0)
+    elif num_nodes == 32:
+        points = grid_placement(32, pitch_mm=2.0, columns=8)
+    else:
+        raise ValueError("Table II evaluates 8-, 16- and 32-node networks")
+    return points, _die_for(points)
+
+
+def oring_placement() -> tuple[list[Point], BBox]:
+    """Table III placement (ORing [17]-style): 16 nodes, 2 mm pitch."""
+    points = grid_placement(16, pitch_mm=2.0)
+    return points, _die_for(points)
+
+
+def extended_placement(
+    num_nodes: int, pitch_mm: float = 2.0
+) -> tuple[list[Point], BBox]:
+    """Generic placement for scaling studies beyond the paper's sizes.
+
+    Chooses the most square complete grid available for ``num_nodes``.
+    """
+    best_cols = 1
+    for cols in range(1, num_nodes + 1):
+        if num_nodes % cols == 0 and cols <= num_nodes // cols:
+            best_cols = max(best_cols, cols)
+    cols = max(best_cols, num_nodes // best_cols)
+    points = grid_placement(num_nodes, pitch_mm=pitch_mm, columns=cols)
+    return points, _die_for(points)

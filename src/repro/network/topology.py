@@ -1,0 +1,94 @@
+"""Network nodes and the network container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.geometry import BBox, Point
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """A network node (processing cluster) at a fixed die position.
+
+    Each node owns one optical sender (modulator bank) and one optical
+    receiver (drop-filter bank plus photodetectors); both sit at the
+    node's position for length computations.
+    """
+
+    index: int
+    position: Point
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("node index must be non-negative")
+        if not self.name:
+            object.__setattr__(self, "name", f"n{self.index}")
+
+
+@dataclass(frozen=True)
+class Network:
+    """A set of placed nodes plus the communication demands.
+
+    ``traffic`` is a tuple of ``(src_index, dst_index)`` pairs; the
+    default (empty) means all-to-all, which :meth:`demands` expands
+    lazily.
+    """
+
+    nodes: tuple[Node, ...]
+    traffic: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    die: BBox | None = None
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions: Sequence[Point],
+        traffic: Iterable[tuple[int, int]] = (),
+        die: BBox | None = None,
+    ) -> "Network":
+        """Build a network with nodes numbered in position order."""
+        nodes = tuple(Node(i, p) for i, p in enumerate(positions))
+        return cls(nodes, tuple(traffic), die)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ValueError("a network needs at least 2 nodes")
+        indices = [n.index for n in self.nodes]
+        if indices != list(range(len(self.nodes))):
+            raise ValueError("node indices must be 0..N-1 in order")
+        n = len(self.nodes)
+        for src, dst in self.traffic:
+            if not (0 <= src < n and 0 <= dst < n):
+                raise ValueError(f"traffic pair ({src}, {dst}) out of range")
+            if src == dst:
+                raise ValueError("a node does not send to itself")
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    def position(self, index: int) -> Point:
+        """Position of node ``index``."""
+        return self.nodes[index].position
+
+    @property
+    def positions(self) -> tuple[Point, ...]:
+        """All node positions, in index order."""
+        return tuple(n.position for n in self.nodes)
+
+    def demands(self) -> tuple[tuple[int, int], ...]:
+        """The communication pairs; all-to-all when none were given."""
+        if self.traffic:
+            return self.traffic
+        from repro.network.traffic import all_to_all
+
+        return all_to_all(self.size)
+
+    def bounding_box(self) -> BBox:
+        """The die box, or the node bounding box when no die was set."""
+        if self.die is not None:
+            return self.die
+        return BBox.of_points(self.positions)

@@ -1,0 +1,53 @@
+"""Communication-demand generators.
+
+The paper's evaluation uses full all-to-all traffic ("a node sends
+signals to all other nodes except for itself", Sec. IV-A), i.e.
+``N * (N - 1)`` unicast demands.  Additional generators support the
+example applications and scaling studies.
+"""
+
+from __future__ import annotations
+
+
+def all_to_all(num_nodes: int) -> tuple[tuple[int, int], ...]:
+    """All ordered pairs ``(src, dst)`` with ``src != dst``."""
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    return tuple(
+        (src, dst)
+        for src in range(num_nodes)
+        for dst in range(num_nodes)
+        if src != dst
+    )
+
+
+def neighbours_only(num_nodes: int, radius: int = 1) -> tuple[tuple[int, int], ...]:
+    """Demands between nodes whose indices differ by at most ``radius``.
+
+    A lighter, locality-flavoured pattern used by the examples to show
+    traffic-aware synthesis (fewer demands means fewer wavelengths).
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if radius < 1:
+        raise ValueError("radius must be at least 1")
+    pairs = []
+    for src in range(num_nodes):
+        for dst in range(num_nodes):
+            if src != dst and abs(src - dst) <= radius:
+                pairs.append((src, dst))
+    return tuple(pairs)
+
+
+def hotspot(num_nodes: int, hot: int = 0) -> tuple[tuple[int, int], ...]:
+    """Every node exchanges traffic with one hot node only."""
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if not 0 <= hot < num_nodes:
+        raise ValueError("hot node out of range")
+    pairs = []
+    for other in range(num_nodes):
+        if other != hot:
+            pairs.append((other, hot))
+            pairs.append((hot, other))
+    return tuple(pairs)

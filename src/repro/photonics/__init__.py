@@ -1,0 +1,53 @@
+"""Photonic device and parameter models.
+
+Everything the loss/crosstalk analysis needs to turn a geometric router
+design into decibels and watts:
+
+- :mod:`repro.photonics.units` — dB/linear and dBm/mW conversions and
+  the laser-power model ``P = 10**((il_w + S) / 10)`` of Sec. II-B;
+- :mod:`repro.photonics.parameters` — named insertion-loss and
+  crosstalk parameter sets mirroring the sources the paper cites
+  (PROTON+ [15], ORing [17], Nikdast et al. [14]);
+- :mod:`repro.photonics.devices` — footprints and behaviour of the
+  optical components (MRRs, modulators, splitters, photodetectors,
+  terminators) including the ring-pair spacing rule
+  ``A1 + ceil(log2 N) * A2`` of Sec. III-A/III-D.
+"""
+
+from repro.photonics.units import (
+    db_to_linear,
+    dbm_to_mw,
+    laser_power_mw,
+    linear_to_db,
+    mw_to_dbm,
+    snr_db,
+)
+from repro.photonics.parameters import (
+    NIKDAST_CROSSTALK,
+    ORING_LOSSES,
+    PROTON_LOSSES,
+    CrosstalkParameters,
+    LossParameters,
+)
+from repro.photonics.devices import (
+    ComponentSizes,
+    DEFAULT_SIZES,
+    ring_pair_spacing,
+)
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "laser_power_mw",
+    "snr_db",
+    "LossParameters",
+    "CrosstalkParameters",
+    "PROTON_LOSSES",
+    "ORING_LOSSES",
+    "NIKDAST_CROSSTALK",
+    "ComponentSizes",
+    "DEFAULT_SIZES",
+    "ring_pair_spacing",
+]

@@ -1,0 +1,59 @@
+"""Optical component footprints and layout spacing rules.
+
+Sec. III-A/III-D of the paper reserves the gap between a pair of
+parallel ring waveguides for the power-distribution network and sizes
+it as ``A1 + ceil(log2(N)) * A2``, where ``A1`` is the width of a
+modulator and ``A2`` the width of a splitter.  This module holds those
+component sizes and the spacing rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ComponentSizes:
+    """Physical widths of sender-side components, in millimetres.
+
+    ``modulator_mm`` is A1 and ``splitter_mm`` is A2 in the paper's
+    spacing formula.  The defaults correspond to typical silicon
+    photonic component pitches (tens of micrometres).
+    """
+
+    modulator_mm: float = 0.05
+    splitter_mm: float = 0.02
+    #: Diameter of a microring resonator (for completeness; MRRs sit in
+    #: the spacing budget of the receivers).
+    mrr_mm: float = 0.01
+    #: Photodetector footprint.
+    photodetector_mm: float = 0.03
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "modulator_mm",
+            "splitter_mm",
+            "mrr_mm",
+            "photodetector_mm",
+        ):
+            if getattr(self, field_name) <= 0.0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: Default component sizes used throughout the experiments.
+DEFAULT_SIZES = ComponentSizes()
+
+
+def ring_pair_spacing(num_nodes: int, sizes: ComponentSizes = DEFAULT_SIZES) -> float:
+    """Spacing between a pair of parallel ring waveguides (mm).
+
+    Implements ``A1 + ceil(log2(N)) * A2`` (Sec. III-A): the gap must
+    host one modulator column plus one splitter column per PDN tree
+    level, and a binary tree over at most N senders has
+    ``ceil(log2(N))`` levels.
+    """
+    if num_nodes < 2:
+        raise ValueError("a network needs at least 2 nodes")
+    levels = math.ceil(math.log2(num_nodes))
+    return sizes.modulator_mm + levels * sizes.splitter_mm

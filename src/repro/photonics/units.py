@@ -1,0 +1,60 @@
+"""Optical power unit conversions and the laser-power model.
+
+The paper (Sec. II-B) computes the laser power needed for wavelength
+``x`` as ``P = 10**((il_w + S) / 10)`` where ``il_w`` is the worst-case
+insertion loss of signals on that wavelength in dB and ``S`` is the
+receiver sensitivity in dBm; the result is in mW.  SNR is
+``10 * log10(P_signal / P_noise)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB power ratio to a linear ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB; requires ``ratio > 0``."""
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert absolute power from dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert absolute power from milliwatts to dBm."""
+    if mw <= 0.0:
+        raise ValueError(f"power must be positive, got {mw} mW")
+    return 10.0 * math.log10(mw)
+
+
+def laser_power_mw(worst_insertion_loss_db: float, sensitivity_dbm: float) -> float:
+    """Laser power (mW) required so the worst signal meets sensitivity.
+
+    Implements ``P = 10**((il_w + S) / 10)`` from Sec. II-B: a signal
+    attenuated by ``il_w`` dB must still arrive with at least the
+    receiver sensitivity ``S`` dBm, so the laser must emit
+    ``il_w + S`` dBm.
+    """
+    if worst_insertion_loss_db < 0.0:
+        raise ValueError("insertion loss cannot be negative")
+    return dbm_to_mw(worst_insertion_loss_db + sensitivity_dbm)
+
+
+def snr_db(signal_mw: float, noise_mw: float) -> float:
+    """Signal-to-noise ratio in dB; ``inf`` for exactly zero noise."""
+    if signal_mw <= 0.0:
+        raise ValueError(f"signal power must be positive, got {signal_mw}")
+    if noise_mw < 0.0:
+        raise ValueError(f"noise power cannot be negative, got {noise_mw}")
+    if noise_mw == 0.0:
+        return math.inf
+    return 10.0 * math.log10(signal_mw / noise_mw)

@@ -1,0 +1,14 @@
+"""Boolean satisfiability substrate (2-SAT).
+
+Once the ring MILP has selected its edges, each edge still has two
+possible L-shaped physical realizations (Fig. 6(b)).  Choosing one
+realization per edge so that *no* pair of drawn waveguides crosses is a
+classic 2-SAT instance: one boolean per edge ("vertical-first?"), and
+for every realization pairing that would cross, a clause forbidding
+that pairing.  :class:`TwoSat` solves such instances in linear time via
+strongly connected components of the implication graph.
+"""
+
+from repro.sat.two_sat import TwoSat
+
+__all__ = ["TwoSat"]

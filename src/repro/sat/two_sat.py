@@ -1,0 +1,122 @@
+"""Linear-time 2-SAT via implication-graph SCCs.
+
+Literals are encoded as ``2*v`` (positive) and ``2*v + 1`` (negated).
+A clause ``(a or b)`` adds the implications ``not a -> b`` and
+``not b -> a``.  The instance is satisfiable iff no variable shares a
+strongly connected component with its negation; a satisfying assignment
+falls out of the reverse-topological SCC order (Aspvall-Plass-Tarjan).
+
+The SCC computation is an iterative Tarjan so deep implication chains
+cannot overflow Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+
+class TwoSat:
+    """A 2-SAT instance over ``num_vars`` boolean variables."""
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        self._adj: list[list[int]] = [[] for _ in range(2 * num_vars)]
+
+    @staticmethod
+    def _lit(var: int, value: bool) -> int:
+        return 2 * var if value else 2 * var + 1
+
+    @staticmethod
+    def _neg(lit: int) -> int:
+        return lit ^ 1
+
+    def _check_var(self, var: int) -> None:
+        if not 0 <= var < self.num_vars:
+            raise IndexError(f"variable {var} out of range")
+
+    def add_clause(self, v1: int, val1: bool, v2: int, val2: bool) -> None:
+        """Add the clause ``(v1 == val1) or (v2 == val2)``."""
+        self._check_var(v1)
+        self._check_var(v2)
+        l1 = self._lit(v1, val1)
+        l2 = self._lit(v2, val2)
+        self._adj[self._neg(l1)].append(l2)
+        self._adj[self._neg(l2)].append(l1)
+
+    def add_implication(self, v1: int, val1: bool, v2: int, val2: bool) -> None:
+        """Add ``(v1 == val1) -> (v2 == val2)``."""
+        self.add_clause(v1, not val1, v2, val2)
+
+    def forbid(self, v1: int, val1: bool, v2: int, val2: bool) -> None:
+        """Forbid the simultaneous assignment ``v1 == val1 and v2 == val2``."""
+        self.add_clause(v1, not val1, v2, not val2)
+
+    def force(self, var: int, value: bool) -> None:
+        """Force ``var == value`` (unit clause)."""
+        self.add_clause(var, value, var, value)
+
+    def _tarjan_components(self) -> list[int]:
+        """Return an SCC id per literal, ids in reverse topological order."""
+        n = len(self._adj)
+        index = [-1] * n
+        low = [0] * n
+        on_stack = [False] * n
+        comp = [-1] * n
+        stack: list[int] = []
+        next_index = 0
+        comp_count = 0
+
+        for root in range(n):
+            if index[root] != -1:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            while work:
+                node, child_pos = work[-1]
+                if child_pos == 0:
+                    index[node] = low[node] = next_index
+                    next_index += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                advanced = False
+                for pos in range(child_pos, len(self._adj[node])):
+                    succ = self._adj[node][pos]
+                    if index[succ] == -1:
+                        work[-1] = (node, pos + 1)
+                        work.append((succ, 0))
+                        advanced = True
+                        break
+                    if on_stack[succ]:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if low[node] == index[node]:
+                    while True:
+                        top = stack.pop()
+                        on_stack[top] = False
+                        comp[top] = comp_count
+                        if top == node:
+                            break
+                    comp_count += 1
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return comp
+
+    def solve(self) -> list[bool] | None:
+        """Return a satisfying assignment, or ``None`` if unsatisfiable.
+
+        Tarjan identifies SCCs sink-first, so a smaller component id
+        lies closer to the sinks of the condensation.  Per
+        Aspvall-Plass-Tarjan, a literal on the sink side is safe to set
+        true, hence ``comp[pos] < comp[neg]`` assigns the variable True.
+        """
+        comp = self._tarjan_components()
+        assignment: list[bool] = []
+        for var in range(self.num_vars):
+            pos = comp[2 * var]
+            neg = comp[2 * var + 1]
+            if pos == neg:
+                return None
+            assignment.append(pos < neg)
+        return assignment

@@ -1,0 +1,6 @@
+"""Layout visualization: SVG files and terminal ASCII sketches."""
+
+from repro.viz.svg import render_design_svg
+from repro.viz.ascii_art import ascii_layout, bar_chart
+
+__all__ = ["render_design_svg", "ascii_layout", "bar_chart"]

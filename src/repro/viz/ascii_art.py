@@ -1,0 +1,85 @@
+"""Terminal-friendly sketches: layout maps and bar charts.
+
+``ascii_layout`` rasterizes the ring and shortcuts onto a character
+grid (enough to eyeball a synthesis result in a terminal);
+``bar_chart`` renders sweep results (e.g. power vs #wl) as horizontal
+bars for the example scripts.
+"""
+
+from __future__ import annotations
+
+from repro.core.design import XRingDesign
+from repro.geometry import Point
+
+
+def _plot_segment(grid, a, b, char: str) -> None:
+    (x1, y1), (x2, y2) = a, b
+    if y1 == y2:
+        for x in range(min(x1, x2), max(x1, x2) + 1):
+            if grid[y1][x] == " ":
+                grid[y1][x] = char
+    else:
+        for y in range(min(y1, y2), max(y1, y2) + 1):
+            if grid[y][x1] == " ":
+                grid[y][x1] = char
+
+
+def ascii_layout(design: XRingDesign, width: int = 64) -> str:
+    """Character-grid sketch of the ring (``#``), shortcuts (``*``),
+    nodes (letters) and openings (``o``)."""
+    box = design.network.bounding_box()
+    if box.width <= 0 or box.height <= 0:
+        raise ValueError("degenerate die box")
+    height = max(8, int(width * box.height / box.width / 2))
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(p: Point) -> tuple[int, int]:
+        cx = int((p.x - box.xmin) / box.width * (width - 1))
+        cy = int((box.ymax - p.y) / box.height * (height - 1))
+        return (min(max(cx, 0), width - 1), min(max(cy, 0), height - 1))
+
+    for path in design.tour.edge_paths:
+        for seg in path.segments:
+            _plot_segment(grid, cell(seg.a), cell(seg.b), "#")
+    for shortcut in design.shortcut_plan.shortcuts:
+        for seg in shortcut.path.segments:
+            _plot_segment(grid, cell(seg.a), cell(seg.b), "*")
+
+    openings = {
+        ring.opening_node
+        for ring in design.mapping.rings
+        if ring.opening_node is not None
+    }
+    for node in design.network.nodes:
+        cx, cy = cell(node.position)
+        grid[cy][cx] = "o" if node.index in openings else _node_char(node.index)
+
+    return "\n".join("".join(row) for row in grid)
+
+
+def _node_char(index: int) -> str:
+    alphabet = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    return alphabet[index % len(alphabet)]
+
+
+def bar_chart(
+    rows: list[tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    Bars scale to the largest value; each line shows the label, the
+    bar, and the numeric value.
+    """
+    if not rows:
+        raise ValueError("no rows to chart")
+    peak = max(value for _, value in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{label:<{label_width}}  {bar} {value:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""SVG rendering of synthesized ring-router layouts.
+
+``render_design_svg`` draws the ring waveguides (one stroke for the
+whole nested bundle), the shortcut chords, the node positions with
+labels, the ring openings, and — when a PDN was built — the splitter
+tree.  The output is a standalone SVG string; no third-party renderer
+is required.
+"""
+
+from __future__ import annotations
+
+from repro.core.design import XRingDesign
+from repro.geometry import Point, RectilinearPath
+
+_SCALE = 60.0  # pixels per millimetre
+_MARGIN = 40.0
+
+_STYLE = {
+    "ring": 'stroke="#0a6" stroke-width="3" fill="none"',
+    "shortcut": 'stroke="#d60" stroke-width="2" fill="none" stroke-dasharray="6 3"',
+    "pdn": 'stroke="#07c" stroke-width="1.5" fill="none" stroke-dasharray="2 3"',
+    "node": 'fill="#222"',
+    "label": 'font-family="monospace" font-size="12" fill="#222"',
+    "opening": 'fill="#c22"',
+}
+
+
+class _Canvas:
+    """Accumulates SVG elements in flipped-y chip coordinates."""
+
+    def __init__(self, xmin: float, ymin: float, xmax: float, ymax: float) -> None:
+        self.xmin = xmin
+        self.ymax = ymax
+        self.width = (xmax - xmin) * _SCALE + 2 * _MARGIN
+        self.height = (ymax - ymin) * _SCALE + 2 * _MARGIN
+        self.elements: list[str] = []
+
+    def tx(self, p: Point) -> tuple[float, float]:
+        return (
+            _MARGIN + (p.x - self.xmin) * _SCALE,
+            _MARGIN + (self.ymax - p.y) * _SCALE,
+        )
+
+    def polyline(self, path: RectilinearPath, style_key: str) -> None:
+        points = " ".join(f"{x:.1f},{y:.1f}" for x, y in map(self.tx, path.points))
+        self.elements.append(
+            f'<polyline points="{points}" {_STYLE[style_key]} />'
+        )
+
+    def line(self, a: Point, b: Point, style_key: str) -> None:
+        (x1, y1), (x2, y2) = self.tx(a), self.tx(b)
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f"{_STYLE[style_key]} />"
+        )
+
+    def circle(self, p: Point, radius: float, style_key: str) -> None:
+        x, y = self.tx(p)
+        self.elements.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" {_STYLE[style_key]} />'
+        )
+
+    def text(self, p: Point, content: str, dx: float = 6, dy: float = -6) -> None:
+        x, y = self.tx(p)
+        self.elements.append(
+            f'<text x="{x + dx:.1f}" y="{y + dy:.1f}" {_STYLE["label"]}>'
+            f"{content}</text>"
+        )
+
+    def render(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f'  <rect width="100%" height="100%" fill="#fafafa"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+
+def render_design_svg(design: XRingDesign) -> str:
+    """Render a synthesized design as a standalone SVG document."""
+    box = design.network.bounding_box()
+    canvas = _Canvas(box.xmin, box.ymin, box.xmax, box.ymax)
+
+    for path in design.tour.edge_paths:
+        canvas.polyline(path, "ring")
+
+    for shortcut in design.shortcut_plan.shortcuts:
+        canvas.polyline(shortcut.path, "shortcut")
+
+    if design.pdn is not None:
+        for a, b in design.pdn.tree_edges:
+            canvas.line(a, b, "pdn")
+
+    openings = {
+        ring.opening_node
+        for ring in design.mapping.rings
+        if ring.opening_node is not None
+    }
+    for node in design.network.nodes:
+        style = "opening" if node.index in openings else "node"
+        canvas.circle(node.position, 5.0, style)
+        canvas.text(node.position, node.name)
+
+    return canvas.render()

@@ -1,0 +1,39 @@
+"""Shared fixtures: small networks and pre-built tours.
+
+Ring construction involves an MILP solve, so the tours used across
+many test modules are built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ring import construct_ring_tour
+from repro.network import Network
+from repro.network.placement import psion_placement
+
+
+@pytest.fixture(scope="session")
+def network8() -> Network:
+    """The 8-node Table II network."""
+    points, die = psion_placement(8)
+    return Network.from_positions(points, die=die)
+
+
+@pytest.fixture(scope="session")
+def network16() -> Network:
+    """The 16-node Table II network."""
+    points, die = psion_placement(16)
+    return Network.from_positions(points, die=die)
+
+
+@pytest.fixture(scope="session")
+def tour8(network8):
+    """Step-1 tour of the 8-node network (shared across tests)."""
+    return construct_ring_tour(list(network8.positions))
+
+
+@pytest.fixture(scope="session")
+def tour16(network16):
+    """Step-1 tour of the 16-node network (shared across tests)."""
+    return construct_ring_tour(list(network16.positions))

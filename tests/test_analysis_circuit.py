@@ -1,0 +1,114 @@
+"""Unit tests for the photonic circuit model (arcs, wrap, validation)."""
+
+import pytest
+
+from repro.analysis import DropFilter, Leg, PhotonicCircuit, SignalSpec
+
+
+def make_circuit():
+    circuit = PhotonicCircuit()
+    guide = circuit.add_waveguide(10.0, closed=False)
+    return circuit, guide
+
+
+class TestWaveguideArcs:
+    def test_open_arc_length(self):
+        circuit, guide = make_circuit()
+        assert guide.arc_length(2.0, 7.5) == pytest.approx(5.5)
+
+    def test_open_backwards_raises(self):
+        circuit, guide = make_circuit()
+        with pytest.raises(ValueError):
+            guide.arc_length(7.0, 2.0)
+
+    def test_closed_wrap_length(self):
+        circuit = PhotonicCircuit()
+        ring = circuit.add_waveguide(10.0, closed=True)
+        assert ring.arc_length(7.0, 3.0) == pytest.approx(6.0)
+
+    def test_filters_between_strict_interior(self):
+        circuit, guide = make_circuit()
+        for pos in (2.0, 5.0, 8.0):
+            guide.add_drop_filter(DropFilter(pos, 0, signal_id=int(pos), node=0))
+        guide.finalize()
+        inside = guide.filters_between(2.0, 8.0)
+        assert [f.position for f in inside] == [5.0]
+
+    def test_filters_between_wraps_on_closed(self):
+        circuit = PhotonicCircuit()
+        ring = circuit.add_waveguide(10.0, closed=True)
+        for pos in (1.0, 4.0, 9.0):
+            ring.add_drop_filter(DropFilter(pos, 0, signal_id=int(pos), node=0))
+        ring.finalize()
+        inside = ring.filters_between(8.0, 2.0)
+        assert [f.position for f in inside] == [9.0, 1.0]
+
+    def test_element_position_validated(self):
+        circuit, guide = make_circuit()
+        guide.add_drop_filter(DropFilter(12.0, 0, signal_id=0, node=0))
+        with pytest.raises(ValueError):
+            guide.finalize()
+
+    def test_closed_guide_rejects_position_at_length(self):
+        circuit = PhotonicCircuit()
+        ring = circuit.add_waveguide(10.0, closed=True)
+        ring.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=0))
+        with pytest.raises(ValueError):
+            ring.finalize()
+
+
+class TestCircuitConstruction:
+    def test_crossing_registered_on_both_guides(self):
+        circuit = PhotonicCircuit()
+        a = circuit.add_waveguide(10.0)
+        b = circuit.add_waveguide(10.0)
+        cid = circuit.add_crossing(a.wid, 5.0, b.wid, 4.0)
+        assert len(a.crossings) == 1 and len(b.crossings) == 1
+        assert a.crossings[0].crossing_id == cid
+        assert a.crossings[0].other_wid == b.wid
+
+    def test_pdn_crossing_adds_injection(self):
+        circuit = PhotonicCircuit()
+        a = circuit.add_waveguide(10.0)
+        circuit.add_pdn_crossing(a.wid, 3.0, rel_db=-45.0)
+        assert len(circuit.external_injections) == 1
+        assert a.crossings[0].other_wid == -1
+
+    def test_signal_requires_terminal_filter(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 10.0)]))
+        with pytest.raises(ValueError):
+            circuit.finalize()
+
+    def test_duplicate_signal_ids_rejected(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        guide.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 10.0)]))
+        circuit.add_signal(SignalSpec(0, 1, 0, 0, [Leg(guide.wid, 0.0, 10.0)]))
+        with pytest.raises(ValueError):
+            circuit.finalize()
+
+    def test_wavelength_count(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        guide.add_drop_filter(DropFilter(10.0, 2, signal_id=0, node=1))
+        guide.add_drop_filter(DropFilter(8.0, 5, signal_id=1, node=2))
+        circuit.add_signal(SignalSpec(0, 0, 1, 2, [Leg(guide.wid, 0.0, 10.0)]))
+        circuit.add_signal(SignalSpec(1, 0, 2, 5, [Leg(guide.wid, 0.0, 8.0)]))
+        circuit.finalize()
+        assert circuit.used_wavelengths() == [2, 5]
+        assert circuit.wavelength_count == 2
+
+    def test_signal_spec_validation(self):
+        with pytest.raises(ValueError):
+            SignalSpec(0, 0, 1, 0, [])
+        with pytest.raises(ValueError):
+            SignalSpec(0, 0, 1, -1, [Leg(0, 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            SignalSpec(0, 0, 1, 0, [Leg(0, 0.0, 1.0)], feed_loss_db=-1.0)
+
+    def test_waveguide_length_positive(self):
+        with pytest.raises(ValueError):
+            PhotonicCircuit().add_waveguide(0.0)

@@ -1,0 +1,265 @@
+"""Hand-computed checks of insertion loss, crosstalk and power.
+
+These tests build tiny circuits whose losses and noise levels can be
+verified with pencil and paper, pinning the analysis semantics.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    DropFilter,
+    Leg,
+    PhotonicCircuit,
+    SignalSpec,
+    compute_noise,
+    evaluate_circuit,
+    per_wavelength_power_mw,
+    signal_loss,
+    total_laser_power_w,
+)
+from repro.photonics.parameters import (
+    NIKDAST_CROSSTALK,
+    CrosstalkParameters,
+    LossParameters,
+)
+
+#: Loss set with zero propagation so element counts dominate.
+SIMPLE = LossParameters(
+    propagation_db_per_cm=0.0,
+    crossing_db=0.1,
+    drop_db=0.5,
+    through_db=0.005,
+    bend_db=0.01,
+    photodetector_db=0.1,
+    modulator_db=0.7,
+    splitter_db=3.0,
+    receiver_sensitivity_dbm=-20.0,
+    laser_efficiency=1.0,
+)
+
+PROP = SIMPLE.with_overrides(propagation_db_per_cm=1.0)  # 0.1 dB/mm
+
+
+def straight_circuit(params=SIMPLE):
+    """One open guide, one signal over its full length."""
+    circuit = PhotonicCircuit()
+    guide = circuit.add_waveguide(10.0)
+    guide.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+    circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 10.0)]))
+    circuit.finalize()
+    return circuit
+
+
+class TestInsertionLoss:
+    def test_minimal_signal(self):
+        circuit = straight_circuit()
+        breakdown = signal_loss(circuit, circuit.signals[0], SIMPLE)
+        # mod 0.7 + drop 0.5 + pd 0.1
+        assert breakdown.il == pytest.approx(1.3)
+        assert breakdown.drop_count == 1
+
+    def test_propagation_term(self):
+        circuit = straight_circuit()
+        breakdown = signal_loss(circuit, circuit.signals[0], PROP)
+        assert breakdown.propagation_db == pytest.approx(1.0)  # 10 mm at 0.1 dB/mm
+        assert breakdown.il == pytest.approx(2.3)
+
+    def test_through_and_crossing_events(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        other = circuit.add_waveguide(10.0)
+        guide.add_drop_filter(DropFilter(4.0, 1, signal_id=9, node=5))
+        guide.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        other.add_drop_filter(DropFilter(10.0, 1, signal_id=9, node=5))
+        circuit.add_crossing(guide.wid, 6.0, other.wid, 5.0)
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 10.0)]))
+        circuit.add_signal(SignalSpec(9, 2, 5, 1, [Leg(other.wid, 0.0, 10.0)]))
+        circuit.finalize()
+        breakdown = signal_loss(circuit, circuit.signals[0], SIMPLE)
+        # mod + 1 through + 1 crossing + drop + pd
+        assert breakdown.il == pytest.approx(0.7 + 0.005 + 0.1 + 0.5 + 0.1)
+        assert breakdown.through_count == 1
+        assert breakdown.crossing_count == 1
+
+    def test_same_wavelength_filter_in_path_rejected(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        guide.add_drop_filter(DropFilter(4.0, 0, signal_id=7, node=5))
+        guide.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 10.0)]))
+        with pytest.raises(ValueError, match="same-wavelength"):
+            signal_loss(circuit, circuit.signals[0], SIMPLE)
+
+    def test_cse_junction_adds_drop(self):
+        circuit = PhotonicCircuit()
+        a = circuit.add_waveguide(10.0)
+        b = circuit.add_waveguide(10.0)
+        b.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        circuit.add_signal(
+            SignalSpec(0, 0, 1, 0, [Leg(a.wid, 0.0, 5.0), Leg(b.wid, 5.0, 10.0)])
+        )
+        circuit.finalize()
+        breakdown = signal_loss(circuit, circuit.signals[0], SIMPLE)
+        assert breakdown.drop_count == 2
+        assert breakdown.il == pytest.approx(0.7 + 2 * 0.5 + 0.1)
+
+    def test_bend_loss(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        guide.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        circuit.add_signal(
+            SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 10.0, bends=3)])
+        )
+        circuit.finalize()
+        breakdown = signal_loss(circuit, circuit.signals[0], SIMPLE)
+        assert breakdown.bend_db == pytest.approx(0.03)
+
+    def test_feed_separates_il_and_il_total(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        guide.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        circuit.add_signal(
+            SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 10.0)], feed_loss_db=6.0)
+        )
+        circuit.finalize()
+        breakdown = signal_loss(circuit, circuit.signals[0], SIMPLE)
+        assert breakdown.il_total - breakdown.il == pytest.approx(6.0)
+
+
+def crossing_pair_circuit():
+    """Two same-wavelength signals whose guides cross mid-way."""
+    circuit = PhotonicCircuit()
+    a = circuit.add_waveguide(10.0)
+    b = circuit.add_waveguide(10.0)
+    a.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+    b.add_drop_filter(DropFilter(10.0, 0, signal_id=1, node=3))
+    circuit.add_crossing(a.wid, 5.0, b.wid, 5.0)
+    circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(a.wid, 0.0, 10.0)]))
+    circuit.add_signal(SignalSpec(1, 2, 3, 0, [Leg(b.wid, 0.0, 10.0)]))
+    circuit.finalize()
+    return circuit
+
+
+class TestCrosstalk:
+    def test_crossing_noise_reaches_same_wavelength_filter(self):
+        circuit = crossing_pair_circuit()
+        noise = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK)
+        assert set(noise) == {0, 1}
+        record = noise[1][0]
+        # Aggressor at crossing: rel -0.7 (modulator); leak -40;
+        # then drop 0.5 + pd 0.1 at the victim filter.
+        assert record.rel_db == pytest.approx(-0.7 - 40.0 - 0.6)
+        assert record.source == "crossing"
+        assert record.source_sid == 0
+
+    def test_different_wavelengths_no_noise(self):
+        circuit = PhotonicCircuit()
+        a = circuit.add_waveguide(10.0)
+        b = circuit.add_waveguide(10.0)
+        a.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        b.add_drop_filter(DropFilter(10.0, 1, signal_id=1, node=3))
+        circuit.add_crossing(a.wid, 5.0, b.wid, 5.0)
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(a.wid, 0.0, 10.0)]))
+        circuit.add_signal(SignalSpec(1, 2, 3, 1, [Leg(b.wid, 0.0, 10.0)]))
+        circuit.finalize()
+        assert compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK) == {}
+
+    def test_noise_upstream_of_crossing_not_hit(self):
+        # Victim filter sits *before* the crossing on the victim guide.
+        circuit = PhotonicCircuit()
+        a = circuit.add_waveguide(10.0)
+        b = circuit.add_waveguide(10.0)
+        a.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        b.add_drop_filter(DropFilter(2.0, 0, signal_id=1, node=3))
+        circuit.add_crossing(a.wid, 5.0, b.wid, 5.0)
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(a.wid, 0.0, 10.0)]))
+        circuit.add_signal(SignalSpec(1, 2, 3, 0, [Leg(b.wid, 0.0, 2.0)]))
+        circuit.finalize()
+        noise = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK)
+        assert 1 not in noise  # open guide: noise runs off the far end
+
+    def test_closed_ring_noise_wraps(self):
+        circuit = PhotonicCircuit()
+        ring = circuit.add_waveguide(10.0, closed=True)
+        other = circuit.add_waveguide(10.0)
+        ring.add_drop_filter(DropFilter(2.0, 0, signal_id=1, node=3))
+        other.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        circuit.add_crossing(other.wid, 5.0, ring.wid, 5.0)
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(other.wid, 0.0, 10.0)]))
+        circuit.add_signal(SignalSpec(1, 2, 3, 0, [Leg(ring.wid, 0.0, 2.0)]))
+        circuit.finalize()
+        noise = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK)
+        assert 1 in noise  # wrapped from 5.0 through 0 to the filter at 2.0
+
+    def test_pdn_injection_hits_every_wavelength(self):
+        circuit = PhotonicCircuit()
+        guide = circuit.add_waveguide(10.0)
+        guide.add_drop_filter(DropFilter(8.0, 0, signal_id=0, node=1))
+        guide.add_drop_filter(DropFilter(9.0, 1, signal_id=1, node=1))
+        circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(guide.wid, 0.0, 8.0)]))
+        circuit.add_signal(SignalSpec(1, 2, 1, 1, [Leg(guide.wid, 0.0, 9.0)]))
+        circuit.add_pdn_crossing(guide.wid, 4.0, rel_db=-45.0)
+        circuit.finalize()
+        noise = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK)
+        assert set(noise) == {0, 1}
+        assert all(r.source == "pdn" for records in noise.values() for r in records)
+
+    def test_cse_residual_noise(self):
+        circuit = PhotonicCircuit()
+        a = circuit.add_waveguide(10.0)
+        b = circuit.add_waveguide(10.0)
+        b.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+        a.add_drop_filter(DropFilter(9.0, 0, signal_id=1, node=4))
+        circuit.add_signal(
+            SignalSpec(0, 0, 1, 0, [Leg(a.wid, 0.0, 5.0), Leg(b.wid, 5.0, 10.0)])
+        )
+        circuit.add_signal(SignalSpec(1, 3, 4, 0, [Leg(a.wid, 6.0, 9.0)]))
+        circuit.finalize()
+        noise = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK)
+        assert any(r.source == "cse_residual" for r in noise.get(1, []))
+
+    def test_negligible_noise_dropped(self):
+        circuit = crossing_pair_circuit()
+        weak = CrosstalkParameters(
+            crossing_db=-200.0,
+            mrr_through_leak_db=-200.0,
+            mrr_drop_residual_db=-200.0,
+        )
+        assert compute_noise(circuit, SIMPLE, weak) == {}
+
+
+class TestPowerAndReport:
+    def test_per_wavelength_power(self):
+        circuit = straight_circuit()
+        power = per_wavelength_power_mw(circuit, SIMPLE)
+        # il_total 1.3 dB, S -20 dBm -> 10**(-1.87) mW, efficiency 1.
+        assert power[0] == pytest.approx(10 ** ((1.3 - 20.0) / 10.0))
+
+    def test_efficiency_scales_power(self):
+        circuit = straight_circuit()
+        eff = SIMPLE.with_overrides(laser_efficiency=0.1)
+        p1 = total_laser_power_w(circuit, SIMPLE)
+        p2 = total_laser_power_w(circuit, eff)
+        assert p2 == pytest.approx(10 * p1)
+
+    def test_evaluation_counts(self):
+        circuit = crossing_pair_circuit()
+        evaluation = evaluate_circuit(circuit, SIMPLE, NIKDAST_CROSSTALK)
+        assert evaluation.signal_count == 2
+        assert evaluation.noisy_signals == 2
+        assert evaluation.noise_free_fraction == 0.0
+        assert evaluation.wl_count == 1
+        assert evaluation.snr_worst_db == pytest.approx(39.9, abs=0.05)
+
+    def test_evaluation_without_xtalk(self):
+        circuit = crossing_pair_circuit()
+        evaluation = evaluate_circuit(circuit, SIMPLE, None, with_power=False)
+        assert evaluation.noisy_signals == 0
+        assert evaluation.snr_worst_db is None
+        assert math.isnan(evaluation.power_w)
+
+    def test_evaluation_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_circuit(PhotonicCircuit(), SIMPLE, None)

@@ -1,0 +1,103 @@
+"""Tests for the ORNoC and ORing ring-router baselines."""
+
+import pytest
+
+from repro.analysis import evaluate_circuit
+from repro.baselines.ring import synthesize_ornoc, synthesize_oring
+from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
+
+
+@pytest.fixture(scope="module")
+def baseline_designs(network16, tour16):
+    ornoc = synthesize_ornoc(network16, wl_budget=16, tour=tour16)
+    oring = synthesize_oring(network16, wl_budget=16, tour=tour16)
+    return ornoc, oring
+
+
+@pytest.fixture(scope="module")
+def baseline_evaluations(baseline_designs):
+    return tuple(
+        evaluate_circuit(
+            d.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK),
+            ORING_LOSSES,
+            NIKDAST_CROSSTALK,
+        )
+        for d in baseline_designs
+    )
+
+
+class TestBaselineStructure:
+    def test_no_shortcuts(self, baseline_designs):
+        for design in baseline_designs:
+            assert design.shortcut_count == 0
+
+    def test_closed_rings(self, baseline_designs):
+        for design in baseline_designs:
+            assert all(r.opening_node is None for r in design.mapping.rings)
+
+    def test_external_pdn_has_crossings(self, baseline_designs):
+        for design in baseline_designs:
+            assert design.pdn is not None
+            assert design.pdn.crossing_count > 0
+
+    def test_labels(self, baseline_designs):
+        assert baseline_designs[0].label == "ornoc"
+        assert baseline_designs[1].label == "oring"
+
+    def test_all_demands_mapped(self, baseline_designs):
+        for design in baseline_designs:
+            assert len(design.mapping.assignments) == 240
+
+    def test_no_pdn_variant(self, network16, tour16):
+        design = synthesize_ornoc(network16, wl_budget=16, tour=tour16, pdn=False)
+        assert design.pdn is None
+
+
+class TestBaselineBehaviour:
+    def test_baselines_suffer_noise(self, baseline_evaluations):
+        for evaluation in baseline_evaluations:
+            assert evaluation.noisy_signals > 0.5 * evaluation.signal_count
+            assert evaluation.snr_worst_db is not None
+
+    def test_ornoc_paths_longer_than_oring(self, baseline_evaluations):
+        ornoc, oring = baseline_evaluations
+        # ORNoC's first-fit sends signals the long way around.
+        assert ornoc.worst_length_mm > oring.worst_length_mm
+
+    def test_worst_paths_cross_pdn(self, baseline_evaluations):
+        for evaluation in baseline_evaluations:
+            assert evaluation.worst_crossings >= 0
+        assert any(e.worst_crossings > 0 for e in baseline_evaluations)
+
+
+class TestXRingBeatsBaselines:
+    """The paper's headline comparisons, as regression tests."""
+
+    @pytest.fixture(scope="class")
+    def xring_evaluation(self, network16, tour16):
+        from repro.core import SynthesisOptions, XRingSynthesizer
+
+        design = XRingSynthesizer(
+            network16, SynthesisOptions(wl_budget=16)
+        ).run(tour=tour16)
+        return evaluate_circuit(
+            design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK),
+            ORING_LOSSES,
+            NIKDAST_CROSSTALK,
+        )
+
+    def test_xring_lower_insertion_loss(self, xring_evaluation, baseline_evaluations):
+        for baseline in baseline_evaluations:
+            assert xring_evaluation.il_w < baseline.il_w
+
+    def test_xring_lower_power(self, xring_evaluation, baseline_evaluations):
+        for baseline in baseline_evaluations:
+            assert xring_evaluation.power_w < baseline.power_w
+
+    def test_xring_noise_free_fraction(self, xring_evaluation, baseline_evaluations):
+        assert xring_evaluation.noise_free_fraction > 0.98
+        for baseline in baseline_evaluations:
+            assert baseline.noise_free_fraction < 0.5
+
+    def test_xring_zero_crossings_on_worst_path(self, xring_evaluation):
+        assert xring_evaluation.worst_crossings == 0

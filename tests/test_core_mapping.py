@@ -1,0 +1,147 @@
+"""Unit and property tests for Step 3: mapping, wavelengths, openings."""
+
+import itertools
+
+import pytest
+
+from repro.core.mapping import Direction, map_signals
+from repro.core.shortcuts import ShortcutPlan, select_shortcuts
+from repro.network.traffic import all_to_all
+from repro.photonics.parameters import ORING_LOSSES
+
+
+def plain_mapping(tour, wl_budget, **kwargs):
+    demands = all_to_all(tour.size)
+    return map_signals(tour, demands, ShortcutPlan(), wl_budget, **kwargs)
+
+
+class TestMappingInvariants:
+    def test_all_demands_mapped(self, tour16):
+        mapping = plain_mapping(tour16, 16)
+        assert len(mapping.assignments) == 240
+
+    def test_wavelengths_within_budget(self, tour16):
+        budget = 10
+        mapping = plain_mapping(tour16, budget)
+        assert all(a.wavelength < budget for a in mapping.assignments.values())
+
+    def test_no_same_wavelength_arc_overlap(self, tour16):
+        mapping = plain_mapping(tour16, 12)
+        by_slot = {}
+        for a in mapping.assignments.values():
+            by_slot.setdefault((a.rid, a.wavelength), []).append(a)
+        for assignments in by_slot.values():
+            for a, b in itertools.combinations(assignments, 2):
+                assert not (a.edges & b.edges), (
+                    f"{(a.src, a.dst)} and {(b.src, b.dst)} overlap on "
+                    f"ring {a.rid} wavelength {a.wavelength}"
+                )
+
+    def test_shortest_direction(self, tour16):
+        mapping = plain_mapping(tour16, 16)
+        for (src, dst), a in mapping.assignments.items():
+            cw = tour16.cw_distance(src, dst)
+            ccw = tour16.ccw_distance(src, dst)
+            expected = Direction.CW if cw <= ccw else Direction.CCW
+            assert a.direction is expected
+
+    def test_openings_not_traversed(self, tour16):
+        mapping = plain_mapping(tour16, 16, open_rings=True)
+        ring_by_id = {r.rid: r for r in mapping.rings}
+        for a in mapping.assignments.values():
+            opening = ring_by_id[a.rid].opening_node
+            assert opening is not None
+            assert opening not in a.passed_nodes
+
+    def test_closed_rings_have_no_openings(self, tour16):
+        mapping = plain_mapping(tour16, 16, open_rings=False)
+        assert all(r.opening_node is None for r in mapping.rings)
+
+    def test_no_empty_rings(self, tour16):
+        mapping = plain_mapping(tour16, 16)
+        for ring in mapping.rings:
+            assert mapping.ring_signals(ring.rid)
+
+    def test_rids_renumbered_contiguously(self, tour16):
+        mapping = plain_mapping(tour16, 16)
+        assert [r.rid for r in mapping.rings] == list(range(len(mapping.rings)))
+
+    def test_smaller_budget_needs_more_rings(self, tour16):
+        small = plain_mapping(tour16, 4)
+        large = plain_mapping(tour16, 16)
+        assert len(small.rings) >= len(large.rings)
+
+    def test_budget_validation(self, tour16):
+        with pytest.raises(ValueError):
+            plain_mapping(tour16, 0)
+
+    def test_order_validation(self, tour16):
+        with pytest.raises(ValueError):
+            plain_mapping(tour16, 8, order="bogus")
+        with pytest.raises(ValueError):
+            plain_mapping(tour16, 8, direction_policy="bogus")
+
+
+class TestFirstFitPolicy:
+    def test_first_fit_maps_everything(self, tour16):
+        mapping = plain_mapping(
+            tour16, 16, order="demand", direction_policy="first_fit"
+        )
+        assert len(mapping.assignments) == 240
+
+    def test_first_fit_takes_longer_paths(self, tour16):
+        shortest = plain_mapping(tour16, 16)
+        first_fit = plain_mapping(
+            tour16, 16, order="demand", direction_policy="first_fit"
+        )
+
+        def total_length(mapping):
+            total = 0.0
+            for (src, dst), a in mapping.assignments.items():
+                dist = (
+                    tour16.cw_distance(src, dst)
+                    if a.direction is Direction.CW
+                    else tour16.ccw_distance(src, dst)
+                )
+                total += dist
+            return total
+
+        assert total_length(first_fit) > total_length(shortest)
+
+    def test_first_fit_respects_budget_and_overlap(self, tour16):
+        mapping = plain_mapping(
+            tour16, 16, order="demand", direction_policy="first_fit",
+            open_rings=False,
+        )
+        by_slot = {}
+        for a in mapping.assignments.values():
+            assert a.wavelength < 16
+            by_slot.setdefault((a.rid, a.wavelength), []).append(a)
+        for assignments in by_slot.values():
+            for a, b in itertools.combinations(assignments, 2):
+                assert not (a.edges & b.edges)
+
+
+class TestShortcutWavelengths:
+    def test_shortcut_signals_excluded_from_rings(self, tour16):
+        plan = select_shortcuts(tour16, loss=ORING_LOSSES)
+        mapping = map_signals(tour16, all_to_all(16), plan, 16)
+        for pair in plan.served:
+            assert pair not in mapping.assignments
+            assert pair in mapping.shortcut_wavelengths
+
+    def test_plain_shortcuts_use_wavelength_zero(self, tour16):
+        plan = select_shortcuts(tour16, loss=ORING_LOSSES)
+        mapping = map_signals(tour16, all_to_all(16), plan, 16)
+        for idx, s in enumerate(plan.shortcuts):
+            if s.partner is None:
+                assert mapping.shortcut_wavelengths[(s.node_a, s.node_b)] == 0
+
+    def test_crossed_shortcuts_use_distinct_wavelengths(self, tour8):
+        plan = select_shortcuts(tour8)  # length-gain mode allows crossings
+        mapping = map_signals(tour8, all_to_all(8), plan, 8)
+        for idx1, idx2 in plan.crossing_pairs:
+            s1, s2 = plan.shortcuts[idx1], plan.shortcuts[idx2]
+            wl1 = mapping.shortcut_wavelengths[(s1.node_a, s1.node_b)]
+            wl2 = mapping.shortcut_wavelengths[(s2.node_a, s2.node_b)]
+            assert wl1 != wl2

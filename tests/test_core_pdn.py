@@ -1,0 +1,129 @@
+"""Unit tests for Step 4: PDN construction (internal and external)."""
+
+import math
+
+import pytest
+
+from repro.core.mapping import map_signals
+from repro.core.pdn import build_pdn
+from repro.core.shortcuts import ShortcutPlan, select_shortcuts
+from repro.network.traffic import all_to_all
+from repro.photonics.parameters import ORING_LOSSES
+
+
+@pytest.fixture()
+def mapping16(tour16):
+    return map_signals(tour16, all_to_all(16), ShortcutPlan(), 16)
+
+
+@pytest.fixture()
+def die16(network16):
+    return network16.bounding_box()
+
+
+class TestInternalPdn:
+    def test_no_crossings(self, tour16, mapping16, die16):
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="internal"
+        )
+        assert pdn.crossing_count == 0
+        assert pdn.ring_crossings == []
+
+    def test_every_sender_has_feed(self, tour16, mapping16, die16):
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="internal"
+        )
+        for ring in mapping16.rings:
+            for a in mapping16.ring_signals(ring.rid):
+                assert ("ring", ring.rid, a.src) in pdn.feeds
+
+    def test_feed_losses_include_splits(self, tour16, mapping16, die16):
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="internal"
+        )
+        # A binary tree over >= 8 senders has at least 3 levels plus the
+        # cross-ring combiner; every feed must cost at least one split.
+        assert all(v >= ORING_LOSSES.splitter_db for v in pdn.feeds.values())
+
+    def test_deeper_trees_cost_more(self, tour8, tour16, network8, network16):
+        mapping8 = map_signals(tour8, all_to_all(8), ShortcutPlan(), 8)
+        mapping16 = map_signals(tour16, all_to_all(16), ShortcutPlan(), 16)
+        pdn8 = build_pdn(
+            tour8, mapping8, ShortcutPlan(), ORING_LOSSES,
+            network8.bounding_box(), mode="internal",
+        )
+        pdn16 = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES,
+            network16.bounding_box(), mode="internal",
+        )
+        worst8 = max(pdn8.feeds.values())
+        worst16 = max(pdn16.feeds.values())
+        assert worst16 > worst8
+
+    def test_shortcut_senders_get_feeds(self, tour16, die16):
+        plan = select_shortcuts(tour16, loss=ORING_LOSSES)
+        mapping = map_signals(tour16, all_to_all(16), plan, 16)
+        pdn = build_pdn(tour16, mapping, plan, ORING_LOSSES, die16, mode="internal")
+        for idx, s in enumerate(plan.shortcuts):
+            assert ("shortcut", idx, s.node_a) in pdn.feeds
+            assert ("shortcut", idx, s.node_b) in pdn.feeds
+
+    def test_splitter_count_consistent(self, tour16, mapping16, die16):
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="internal"
+        )
+        # A forest of binary trees over L leaves has exactly L-1 splitters.
+        leaves = len(pdn.feeds)
+        assert pdn.splitter_count == leaves - 1
+
+
+class TestExternalPdn:
+    def test_crossings_recorded(self, tour16, mapping16, die16):
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="external"
+        )
+        assert pdn.crossing_count > 0
+        assert len(pdn.ring_crossings) == pdn.crossing_count
+
+    def test_crossings_name_valid_rings(self, tour16, mapping16, die16):
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="external"
+        )
+        rids = {r.rid for r in mapping16.rings}
+        assert all(event.rid in rids for event in pdn.ring_crossings)
+
+    def test_inner_rings_attract_more_crossings(self, tour16, mapping16, die16):
+        # rid 0 is the outermost instance: a branch descending to ring
+        # r crosses rids 0..r-1, so outer rings accumulate more events.
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="external"
+        )
+        per_rid = {r.rid: 0 for r in mapping16.rings}
+        for event in pdn.ring_crossings:
+            per_rid[event.rid] += 1
+        outermost = per_rid[0]
+        innermost = per_rid[max(per_rid)]
+        assert outermost >= innermost
+
+    def test_crossing_positions_on_ring(self, tour16, mapping16, die16):
+        pdn = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="external"
+        )
+        for event in pdn.ring_crossings:
+            assert 0.0 <= event.ring_position_mm <= tour16.length_mm
+            assert event.loss_to_point_db >= 0.0
+
+    def test_external_feeds_cost_more(self, tour16, mapping16, die16):
+        internal = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="internal"
+        )
+        external = build_pdn(
+            tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="external"
+        )
+        assert max(external.feeds.values()) >= max(internal.feeds.values())
+
+    def test_mode_validation(self, tour16, mapping16, die16):
+        with pytest.raises(ValueError):
+            build_pdn(
+                tour16, mapping16, ShortcutPlan(), ORING_LOSSES, die16, mode="bogus"
+            )

@@ -1,0 +1,108 @@
+"""Integration tests: full synthesis, lowering, and design invariants."""
+
+import math
+
+import pytest
+
+from repro.analysis import evaluate_circuit, signal_loss
+from repro.core import SynthesisOptions, XRingSynthesizer, synthesize
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
+
+
+@pytest.fixture(scope="module")
+def design16():
+    points, die = psion_placement(16)
+    network = Network.from_positions(points, die=die)
+    return synthesize(network, wl_budget=16)
+
+
+@pytest.fixture(scope="module")
+def circuit16(design16):
+    return design16.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+
+
+class TestSynthesizedDesign:
+    def test_all_demands_covered(self, design16):
+        served = set(design16.mapping.assignments) | set(
+            design16.shortcut_plan.served
+        )
+        assert served == set(design16.network.demands())
+
+    def test_circuit_has_all_signals(self, circuit16):
+        assert len(circuit16.signals) == 240
+
+    def test_every_signal_has_positive_loss(self, circuit16):
+        for signal in circuit16.signals:
+            breakdown = signal_loss(circuit16, signal, ORING_LOSSES)
+            assert breakdown.il > 0
+            assert breakdown.length_mm >= 0
+
+    def test_ring_signals_suffer_no_crossings(self, circuit16, design16):
+        # XRing's headline structural property: zero crossings on data
+        # paths (internal PDN, crossing-budgeted shortcuts).
+        evaluation = evaluate_circuit(circuit16, ORING_LOSSES, NIKDAST_CROSSTALK)
+        assert evaluation.worst_crossings == 0
+
+    def test_high_noise_free_fraction(self, circuit16):
+        # The paper's claim: > 98% of signals suffer no first-order noise.
+        evaluation = evaluate_circuit(circuit16, ORING_LOSSES, NIKDAST_CROSSTALK)
+        assert evaluation.noise_free_fraction > 0.98
+
+    def test_feed_losses_attached(self, circuit16):
+        assert all(s.feed_loss_db > 0 for s in circuit16.signals)
+
+    def test_power_positive(self, circuit16):
+        evaluation = evaluate_circuit(circuit16, ORING_LOSSES, NIKDAST_CROSSTALK)
+        assert evaluation.power_w > 0
+
+    def test_wavelength_count_within_budget_plus_shortcuts(self, design16):
+        assert design16.wavelength_count <= 16
+
+    def test_synthesis_time_recorded(self, design16):
+        assert design16.synthesis_time_s > 0
+
+    def test_convenience_metrics(self, design16):
+        assert design16.ring_count == len(design16.mapping.rings)
+        assert design16.shortcut_count == len(design16.shortcut_plan.shortcuts)
+
+
+class TestOptionVariants:
+    @pytest.fixture(scope="class")
+    def network8(self):
+        points, die = psion_placement(8)
+        return Network.from_positions(points, die=die)
+
+    def test_no_pdn(self, network8):
+        design = synthesize(network8, wl_budget=8, pdn_mode=None)
+        assert design.pdn is None
+        circuit = design.to_circuit(ORING_LOSSES)
+        assert all(s.feed_loss_db == 0 for s in circuit.signals)
+
+    def test_no_shortcuts(self, network8):
+        design = synthesize(network8, wl_budget=8, enable_shortcuts=False)
+        assert design.shortcut_count == 0
+        assert len(design.mapping.assignments) == 56
+
+    def test_closed_rings(self, network8):
+        design = synthesize(
+            network8, wl_budget=8, enable_openings=False, pdn_mode="external"
+        )
+        assert all(r.opening_node is None for r in design.mapping.rings)
+        circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+        evaluation = evaluate_circuit(circuit, ORING_LOSSES, NIKDAST_CROSSTALK)
+        # External PDN over closed rings causes crossings and noise.
+        assert evaluation.noisy_signals > 0
+
+    def test_tour_reuse(self, network8):
+        synth = XRingSynthesizer(network8, SynthesisOptions(wl_budget=8))
+        design1 = synth.run()
+        design2 = XRingSynthesizer(network8, SynthesisOptions(wl_budget=8)).run(
+            tour=design1.tour
+        )
+        assert design2.tour is design1.tour
+
+    def test_invalid_pdn_mode(self, network8):
+        with pytest.raises(ValueError):
+            synthesize(network8, wl_budget=8, pdn_mode="bogus")

@@ -1,0 +1,132 @@
+"""Tests for the λ-router, GWOR and Light logical topologies."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.crossbar import Gwor, LambdaRouter, Light
+
+
+def check_routes_connected(topology):
+    """Every route's consecutive stops must be segment-connected."""
+    netlist = topology.build_netlist()
+    for route in topology.all_routes():
+        for a, b in zip(route.stops, route.stops[1:]):
+            netlist.segment_between(a, b)  # raises KeyError if missing
+
+
+class TestLambdaRouter:
+    def test_element_count(self):
+        for n in (4, 8, 16):
+            router = LambdaRouter(n)
+            assert len(router.element_coord) == n * (n - 1) // 2
+
+    def test_every_pair_meets_once(self):
+        router = LambdaRouter(8)
+        pairs = set(router.meeting)
+        assert pairs == {
+            (i, j) for i in range(8) for j in range(i + 1, 8)
+        }
+
+    def test_wavelength_count(self):
+        assert LambdaRouter(8).wavelength_count == 8
+
+    def test_wavelengths_unique_per_receiver(self):
+        router = LambdaRouter(8)
+        for dst in range(8):
+            wavelengths = [
+                router.route(src, dst).wavelength for src in range(8) if src != dst
+            ]
+            assert len(set(wavelengths)) == len(wavelengths)
+
+    def test_route_structure(self):
+        router = LambdaRouter(8)
+        route = router.route(0, 7)
+        assert route.drops == 1
+        assert route.throughs >= 0
+        check_routes_connected(router)
+
+    def test_self_route_rejected(self):
+        with pytest.raises(ValueError):
+            LambdaRouter(4).route(2, 2)
+
+    def test_reordered_equivalence(self):
+        base = LambdaRouter(8)
+        perm = tuple(reversed(range(8)))
+        reordered = base.reordered(perm)
+        # Functionally equivalent: same drop counts for all pairs.
+        for i, j in itertools.permutations(range(8), 2):
+            assert reordered.route(i, j).drops == 1
+        check_routes_connected(reordered)
+
+    def test_reordered_validation(self):
+        with pytest.raises(ValueError):
+            LambdaRouter(4, input_order=(0, 0, 1, 2))
+
+
+class TestGwor:
+    def test_requires_even(self):
+        with pytest.raises(ValueError):
+            Gwor(7)
+
+    def test_wavelength_count(self):
+        assert Gwor(8).wavelength_count == 7
+
+    def test_all_routes_valid(self):
+        router = Gwor(8)
+        routes = router.all_routes()
+        assert len(routes) == 56
+        check_routes_connected(router)
+
+    def test_cross_side_routes_one_drop(self):
+        router = Gwor(8)
+        assert router.route(0, 4).drops == 1  # row -> column
+        assert router.route(4, 0).drops == 1  # column -> row
+
+    def test_same_side_routes_two_drops(self):
+        router = Gwor(8)
+        assert router.route(0, 1).drops == 2  # row -> row
+        assert router.route(4, 5).drops == 2  # column -> column
+
+    def test_crossings_grow_with_span(self):
+        router = Gwor(16)
+        near = router.route(0, 8).crossings_logical
+        far = router.route(0, 15).crossings_logical
+        assert far >= near
+
+
+class TestLight:
+    def test_requires_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            Light(10)
+
+    def test_wavelength_count(self):
+        assert Light(16).wavelength_count == 15
+
+    def test_all_routes_valid(self):
+        router = Light(16)
+        routes = router.all_routes()
+        assert len(routes) == 240
+        check_routes_connected(router)
+
+    def test_opposite_ends_straight(self):
+        router = Light(16)
+        route = router.route(0, 4)  # west end -> east end of row 0
+        assert route.drops == 0
+
+    def test_light_fewer_crossings_than_gwor(self):
+        light = Light(16)
+        gwor = Gwor(16)
+        light_worst = max(r.crossings_logical for r in light.all_routes())
+        gwor_worst = max(r.crossings_logical for r in gwor.all_routes())
+        assert light_worst < gwor_worst
+
+    def test_wavelengths_unique_per_receiver(self):
+        router = Light(16)
+        for dst in range(16):
+            wavelengths = [
+                router.route(src, dst).wavelength
+                for src in range(16)
+                if src != dst
+            ]
+            assert len(set(wavelengths)) == len(wavelengths)

@@ -1,0 +1,149 @@
+"""Detailed tests of the design-to-circuit lowering.
+
+These pin the coordinate conventions (opened-ring reparameterization,
+CCW mirroring, CSE leg geometry) and conservation invariants across
+wavelength budgets.
+"""
+
+import pytest
+
+from repro.analysis import evaluate_circuit, signal_loss
+from repro.core import SynthesisOptions, XRingSynthesizer, synthesize
+from repro.core.mapping import Direction
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
+
+
+@pytest.fixture(scope="module")
+def design16(network16, tour16):
+    return XRingSynthesizer(
+        network16, SynthesisOptions(wl_budget=16)
+    ).run(tour=tour16)
+
+
+@pytest.fixture(scope="module")
+def circuit16(design16):
+    return design16.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+
+
+class TestCoordinateConventions:
+    def test_ring_guides_opened(self, design16, circuit16):
+        for ring in design16.mapping.rings:
+            assert ring.opening_node is not None
+        ring_guides = [
+            g for g in circuit16.waveguides.values() if g.kind == "ring"
+        ]
+        assert ring_guides and all(not g.closed for g in ring_guides)
+
+    def test_ring_guide_lengths(self, design16, circuit16):
+        for guide in circuit16.waveguides.values():
+            if guide.kind == "ring":
+                assert guide.length == pytest.approx(design16.tour.length_mm)
+
+    def test_ring_leg_lengths_match_arcs(self, design16, circuit16):
+        tour = design16.tour
+        by_sid = {s.sid: s for s in circuit16.signals}
+        sid = 0
+        for (src, dst), assignment in sorted(
+            design16.mapping.assignments.items()
+        ):
+            signal = by_sid[sid]
+            guide = circuit16.waveguides[signal.legs[0].wid]
+            arc = guide.arc_length(signal.legs[0].start, signal.legs[0].end)
+            expected = (
+                tour.cw_distance(src, dst)
+                if assignment.direction is Direction.CW
+                else tour.ccw_distance(src, dst)
+            )
+            assert arc == pytest.approx(expected, abs=1e-6)
+            sid += 1
+
+    def test_shortcut_routes_shorter_than_ring(self, design16, circuit16):
+        tour = design16.tour
+        for signal in circuit16.signals:
+            guide = circuit16.waveguides[signal.legs[0].wid]
+            if guide.kind != "shortcut":
+                continue
+            total = sum(
+                circuit16.waveguides[leg.wid].arc_length(leg.start, leg.end)
+                for leg in signal.legs
+            )
+            ring_best = min(
+                tour.cw_distance(signal.src, signal.dst),
+                tour.ccw_distance(signal.src, signal.dst),
+            )
+            assert total < ring_best + 1e-6
+
+    def test_terminal_filters_match_destinations(self, design16, circuit16):
+        for signal in circuit16.signals:
+            flt = circuit16.terminal_filter(signal)
+            assert flt is not None
+            assert flt.node == signal.dst
+            assert flt.wavelength == signal.wavelength
+
+
+class TestConservationAcrossBudgets:
+    @pytest.mark.parametrize("budget", [6, 10, 16])
+    def test_every_budget_serves_all_demands(self, network16, tour16, budget):
+        design = XRingSynthesizer(
+            network16, SynthesisOptions(wl_budget=budget)
+        ).run(tour=tour16)
+        circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+        assert len(circuit.signals) == 240
+        pairs = {(s.src, s.dst) for s in circuit.signals}
+        assert pairs == set(network16.demands())
+
+    @pytest.mark.parametrize("budget", [6, 10, 16])
+    def test_budget_respected_in_circuit(self, network16, tour16, budget):
+        design = XRingSynthesizer(
+            network16, SynthesisOptions(wl_budget=budget)
+        ).run(tour=tour16)
+        circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+        # Ring-mapped signals obey the budget; shortcut signals reuse
+        # the lowest four indices (Sec. III-C), which 6+ budgets cover.
+        assert max(s.wavelength for s in circuit.signals) < budget
+
+    @pytest.mark.parametrize("budget", [6, 10, 16])
+    def test_analysis_never_rejects_assignment(self, network16, tour16, budget):
+        design = XRingSynthesizer(
+            network16, SynthesisOptions(wl_budget=budget)
+        ).run(tour=tour16)
+        circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+        # signal_loss raises on same-wavelength conflicts: sweeping the
+        # budget must never produce one.
+        for signal in circuit.signals:
+            signal_loss(circuit, signal, ORING_LOSSES)
+
+    def test_budget_tradeoff_monotone_rings(self, network16, tour16):
+        ring_counts = []
+        for budget in (4, 8, 16):
+            design = XRingSynthesizer(
+                network16, SynthesisOptions(wl_budget=budget)
+            ).run(tour=tour16)
+            ring_counts.append(design.ring_count)
+        assert ring_counts[0] >= ring_counts[1] >= ring_counts[2]
+
+
+class TestCcwMirroring:
+    def test_ccw_positions_mirror(self, design16):
+        tour = design16.tour
+        ccw_rings = [
+            r for r in design16.mapping.rings if r.direction is Direction.CCW
+        ]
+        assert ccw_rings, "expected at least one CCW ring"
+        ring = ccw_rings[0]
+        a, b = tour.order[1], tour.order[2]
+        pos_a = design16._guide_position(a, ring)
+        pos_b = design16._guide_position(b, ring)
+        # b follows a in CW order, so in the CCW frame b comes first.
+        delta = (pos_a - pos_b) % tour.length_mm
+        assert delta == pytest.approx(tour.cw_distance(a, b), abs=1e-6)
+
+
+class TestNoiseOrderOnFullDesign:
+    def test_second_order_keeps_xring_clean(self, circuit16):
+        evaluation = evaluate_circuit(
+            circuit16, ORING_LOSSES, NIKDAST_CROSSTALK, noise_order=2
+        )
+        assert evaluation.noisy_signals <= 0.02 * evaluation.signal_count

@@ -1,0 +1,227 @@
+"""Tests for the extension features: heuristic ring construction,
+higher-order crosstalk, resource/spectrum reports, JSON reports and
+the scaling harness."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis import (
+    DropFilter,
+    Leg,
+    PhotonicCircuit,
+    SignalSpec,
+    compute_noise,
+    evaluate_circuit,
+    resource_report,
+    spectrum_report,
+)
+from repro.core import synthesize
+from repro.core.heuristic_ring import construct_ring_tour_heuristic
+from repro.core.ring import construct_ring_tour
+from repro.geometry import Point
+from repro.io import design_report, save_report
+from repro.network import Network
+from repro.network.placement import extended_placement, psion_placement
+from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
+from tests.test_analysis_loss_noise import SIMPLE
+
+
+class TestHeuristicRing:
+    def test_matches_structure(self, network16):
+        tour = construct_ring_tour_heuristic(list(network16.positions))
+        assert sorted(tour.order) == list(range(16))
+        assert tour.crossing_count == 0
+
+    def test_near_optimal_on_paper_sizes(self, network16, tour16):
+        heuristic = construct_ring_tour_heuristic(list(network16.positions))
+        assert heuristic.length_mm <= 1.15 * tour16.length_mm
+
+    def test_scales_past_milp_sizes(self):
+        points, _ = extended_placement(64)
+        tour = construct_ring_tour_heuristic(points)
+        assert tour.size == 64
+        assert tour.crossing_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            construct_ring_tour_heuristic([Point(0, 0), Point(1, 0)])
+        with pytest.raises(ValueError):
+            construct_ring_tour_heuristic(
+                [Point(0, 0), Point(0, 0), Point(1, 1), Point(2, 0)]
+            )
+
+    def test_synthesizer_integration(self, network8):
+        design = synthesize(network8, wl_budget=8, ring_method="heuristic")
+        assert len(design.mapping.assignments) + len(
+            design.shortcut_plan.served
+        ) == 56
+
+    def test_unknown_method_rejected(self, network8):
+        with pytest.raises(ValueError):
+            synthesize(network8, ring_method="bogus")
+
+
+def _chain_circuit():
+    """Three guides chained by crossings: A x B at 5, B x C at 7.
+
+    A first-order leak from the signal on A lands on B; a second-order
+    leak continues from B onto C, where a same-wavelength filter waits.
+    """
+    circuit = PhotonicCircuit()
+    a = circuit.add_waveguide(10.0)
+    b = circuit.add_waveguide(10.0)
+    c = circuit.add_waveguide(10.0)
+    a.add_drop_filter(DropFilter(10.0, 0, signal_id=0, node=1))
+    # B carries a different wavelength so the first-order token passes.
+    b.add_drop_filter(DropFilter(10.0, 1, signal_id=1, node=2))
+    c.add_drop_filter(DropFilter(10.0, 0, signal_id=2, node=3))
+    circuit.add_crossing(a.wid, 5.0, b.wid, 5.0)
+    circuit.add_crossing(b.wid, 7.0, c.wid, 7.0)
+    circuit.add_signal(SignalSpec(0, 0, 1, 0, [Leg(a.wid, 0.0, 10.0)]))
+    circuit.add_signal(SignalSpec(1, 4, 2, 1, [Leg(b.wid, 0.0, 10.0)]))
+    circuit.add_signal(SignalSpec(2, 5, 3, 0, [Leg(c.wid, 0.0, 10.0)]))
+    circuit.finalize()
+    return circuit
+
+
+class TestHigherOrderNoise:
+    def test_first_order_misses_the_chain(self):
+        circuit = _chain_circuit()
+        noise = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK, max_order=1)
+        assert 2 not in noise  # signal on C sees nothing at order 1
+
+    def test_second_order_reaches_through_two_crossings(self):
+        circuit = _chain_circuit()
+        noise = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK, max_order=2)
+        records = noise.get(2, [])
+        assert records and records[0].order == 2
+        # Two -40 dB couplings: about 80 dB below the aggressor level.
+        assert records[0].rel_db == pytest.approx(-0.7 - 80.0 - 0.6, abs=0.1)
+
+    def test_second_order_is_negligible(self):
+        # The paper's justification for first-order-only analysis:
+        # every additional order costs another crossing coupling
+        # (about -40 dB), so second-order noise sits 70+ dB under the
+        # signal even in this worst-case chain.
+        circuit = _chain_circuit()
+        second = compute_noise(circuit, SIMPLE, NIKDAST_CROSSTALK, max_order=2)
+        strongest_second = max(
+            r.rel_db
+            for records in second.values()
+            for r in records
+            if r.order == 2
+        )
+        assert strongest_second < -70.0
+
+    def test_evaluation_with_noise_order(self):
+        circuit = _chain_circuit()
+        ev1 = evaluate_circuit(circuit, SIMPLE, NIKDAST_CROSSTALK, with_power=False)
+        ev2 = evaluate_circuit(
+            circuit, SIMPLE, NIKDAST_CROSSTALK, with_power=False, noise_order=2
+        )
+        assert ev2.noisy_signals >= ev1.noisy_signals
+
+
+@pytest.fixture(scope="module")
+def design_and_eval():
+    points, die = psion_placement(8)
+    network = Network.from_positions(points, die=die)
+    design = synthesize(network, wl_budget=8)
+    circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
+    return design, evaluate_circuit(circuit, ORING_LOSSES, NIKDAST_CROSSTALK), circuit
+
+
+class TestResourceReport:
+    def test_counts(self, design_and_eval):
+        design, _, _ = design_and_eval
+        report = resource_report(design)
+        assert report.modulator_count == 56
+        assert report.mrr_count >= 56
+        assert report.photodetector_count == report.mrr_count
+        assert report.ring_count == design.ring_count
+        assert report.waveguide_mm > design.tour.length_mm
+        assert report.footprint_mm2 > 0
+
+    def test_xring_crossing_free(self, design_and_eval):
+        design, _, _ = design_and_eval
+        report = resource_report(design)
+        # Internal PDN and crossing-budgeted shortcuts: the only data
+        # crossings come from merged shortcut pairs.
+        assert report.crossing_count == 4 * len(
+            design.shortcut_plan.crossing_pairs
+        )
+
+
+class TestSpectrumReport:
+    def test_channels_cover_signals(self, design_and_eval):
+        design, evaluation, circuit = design_and_eval
+        report = spectrum_report(circuit, ORING_LOSSES, evaluation)
+        assert sum(c.signal_count for c in report.channels) == 56
+        assert len(report.channels) == evaluation.wl_count
+
+    def test_power_matches_evaluation(self, design_and_eval):
+        _, evaluation, circuit = design_and_eval
+        report = spectrum_report(circuit, ORING_LOSSES, evaluation)
+        assert report.total_power_mw / 1000 == pytest.approx(
+            evaluation.power_w, rel=1e-9
+        )
+
+    def test_channel_stats_consistent(self, design_and_eval):
+        _, evaluation, circuit = design_and_eval
+        report = spectrum_report(circuit, ORING_LOSSES, evaluation)
+        for channel in report.channels:
+            assert channel.worst_il_db >= channel.mean_il_db - 1e-9
+            assert channel.headroom_db >= -1e-9
+
+    def test_snr_percentile(self, design_and_eval):
+        _, evaluation, circuit = design_and_eval
+        report = spectrum_report(circuit, ORING_LOSSES, evaluation)
+        # XRing is noise-free: percentile degenerates to +inf.
+        assert report.snr_percentile_db(0.5) == math.inf
+        with pytest.raises(ValueError):
+            report.snr_percentile_db(2.0)
+
+    def test_without_evaluation(self, design_and_eval):
+        _, _, circuit = design_and_eval
+        report = spectrum_report(circuit, ORING_LOSSES)
+        assert report.snr_values_db == []
+        assert report.power_imbalance >= 1.0
+
+
+class TestJsonReport:
+    def test_roundtrip(self, design_and_eval, tmp_path):
+        design, evaluation, _ = design_and_eval
+        path = save_report(tmp_path / "design.json", design, evaluation)
+        loaded = json.loads(path.read_text())
+        assert loaded["network"]["size"] == 8
+        assert loaded["evaluation"]["signal_count"] == 56
+        assert loaded["evaluation"]["snr_worst_db"] is None
+        assert loaded["tour"]["crossings"] == 0
+        assert loaded["resources"]["modulator_count"] == 56
+
+    def test_report_without_evaluation(self, design_and_eval):
+        design, _, _ = design_and_eval
+        report = design_report(design)
+        assert "evaluation" not in report
+        assert report["pdn"]["mode"] == "internal"
+
+
+class TestScalingHarness:
+    def test_small_run(self):
+        from repro.experiments import format_scaling, run_scaling
+
+        rows = run_scaling(sizes=(8,), methods=("milp", "heuristic"))
+        assert {r.method for r in rows} == {"milp", "heuristic"}
+        for row in rows:
+            assert row.total_time_s > 0
+            assert row.row.noisy == 0
+        text = format_scaling(rows)
+        assert "heuristic" in text
+
+    def test_milp_skipped_above_limit(self):
+        from repro.experiments import run_scaling
+
+        rows = run_scaling(sizes=(16,), methods=("milp",), milp_limit=8)
+        assert rows == []

@@ -1,0 +1,45 @@
+"""Unit tests for bounding boxes."""
+
+import pytest
+
+from repro.geometry import BBox, Point
+
+
+class TestBBox:
+    def test_of_points(self):
+        box = BBox.of_points([Point(1, 2), Point(4, 0), Point(3, 5)])
+        assert (box.xmin, box.ymin, box.xmax, box.ymax) == (1, 0, 4, 5)
+
+    def test_of_points_empty(self):
+        with pytest.raises(ValueError):
+            BBox.of_points([])
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            BBox(2, 0, 1, 5)
+
+    def test_dimensions(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.width == 4 and box.height == 3
+        assert box.half_perimeter == 7
+        assert box.center == Point(2, 1.5)
+
+    def test_contains(self):
+        box = BBox(0, 0, 4, 3)
+        assert box.contains(Point(2, 2))
+        assert box.contains(Point(0, 0))
+        assert not box.contains(Point(5, 1))
+
+    def test_inflate(self):
+        box = BBox(1, 1, 2, 2).inflate(0.5)
+        assert (box.xmin, box.ymax) == (0.5, 2.5)
+
+    def test_union(self):
+        a = BBox(0, 0, 1, 1)
+        b = BBox(2, -1, 3, 0.5)
+        u = a.union(b)
+        assert (u.xmin, u.ymin, u.xmax, u.ymax) == (0, -1, 3, 1)
+
+    def test_degenerate_box_allowed(self):
+        box = BBox.of_points([Point(1, 1)])
+        assert box.width == 0 and box.height == 0

@@ -1,0 +1,108 @@
+"""Unit and property tests for rectilinear paths and L-routes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, RectilinearPath, distance_along, l_route, l_routes
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestRectilinearPath:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            RectilinearPath([Point(0, 0)])
+
+    def test_drops_consecutive_duplicates(self):
+        path = RectilinearPath([Point(0, 0), Point(0, 0), Point(2, 0)])
+        assert len(path.points) == 2
+
+    def test_rejects_diagonal_leg(self):
+        with pytest.raises(ValueError):
+            RectilinearPath([Point(0, 0), Point(1, 1)])
+
+    def test_length_and_bends(self):
+        path = RectilinearPath([Point(0, 0), Point(3, 0), Point(3, 2), Point(5, 2)])
+        assert path.length == 7.0
+        assert path.bend_count == 2
+
+    def test_straight_path_no_bends(self):
+        path = RectilinearPath([Point(0, 0), Point(2, 0), Point(5, 0)])
+        assert path.bend_count == 0
+
+    def test_contains_point(self):
+        path = RectilinearPath([Point(0, 0), Point(3, 0), Point(3, 2)])
+        assert path.contains_point(Point(3, 1))
+        assert not path.contains_point(Point(1, 1))
+
+    def test_reversed(self):
+        path = RectilinearPath([Point(0, 0), Point(3, 0), Point(3, 2)])
+        rev = path.reversed()
+        assert rev.start == path.end and rev.end == path.start
+        assert rev.length == path.length
+
+    def test_concat(self):
+        p1 = RectilinearPath([Point(0, 0), Point(2, 0)])
+        p2 = RectilinearPath([Point(2, 0), Point(2, 3)])
+        joined = p1.concat(p2)
+        assert joined.length == 5.0
+        assert joined.start == Point(0, 0) and joined.end == Point(2, 3)
+
+    def test_concat_mismatch(self):
+        p1 = RectilinearPath([Point(0, 0), Point(2, 0)])
+        p2 = RectilinearPath([Point(3, 0), Point(3, 3)])
+        with pytest.raises(ValueError):
+            p1.concat(p2)
+
+
+class TestLRoutes:
+    def test_two_routes_for_generic_pair(self):
+        routes = l_routes(Point(0, 0), Point(2, 3))
+        assert len(routes) == 2
+
+    def test_single_route_for_aligned_pair(self):
+        assert len(l_routes(Point(0, 0), Point(0, 5))) == 1
+        assert len(l_routes(Point(0, 2), Point(7, 2))) == 1
+
+    def test_vertical_first_corner(self):
+        route = l_route(Point(0, 0), Point(2, 3), vertical_first=True)
+        assert route.points[1] == Point(0, 3)
+
+    def test_horizontal_first_corner(self):
+        route = l_route(Point(0, 0), Point(2, 3), vertical_first=False)
+        assert route.points[1] == Point(2, 0)
+
+    @given(points, points)
+    def test_l_route_length_is_manhattan(self, a, b):
+        if a.almost_equals(b):
+            return
+        for route in l_routes(a, b):
+            assert route.length == pytest.approx(a.manhattan(b), abs=1e-6)
+            assert route.start.almost_equals(a)
+            assert route.end.almost_equals(b)
+
+    @given(points, points)
+    def test_l_route_bend_count(self, a, b):
+        if a.almost_equals(b):
+            return
+        for route in l_routes(a, b):
+            assert route.bend_count <= 1
+
+
+class TestDistanceAlong:
+    def test_at_vertices(self):
+        path = RectilinearPath([Point(0, 0), Point(3, 0), Point(3, 2)])
+        assert distance_along(path, Point(0, 0)) == 0.0
+        assert distance_along(path, Point(3, 0)) == 3.0
+        assert distance_along(path, Point(3, 2)) == 5.0
+
+    def test_interior(self):
+        path = RectilinearPath([Point(0, 0), Point(3, 0), Point(3, 2)])
+        assert distance_along(path, Point(3, 1)) == 4.0
+
+    def test_off_path_raises(self):
+        path = RectilinearPath([Point(0, 0), Point(3, 0)])
+        with pytest.raises(ValueError):
+            distance_along(path, Point(1, 1))

@@ -1,0 +1,70 @@
+"""Unit and property tests for points and Manhattan metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, manhattan
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestPointBasics:
+    def test_manhattan_simple(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7.0
+
+    def test_manhattan_module_alias(self):
+        assert manhattan(Point(1, 1), Point(2, 3)) == 3.0
+
+    def test_euclidean(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_translate(self):
+        assert Point(1, 2).translate(2, -1) == Point(3, 1)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_almost_equals_tolerance(self):
+        assert Point(0, 0).almost_equals(Point(1e-12, -1e-12))
+        assert not Point(0, 0).almost_equals(Point(1e-3, 0))
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.5, 2.5)
+        assert p.as_tuple() == (1.5, 2.5)
+        assert tuple(p) == (1.5, 2.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+
+class TestManhattanProperties:
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert a.manhattan(b) == pytest.approx(b.manhattan(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-9
+
+    @given(points)
+    def test_identity(self, a):
+        assert a.manhattan(a) == 0.0
+
+    @given(points, points)
+    def test_dominates_euclidean(self, a, b):
+        assert a.manhattan(b) >= a.euclidean(b) - 1e-9
+
+    @given(points, points)
+    def test_midpoint_halves_distance(self, a, b):
+        mid = a.midpoint(b)
+        assert a.manhattan(mid) == pytest.approx(b.manhattan(mid), abs=1e-6)

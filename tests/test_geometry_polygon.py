@@ -1,0 +1,130 @@
+"""Unit and property tests for rectilinear polygons, plus the ring
+interior invariants the shortcut construction relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, RectilinearPolygon
+
+
+def square(side=4.0):
+    return RectilinearPolygon(
+        [Point(0, 0), Point(side, 0), Point(side, side), Point(0, side)]
+    )
+
+
+def l_shape():
+    return RectilinearPolygon(
+        [
+            Point(0, 0),
+            Point(4, 0),
+            Point(4, 2),
+            Point(2, 2),
+            Point(2, 4),
+            Point(0, 4),
+        ]
+    )
+
+
+class TestPolygonBasics:
+    def test_square_area_perimeter(self):
+        sq = square()
+        assert sq.area() == pytest.approx(16.0)
+        assert sq.perimeter() == pytest.approx(16.0)
+
+    def test_l_shape_area(self):
+        assert l_shape().area() == pytest.approx(12.0)
+
+    def test_containment(self):
+        sq = square()
+        assert sq.contains(Point(2, 2))
+        assert not sq.contains(Point(5, 2))
+        assert not sq.contains(Point(-1, 2))
+
+    def test_boundary_policy(self):
+        sq = square()
+        assert sq.contains(Point(4, 2), include_boundary=True)
+        assert not sq.contains(Point(4, 2), include_boundary=False)
+
+    def test_concave_notch(self):
+        shape = l_shape()
+        assert shape.contains(Point(1, 3))  # in the vertical leg
+        assert shape.contains(Point(3, 1))  # in the horizontal leg
+        assert not shape.contains(Point(3, 3))  # inside the notch
+
+    def test_vertex_ray_not_double_counted(self):
+        shape = l_shape()
+        # A point whose +x ray passes exactly through polygon vertices.
+        assert shape.contains(Point(1, 2))
+
+    def test_duplicate_and_closing_vertices_cleaned(self):
+        poly = RectilinearPolygon(
+            [Point(0, 0), Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4), Point(0, 0)]
+        )
+        assert len(poly.vertices) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectilinearPolygon([Point(0, 0), Point(1, 1), Point(2, 0), Point(1, -1)])
+        with pytest.raises(ValueError):
+            RectilinearPolygon([Point(0, 0), Point(1, 0)])
+
+    @given(
+        st.integers(min_value=-4, max_value=20),
+        st.integers(min_value=-4, max_value=20),
+    )
+    @settings(max_examples=100)
+    def test_containment_matches_box(self, ix, iy):
+        # Quarter-unit raster keeps points decisively on one side.
+        x, y = ix * 0.25, iy * 0.25
+        sq = square()
+        expected = 0 <= x <= 4 and 0 <= y <= 4
+        assert sq.contains(Point(x, y)) == expected
+
+
+class TestRingAsPolygon:
+    def test_from_tour(self, tour16):
+        poly = RectilinearPolygon.from_paths(tour16.edge_paths)
+        assert poly.perimeter() == pytest.approx(tour16.length_mm)
+        assert poly.area() > 0
+
+    def test_nodes_on_boundary(self, tour16):
+        poly = RectilinearPolygon.from_paths(tour16.edge_paths)
+        for point in tour16.points:
+            assert poly.on_boundary(point)
+
+    def test_shortcut_chords_side_consistent(self, tour16):
+        """A crossing-free chord stays on one side of the ring.
+
+        By the Jordan curve theorem, a path between two boundary
+        points that never crosses the closed curve lies entirely in
+        the interior or entirely in the exterior — never both.  (Both
+        sides are legal in the zero-offset nested-ring model; the
+        invariant is consistency.)
+        """
+        from repro.core.shortcuts import select_shortcuts
+        from repro.photonics import ORING_LOSSES
+
+        poly = RectilinearPolygon.from_paths(tour16.edge_paths)
+        plan = select_shortcuts(tour16, loss=ORING_LOSSES)
+        assert plan.shortcuts
+        for shortcut in plan.shortcuts:
+            sides = set()
+            for seg in shortcut.path.segments:
+                midpoint = seg.a.midpoint(seg.b)
+                if poly.on_boundary(midpoint):
+                    continue
+                # Ignore points within the grid-snap attach zone of a
+                # terminal, where the chord hugs the boundary.
+                endpoints = (
+                    tour16.points[shortcut.node_a],
+                    tour16.points[shortcut.node_b],
+                )
+                if any(midpoint.manhattan(e) <= 0.5 for e in endpoints):
+                    continue
+                sides.add(poly.contains(midpoint, include_boundary=False))
+            assert len(sides) <= 1, (
+                f"shortcut {shortcut.node_a}-{shortcut.node_b} switches "
+                "sides of the ring"
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for axis-aligned segments and intersection classification."""
+
+import pytest
+
+from repro.geometry import (
+    IntersectionKind,
+    Point,
+    Segment,
+    classify_intersection,
+)
+
+
+def seg(x1, y1, x2, y2) -> Segment:
+    return Segment(Point(x1, y1), Point(x2, y2))
+
+
+class TestSegmentConstruction:
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            seg(1, 1, 1, 1)
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(ValueError):
+            seg(0, 0, 1, 1)
+
+    def test_orientation_flags(self):
+        assert seg(0, 0, 5, 0).is_horizontal
+        assert not seg(0, 0, 5, 0).is_vertical
+        assert seg(2, 1, 2, 9).is_vertical
+
+    def test_length(self):
+        assert seg(0, 0, 5, 0).length == 5.0
+        assert seg(1, -2, 1, 3).length == 5.0
+
+    def test_lo_hi_fixed(self):
+        s = seg(5, 2, 1, 2)
+        assert (s.lo, s.hi, s.fixed) == (1.0, 5.0, 2.0)
+
+    def test_contains_point(self):
+        s = seg(0, 0, 4, 0)
+        assert s.contains_point(Point(2, 0))
+        assert s.contains_point(Point(0, 0))
+        assert not s.contains_point(Point(2, 0.5))
+        assert not s.contains_point(Point(5, 0))
+
+    def test_reversed(self):
+        s = seg(0, 0, 4, 0)
+        assert s.reversed().a == Point(4, 0)
+
+
+class TestPerpendicularClassification:
+    def test_proper_cross(self):
+        inter = classify_intersection(seg(0, 1, 4, 1), seg(2, 0, 2, 3))
+        assert inter.kind is IntersectionKind.CROSS
+        assert inter.point == Point(2, 1)
+
+    def test_touch_at_segment_end(self):
+        inter = classify_intersection(seg(0, 0, 4, 0), seg(4, 0, 4, 3))
+        assert inter.kind is IntersectionKind.TOUCH
+        assert inter.point == Point(4, 0)
+
+    def test_t_junction_is_touch(self):
+        inter = classify_intersection(seg(0, 0, 4, 0), seg(2, 0, 2, 3))
+        assert inter.kind is IntersectionKind.TOUCH
+
+    def test_disjoint(self):
+        inter = classify_intersection(seg(0, 0, 4, 0), seg(5, 1, 5, 3))
+        assert inter.kind is IntersectionKind.DISJOINT
+
+    def test_order_independent(self):
+        h, v = seg(0, 1, 4, 1), seg(2, 0, 2, 3)
+        assert classify_intersection(h, v).kind == classify_intersection(v, h).kind
+
+
+class TestParallelClassification:
+    def test_collinear_overlap(self):
+        inter = classify_intersection(seg(0, 0, 4, 0), seg(2, 0, 6, 0))
+        assert inter.kind is IntersectionKind.OVERLAP
+        assert inter.overlap == (Point(2, 0), Point(4, 0))
+
+    def test_collinear_point_touch(self):
+        inter = classify_intersection(seg(0, 0, 4, 0), seg(4, 0, 8, 0))
+        assert inter.kind is IntersectionKind.TOUCH
+        assert inter.point == Point(4, 0)
+
+    def test_collinear_disjoint(self):
+        inter = classify_intersection(seg(0, 0, 2, 0), seg(3, 0, 8, 0))
+        assert inter.kind is IntersectionKind.DISJOINT
+
+    def test_parallel_different_tracks(self):
+        inter = classify_intersection(seg(0, 0, 4, 0), seg(0, 1, 4, 1))
+        assert inter.kind is IntersectionKind.DISJOINT
+
+    def test_vertical_overlap(self):
+        inter = classify_intersection(seg(1, 0, 1, 5), seg(1, 3, 1, 9))
+        assert inter.kind is IntersectionKind.OVERLAP
+
+    def test_contained_overlap(self):
+        inter = classify_intersection(seg(0, 0, 10, 0), seg(3, 0, 4, 0))
+        assert inter.kind is IntersectionKind.OVERLAP
+        assert inter.overlap == (Point(3, 0), Point(4, 0))

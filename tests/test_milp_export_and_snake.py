@@ -1,0 +1,90 @@
+"""Tests for the LP export and the Snake crossbar topology."""
+
+import pytest
+
+from repro.baselines.crossbar import Gwor, Snake
+from repro.milp import Model
+from repro.milp.expression import lin_sum
+
+
+class TestLpExport:
+    def make_model(self):
+        model = Model("demo")
+        x = model.binary_var("x")
+        y = model.add_var("y", lb=1.0, ub=5.0)
+        model.add_constraint(x + 2 * y <= 7, name="cap")
+        model.add_constraint(y - x >= 0.5)
+        model.minimize(3 * x + y)
+        return model, x, y
+
+    def test_sections_present(self):
+        model, _, _ = self.make_model()
+        text = model.to_lp_string()
+        for section in ("Minimize", "Subject To", "Bounds", "General", "End"):
+            assert section in text
+
+    def test_terms_and_names(self):
+        model, _, _ = self.make_model()
+        text = model.to_lp_string()
+        assert "+ 3 x" in text
+        assert "cap:" in text
+        assert "1 <= y <= 5" in text
+        assert "General\n x" in text
+
+    def test_no_integers_section_for_pure_lp(self):
+        model = Model()
+        v = model.add_var("v", lb=0, ub=1)
+        model.minimize(v)
+        assert "General" not in model.to_lp_string()
+
+    def test_infinite_bounds(self):
+        model = Model()
+        model.add_var("free", lb=0)
+        assert "+inf" in model.to_lp_string()
+
+
+class TestSnake:
+    def test_route_counts(self):
+        snake = Snake(8)
+        routes = snake.all_routes()
+        assert len(routes) == 56
+        assert snake.wavelength_count == 7
+
+    def test_route_connectivity(self):
+        snake = Snake(8)
+        netlist = snake.build_netlist()
+        for route in snake.all_routes():
+            for a, b in zip(route.stops, route.stops[1:]):
+                netlist.segment_between(a, b)
+
+    def test_single_drop(self):
+        snake = Snake(6)
+        for route in snake.all_routes():
+            assert route.drops == 1
+
+    def test_corner_routes(self):
+        snake = Snake(8)
+        # src = N-1 to dst = 0 turns at the south-west cell: shortest.
+        short = snake.route(7, 0)
+        long = snake.route(0, 7)
+        assert short.throughs < long.throughs
+
+    def test_wavelengths_unique_per_receiver(self):
+        snake = Snake(8)
+        for dst in range(8):
+            wavelengths = [
+                snake.route(src, dst).wavelength for src in range(8) if src != dst
+            ]
+            assert len(set(wavelengths)) == len(wavelengths)
+
+    def test_snake_worse_than_gwor(self):
+        """Snake's full matrix beats per-signal crossings records."""
+        snake_worst = max(
+            r.crossings_logical for r in Snake(8).all_routes()
+        )
+        gwor_worst = max(r.crossings_logical for r in Gwor(8).all_routes())
+        assert snake_worst >= gwor_worst
+
+    def test_self_route_rejected(self):
+        with pytest.raises(ValueError):
+            Snake(4).route(1, 1)

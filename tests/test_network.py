@@ -1,0 +1,148 @@
+"""Unit tests for placements, traffic generators and networks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network import (
+    Network,
+    Node,
+    all_to_all,
+    extended_placement,
+    grid_placement,
+    oring_placement,
+    proton_placement,
+    psion_placement,
+)
+from repro.network.traffic import hotspot, neighbours_only
+
+
+class TestGridPlacement:
+    def test_counts(self):
+        assert len(grid_placement(8)) == 8
+        assert len(grid_placement(16)) == 16
+        assert len(grid_placement(32, columns=8)) == 32
+
+    def test_positions_unique(self):
+        points = grid_placement(16)
+        assert len({(p.x, p.y) for p in points}) == 16
+
+    def test_no_jitter_is_regular(self):
+        points = grid_placement(8, jitter=0.0)
+        assert points[1].x - points[0].x == pytest.approx(2.0)
+        assert points[0].y == points[1].y
+
+    def test_jitter_breaks_collinearity(self):
+        points = grid_placement(16)
+        # No two nodes share an exact coordinate (floorplan-like).
+        assert len({round(p.x, 6) for p in points}) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_placement(1)
+        with pytest.raises(ValueError):
+            grid_placement(8, pitch_mm=0)
+        with pytest.raises(ValueError):
+            grid_placement(8, jitter=-1)
+        with pytest.raises(ValueError):
+            grid_placement(10, columns=4)
+
+    def test_deterministic(self):
+        assert grid_placement(16) == grid_placement(16)
+
+
+class TestNamedPlacements:
+    def test_proton_sizes(self):
+        for n in (8, 16):
+            points, die = proton_placement(n)
+            assert len(points) == n
+            assert all(die.contains(p) for p in points)
+        with pytest.raises(ValueError):
+            proton_placement(32)
+
+    def test_psion_sizes(self):
+        for n in (8, 16, 32):
+            points, die = psion_placement(n)
+            assert len(points) == n
+        with pytest.raises(ValueError):
+            psion_placement(12)
+
+    def test_psion_32_extends_16(self):
+        p16, die16 = psion_placement(16)
+        p32, die32 = psion_placement(32)
+        assert die32.width > die16.width
+
+    def test_oring_placement(self):
+        points, die = oring_placement()
+        assert len(points) == 16
+
+    def test_extended_placement(self):
+        points, die = extended_placement(24)
+        assert len(points) == 24
+        assert all(die.contains(p) for p in points)
+
+
+class TestTraffic:
+    def test_all_to_all_count(self):
+        assert len(all_to_all(8)) == 56
+        assert len(all_to_all(16)) == 240
+
+    def test_all_to_all_no_self(self):
+        assert all(s != d for s, d in all_to_all(6))
+
+    @given(st.integers(2, 12))
+    def test_all_to_all_complete(self, n):
+        pairs = set(all_to_all(n))
+        assert len(pairs) == n * (n - 1)
+
+    def test_neighbours_only(self):
+        pairs = neighbours_only(5, radius=1)
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (0, 2) not in pairs
+
+    def test_hotspot(self):
+        pairs = hotspot(4, hot=2)
+        assert len(pairs) == 6
+        assert all(2 in pair for pair in pairs)
+
+    def test_traffic_validation(self):
+        with pytest.raises(ValueError):
+            all_to_all(1)
+        with pytest.raises(ValueError):
+            neighbours_only(4, radius=0)
+        with pytest.raises(ValueError):
+            hotspot(4, hot=9)
+
+
+class TestNetwork:
+    def test_from_positions(self):
+        net = Network.from_positions(grid_placement(8))
+        assert net.size == 8
+        assert net.nodes[3].name == "n3"
+
+    def test_default_demands_all_to_all(self):
+        net = Network.from_positions(grid_placement(8))
+        assert len(net.demands()) == 56
+
+    def test_explicit_traffic(self):
+        net = Network.from_positions(grid_placement(8), traffic=[(0, 1)])
+        assert net.demands() == ((0, 1),)
+
+    def test_traffic_validation(self):
+        with pytest.raises(ValueError):
+            Network.from_positions(grid_placement(8), traffic=[(0, 0)])
+        with pytest.raises(ValueError):
+            Network.from_positions(grid_placement(8), traffic=[(0, 99)])
+
+    def test_bounding_box_fallback(self):
+        net = Network.from_positions(grid_placement(8))
+        box = net.bounding_box()
+        assert all(box.contains(p) for p in net.positions)
+
+    def test_node_index_validation(self):
+        with pytest.raises(ValueError):
+            Node(-1, grid_placement(8)[0])
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            Network.from_positions(grid_placement(8)[:1])

@@ -1,0 +1,118 @@
+"""Unit and property tests for units, parameters and device sizing."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics import (
+    DEFAULT_SIZES,
+    NIKDAST_CROSSTALK,
+    ORING_LOSSES,
+    PROTON_LOSSES,
+    ComponentSizes,
+    db_to_linear,
+    dbm_to_mw,
+    laser_power_mw,
+    linear_to_db,
+    mw_to_dbm,
+    ring_pair_spacing,
+    snr_db,
+)
+
+
+class TestUnits:
+    def test_db_linear_known_values(self):
+        assert db_to_linear(0) == pytest.approx(1.0)
+        assert db_to_linear(10) == pytest.approx(10.0)
+        assert db_to_linear(-3.0103) == pytest.approx(0.5, rel=1e-4)
+
+    def test_dbm_known_values(self):
+        assert dbm_to_mw(0) == pytest.approx(1.0)
+        assert dbm_to_mw(30) == pytest.approx(1000.0)
+
+    @given(st.floats(min_value=-60, max_value=60, allow_nan=False))
+    def test_roundtrip_db(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-60, max_value=60, allow_nan=False))
+    def test_roundtrip_dbm(self, dbm):
+        assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            mw_to_dbm(-1.0)
+
+    def test_laser_power_model(self):
+        # il_w = 10 dB, S = -20 dBm -> launch -10 dBm = 0.1 mW.
+        assert laser_power_mw(10.0, -20.0) == pytest.approx(0.1)
+
+    def test_laser_power_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            laser_power_mw(-1.0, -20.0)
+
+    @given(st.floats(min_value=0, max_value=40, allow_nan=False))
+    def test_laser_power_monotone_in_loss(self, il):
+        assert laser_power_mw(il + 1.0, -20.0) > laser_power_mw(il, -20.0)
+
+    def test_snr(self):
+        assert snr_db(1.0, 0.1) == pytest.approx(10.0)
+        assert snr_db(1.0, 0.0) == math.inf
+
+    def test_snr_validation(self):
+        with pytest.raises(ValueError):
+            snr_db(0.0, 1.0)
+        with pytest.raises(ValueError):
+            snr_db(1.0, -0.1)
+
+
+class TestParameters:
+    def test_propagation_scales_with_length(self):
+        # 0.274 dB/cm -> 10 mm is 0.274 dB.
+        assert PROTON_LOSSES.propagation(10.0) == pytest.approx(0.274)
+
+    def test_propagation_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PROTON_LOSSES.propagation(-1.0)
+
+    def test_with_overrides(self):
+        changed = ORING_LOSSES.with_overrides(crossing_db=1.0)
+        assert changed.crossing_db == 1.0
+        assert changed.drop_db == ORING_LOSSES.drop_db
+
+    def test_crosstalk_coefficients_negative(self):
+        assert NIKDAST_CROSSTALK.crossing_db < 0
+        assert NIKDAST_CROSSTALK.mrr_through_leak_db < 0
+        assert NIKDAST_CROSSTALK.mrr_drop_residual_db < 0
+
+    def test_crosstalk_overrides(self):
+        changed = NIKDAST_CROSSTALK.with_overrides(crossing_db=-35.0)
+        assert changed.crossing_db == -35.0
+
+    def test_named_sets_differ(self):
+        assert PROTON_LOSSES.crossing_db != ORING_LOSSES.crossing_db
+
+
+class TestDeviceSizing:
+    def test_spacing_formula(self):
+        # A1 + ceil(log2 N) * A2
+        sizes = ComponentSizes(modulator_mm=0.05, splitter_mm=0.02)
+        assert ring_pair_spacing(16, sizes) == pytest.approx(0.05 + 4 * 0.02)
+        assert ring_pair_spacing(8, sizes) == pytest.approx(0.05 + 3 * 0.02)
+
+    def test_spacing_non_power_of_two(self):
+        assert ring_pair_spacing(9) > ring_pair_spacing(8)
+
+    def test_spacing_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            ring_pair_spacing(1)
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ComponentSizes(modulator_mm=0.0)
+
+    def test_default_sizes_sane(self):
+        assert 0 < DEFAULT_SIZES.splitter_mm < DEFAULT_SIZES.modulator_mm

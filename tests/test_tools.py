@@ -1,0 +1,120 @@
+"""Tests for the grid router and the physical-design tool flows."""
+
+import math
+
+import pytest
+
+from repro.baselines.crossbar import Gwor, LambdaRouter
+from repro.baselines.tools import (
+    PLANARONOC,
+    PROTON_PLUS,
+    TOPRO,
+    GridRouter,
+    evaluate_crossbar,
+    run_tool,
+)
+from repro.baselines.tools.config import ToolConfig
+from repro.geometry import Point
+from repro.network import Network
+from repro.network.placement import proton_placement
+
+
+@pytest.fixture(scope="module")
+def net8():
+    points, die = proton_placement(8)
+    return Network.from_positions(points, die=die)
+
+
+class TestGridRouter:
+    def make(self, **kwargs):
+        defaults = dict(pitch_mm=1.0, crossing_penalty_mm=0.0)
+        defaults.update(kwargs)
+        return GridRouter(0, 0, 10, 10, **defaults)
+
+    def test_snap_and_to_point(self):
+        router = self.make()
+        v = router.snap(Point(3.4, 6.6))
+        assert v == (3, 7)
+        assert router.to_point(v) == Point(3.0, 7.0)
+
+    def test_direct_l_route(self):
+        router = self.make()
+        seg = router.route(0, Point(0, 0), Point(3, 2), direct_l=True)
+        assert seg.length_mm == pytest.approx(5.0)
+        assert seg.bends == 1
+
+    def test_maze_route_shortest_when_empty(self):
+        router = self.make()
+        seg = router.route(0, Point(0, 0), Point(4, 3))
+        assert seg.length_mm == pytest.approx(7.0)
+
+    def test_crossing_detection(self):
+        router = self.make()
+        router.route(0, Point(0, 5), Point(10, 5), direct_l=True)
+        router.route(1, Point(5, 0), Point(5, 10), direct_l=True)
+        per_segment = router.count_crossings()
+        assert per_segment[0] == 1 and per_segment[1] == 1
+
+    def test_parallel_not_counted_by_default(self):
+        router = self.make()
+        router.route(0, Point(0, 5), Point(10, 5), direct_l=True)
+        router.route(1, Point(0, 5), Point(10, 5), direct_l=True)
+        per_segment = router.count_crossings()
+        assert per_segment[0] == 0
+
+    def test_parallel_counted_in_channel_mode(self):
+        router = self.make()
+        router.route(0, Point(0, 5), Point(10, 5), direct_l=True)
+        router.route(1, Point(0, 5), Point(10, 5), direct_l=True)
+        per_segment = router.count_crossings(count_parallel=True)
+        assert per_segment[0] > 0
+
+    def test_crossing_penalty_causes_detour(self):
+        blocker = self.make(crossing_penalty_mm=50.0)
+        blocker.route(0, Point(0, 5), Point(10, 5), direct_l=True)
+        seg = blocker.route(1, Point(5, 0), Point(5, 10))
+        # The vertical net either detours around the horizontal net's
+        # endpoint (longer than the direct 10 mm) or pays one crossing.
+        crossings = blocker.count_crossings()[1]
+        assert crossings == 1 or seg.length_mm > 10.0
+
+    def test_empty_area_rejected(self):
+        with pytest.raises(ValueError):
+            GridRouter(0, 0, 0, 10, pitch_mm=1.0)
+
+
+class TestToolFlows:
+    def test_run_tool_routes_every_segment(self, net8):
+        layout = run_tool(LambdaRouter(8), net8, PROTON_PLUS)
+        assert len(layout.segments) == len(layout.netlist.segments)
+        assert layout.runtime_s > 0
+
+    def test_route_metrics_positive(self, net8):
+        topology = LambdaRouter(8)
+        layout = run_tool(topology, net8, PROTON_PLUS)
+        length, crossings, bends = layout.route_metrics(
+            layout.topology.route(0, 7)
+        )
+        assert length > 0 and crossings >= 0 and bends >= 0
+
+    def test_evaluation_fields(self, net8):
+        evaluation = evaluate_crossbar(
+            Gwor(8), net8, TOPRO, __import__("repro.photonics", fromlist=["PROTON_LOSSES"]).PROTON_LOSSES
+        )
+        assert evaluation.wl_count == 7
+        assert evaluation.signal_count == 56
+        assert evaluation.il_w > 0
+        assert math.isnan(evaluation.power_w)
+
+    def test_tool_ordering_crossings(self, net8):
+        """PROTON+ must produce far more crossings than ToPro/GWOR."""
+        from repro.photonics import PROTON_LOSSES
+
+        proton = evaluate_crossbar(LambdaRouter(8), net8, PROTON_PLUS, PROTON_LOSSES)
+        topro = evaluate_crossbar(Gwor(8), net8, TOPRO, PROTON_LOSSES)
+        assert proton.worst_crossings > topro.worst_crossings
+        assert proton.il_w > topro.il_w
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ToolConfig("bad", 0.0, 0.2, 0, 0, 0)

@@ -1,0 +1,99 @@
+"""Unit and property tests for the 2-SAT solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import TwoSat
+
+
+class TestTwoSatBasics:
+    def test_trivial_empty(self):
+        assert TwoSat(0).solve() == []
+
+    def test_single_forced(self):
+        ts = TwoSat(1)
+        ts.force(0, True)
+        assert ts.solve() == [True]
+
+    def test_contradiction(self):
+        ts = TwoSat(1)
+        ts.force(0, True)
+        ts.force(0, False)
+        assert ts.solve() is None
+
+    def test_implication_chain(self):
+        ts = TwoSat(3)
+        ts.force(0, True)
+        ts.add_implication(0, True, 1, True)
+        ts.add_implication(1, True, 2, False)
+        solution = ts.solve()
+        assert solution == [True, True, False]
+
+    def test_forbid(self):
+        ts = TwoSat(2)
+        ts.forbid(0, True, 1, True)
+        ts.force(0, True)
+        solution = ts.solve()
+        assert solution is not None
+        assert solution[0] is True and solution[1] is False
+
+    def test_xor_cycle_satisfiable(self):
+        ts = TwoSat(2)
+        ts.add_clause(0, True, 1, True)
+        ts.add_clause(0, False, 1, False)
+        solution = ts.solve()
+        assert solution is not None
+        assert solution[0] != solution[1]
+
+    def test_out_of_range(self):
+        ts = TwoSat(2)
+        with pytest.raises(IndexError):
+            ts.add_clause(0, True, 5, True)
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            TwoSat(-1)
+
+
+clause_strategy = st.tuples(
+    st.integers(0, 4), st.booleans(), st.integers(0, 4), st.booleans()
+)
+
+
+def brute_force(num_vars: int, clauses) -> bool:
+    for bits in itertools.product([True, False], repeat=num_vars):
+        if all(bits[v1] == val1 or bits[v2] == val2 for v1, val1, v2, val2 in clauses):
+            return True
+    return False
+
+
+class TestTwoSatProperties:
+    @given(st.lists(clause_strategy, max_size=14))
+    @settings(max_examples=200)
+    def test_matches_brute_force(self, clauses):
+        num_vars = 5
+        ts = TwoSat(num_vars)
+        for v1, val1, v2, val2 in clauses:
+            ts.add_clause(v1, val1, v2, val2)
+        solution = ts.solve()
+        expected = brute_force(num_vars, clauses)
+        assert (solution is not None) == expected
+        if solution is not None:
+            for v1, val1, v2, val2 in clauses:
+                assert solution[v1] == val1 or solution[v2] == val2
+
+    @given(st.integers(1, 50))
+    def test_unconstrained_always_satisfiable(self, n):
+        assert TwoSat(n).solve() is not None
+
+    def test_long_implication_chain_no_recursion_limit(self):
+        n = 5000
+        ts = TwoSat(n)
+        ts.force(0, True)
+        for i in range(n - 1):
+            ts.add_implication(i, True, i + 1, True)
+        solution = ts.solve()
+        assert solution == [True] * n

@@ -1,0 +1,130 @@
+"""Tests for the design-rule checker, including custom traffic runs."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.ring import synthesize_ornoc, synthesize_oring
+from repro.core import SynthesisOptions, XRingSynthesizer, synthesize
+from repro.core.mapping import RingAssignment
+from repro.core.validate import Violation, assert_valid, validate_design
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.network.traffic import hotspot, neighbours_only
+
+
+@pytest.fixture(scope="module")
+def clean_design(network16, tour16):
+    return XRingSynthesizer(
+        network16, SynthesisOptions(wl_budget=16)
+    ).run(tour=tour16)
+
+
+class TestCleanDesignsValidate:
+    def test_xring(self, clean_design):
+        assert validate_design(clean_design) == []
+        assert_valid(clean_design)
+
+    def test_baselines(self, network16, tour16):
+        for fn in (synthesize_ornoc, synthesize_oring):
+            design = fn(network16, wl_budget=16, tour=tour16)
+            assert validate_design(design) == []
+
+    def test_feature_variants(self, network8):
+        for kwargs in (
+            {"enable_shortcuts": False},
+            {"enable_openings": False, "pdn_mode": "external"},
+            {"pdn_mode": None},
+            {"ring_method": "heuristic"},
+        ):
+            design = synthesize(network8, wl_budget=8, **kwargs)
+            assert validate_design(design) == []
+
+    @pytest.mark.parametrize(
+        "traffic_fn", [lambda n: neighbours_only(n, 2), lambda n: hotspot(n, 3)]
+    )
+    def test_custom_traffic(self, traffic_fn):
+        points, die = psion_placement(8)
+        network = Network.from_positions(points, traffic=traffic_fn(8), die=die)
+        design = synthesize(network, wl_budget=8)
+        assert validate_design(design) == []
+        circuit = design.to_circuit(
+            __import__("repro.photonics", fromlist=["ORING_LOSSES"]).ORING_LOSSES
+        )
+        assert len(circuit.signals) == len(network.demands())
+
+
+def _clone_with_assignment(design, pair, new_assignment):
+    assignments = dict(design.mapping.assignments)
+    if new_assignment is None:
+        del assignments[pair]
+    else:
+        assignments[pair] = new_assignment
+    mapping = dataclasses.replace(design.mapping, assignments=assignments)
+    return dataclasses.replace(design, mapping=mapping)
+
+
+class TestBrokenDesignsCaught:
+    def test_unserved_demand(self, clean_design):
+        pair = next(iter(clean_design.mapping.assignments))
+        broken = _clone_with_assignment(clean_design, pair, None)
+        rules = {v.rule for v in validate_design(broken)}
+        assert "coverage" in rules
+
+    def test_budget_violation(self, clean_design):
+        pair, assignment = next(iter(clean_design.mapping.assignments.items()))
+        over_budget = dataclasses.replace(assignment, wavelength=99)
+        broken = _clone_with_assignment(clean_design, pair, over_budget)
+        rules = {v.rule for v in validate_design(broken)}
+        assert "wavelengths" in rules
+
+    def test_overlap_violation(self, clean_design):
+        # Force two overlapping arcs onto the same (ring, wavelength).
+        items = iter(clean_design.mapping.assignments.items())
+        (pair_a, a) = next(items)
+        clash = None
+        for pair_b, b in items:
+            if b.rid == a.rid and b.wavelength != a.wavelength and (a.edges & b.edges):
+                clash = (pair_b, b)
+                break
+        assert clash is not None, "test needs two arc-overlapping signals"
+        forced = dataclasses.replace(clash[1], wavelength=a.wavelength)
+        broken = _clone_with_assignment(clean_design, clash[0], forced)
+        rules = {v.rule for v in validate_design(broken)}
+        assert "wavelengths" in rules
+
+    def test_opening_violation(self, clean_design):
+        ring = clean_design.mapping.rings[0]
+        assert ring.opening_node is not None
+        pair, assignment = next(
+            (p, a)
+            for p, a in clean_design.mapping.assignments.items()
+            if a.rid == ring.rid
+        )
+        forced = dataclasses.replace(
+            assignment,
+            passed_nodes=assignment.passed_nodes | {ring.opening_node},
+        )
+        broken = _clone_with_assignment(clean_design, pair, forced)
+        rules = {v.rule for v in validate_design(broken)}
+        assert "openings" in rules
+
+    def test_pdn_feed_violation(self, clean_design):
+        assert clean_design.pdn is not None
+        feeds = dict(clean_design.pdn.feeds)
+        key = next(k for k in feeds if k[0] == "ring")
+        del feeds[key]
+        pdn = dataclasses.replace(clean_design.pdn, feeds=feeds)
+        broken = dataclasses.replace(clean_design, pdn=pdn)
+        rules = {v.rule for v in validate_design(broken)}
+        assert "pdn" in rules
+
+    def test_assert_valid_raises_with_details(self, clean_design):
+        pair = next(iter(clean_design.mapping.assignments))
+        broken = _clone_with_assignment(clean_design, pair, None)
+        with pytest.raises(AssertionError, match="coverage"):
+            assert_valid(broken)
+
+    def test_violation_str(self):
+        violation = Violation("rule", "message")
+        assert "rule" in str(violation) and "message" in str(violation)

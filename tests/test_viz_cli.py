@@ -1,0 +1,120 @@
+"""Tests for the visualization helpers and the command-line interface."""
+
+import pytest
+
+from repro import synthesize
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.viz import ascii_layout, bar_chart, render_design_svg
+
+
+@pytest.fixture(scope="module")
+def design8():
+    points, die = psion_placement(8)
+    network = Network.from_positions(points, die=die)
+    return synthesize(network, wl_budget=8)
+
+
+class TestSvg:
+    def test_valid_document(self, design8):
+        svg = render_design_svg(design8)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_contains_all_layers(self, design8):
+        svg = render_design_svg(design8)
+        assert svg.count("<polyline") >= design8.tour.size  # ring edges
+        assert "#d60" in svg if design8.shortcut_count else True  # shortcuts
+        assert "#07c" in svg  # PDN
+        assert svg.count("<circle") == design8.network.size
+
+    def test_node_labels(self, design8):
+        svg = render_design_svg(design8)
+        for node in design8.network.nodes:
+            assert f">{node.name}</text>" in svg
+
+
+class TestAscii:
+    def test_layout_dimensions(self, design8):
+        art = ascii_layout(design8, width=50)
+        lines = art.split("\n")
+        assert all(len(line) == 50 for line in lines)
+
+    def test_layout_symbols(self, design8):
+        art = ascii_layout(design8)
+        assert "#" in art  # ring
+        assert "o" in art  # opening
+
+    def test_bar_chart(self):
+        chart = bar_chart([("a", 1.0), ("bb", 2.0)], width=10, unit="W")
+        lines = chart.split("\n")
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_bar_chart_zero_values(self):
+        chart = bar_chart([("a", 0.0)])
+        assert "a" in chart
+
+
+class TestCli:
+    def test_synth_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        svg_path = tmp_path / "out.svg"
+        code = main(
+            ["synth", "--nodes", "8", "--wl", "8", "--svg", str(svg_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "worst-case il" in captured.out
+        assert svg_path.exists()
+
+    def test_synth_no_pdn(self, capsys):
+        from repro.cli import main
+
+        assert main(["synth", "--nodes", "8", "--no-pdn"]) == 0
+        assert "laser power" not in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--nodes", "8", "--router", "oring"]) == 0
+        assert "#wl=" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCliPlacement:
+    def test_json_placement_with_traffic(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        spec = {
+            "positions": [[0, 0], [3.1, 0.2], [6.2, 0.1], [6.0, 3.2], [3.2, 3.0], [0.1, 3.1]],
+            "traffic": [[0, 3], [3, 0], [1, 4], [4, 1]],
+        }
+        path = tmp_path / "placement.json"
+        path.write_text(json.dumps(spec))
+        assert main(["synth", "--placement", str(path), "--wl", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "XRing synthesis for 6 nodes" in out
+
+    def test_bare_position_list(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "placement.json"
+        path.write_text(json.dumps([[0, 0], [2, 0.3], [4.2, 0.1], [2.1, 2.2]]))
+        assert main(["synth", "--placement", str(path), "--no-pdn"]) == 0
+        assert "4 nodes" in capsys.readouterr().out
