@@ -20,6 +20,13 @@ Quickstart::
 from repro.core import SynthesisOptions, XRingDesign, XRingSynthesizer, synthesize
 from repro.network import Network
 from repro.network.placement import extended_placement, psion_placement
+from repro.robustness import (
+    ConfigurationError,
+    Deadline,
+    FaultPlan,
+    SynthesisError,
+    SynthesisReport,
+)
 
 __version__ = "1.0.0"
 
@@ -30,6 +37,11 @@ __all__ = [
     "synthesize",
     "Network",
     "synthesize_and_evaluate",
+    "Deadline",
+    "FaultPlan",
+    "SynthesisError",
+    "ConfigurationError",
+    "SynthesisReport",
     "__version__",
 ]
 

@@ -20,6 +20,7 @@ from repro.core import SynthesisOptions, XRingSynthesizer
 from repro.network import Network
 from repro.network.placement import extended_placement, psion_placement
 from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
+from repro.robustness import SynthesisError
 
 
 def _make_network(num_nodes: int, placement_file: str = "") -> Network:
@@ -62,6 +63,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         enable_shortcuts=not args.no_shortcuts,
         enable_openings=not args.no_openings,
         pdn_mode=None if args.no_pdn else "internal",
+        deadline_s=args.deadline,
+        on_error=args.on_error,
     )
     design = XRingSynthesizer(network, options).run()
     circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
@@ -82,6 +85,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     print(f"  noisy signals    : {evaluation.noisy_signals}/{evaluation.signal_count}")
     print(f"  worst SNR        : {snr}")
     print(f"  synthesis time   : {design.synthesis_time_s:.2f} s")
+    if design.report is not None and design.report.degraded:
+        print(f"  degraded         : {design.report.summary()}")
     if args.svg:
         from repro.viz import render_design_svg
 
@@ -182,6 +187,18 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument(
         "--ring-method", choices=["milp", "heuristic"], default="milp"
     )
+    synth.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for the whole synthesis run",
+    )
+    synth.add_argument(
+        "--on-error",
+        choices=["degrade", "raise"],
+        default="degrade",
+        help="degrade: fall back stage by stage; raise: fail fast",
+    )
     synth.set_defaults(func=_cmd_synth)
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
@@ -217,10 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for ``xring`` and ``python -m repro``."""
+    """Entry point for ``xring`` and ``python -m repro``.
+
+    Typed synthesis failures (bad options, unrepairable designs,
+    ``--on-error raise`` stage errors) print one line and exit 2
+    instead of dumping a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SynthesisError as exc:
+        print(f"xring: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,7 @@ from repro.photonics.parameters import (
     CrosstalkParameters,
     LossParameters,
 )
+from repro.robustness.report import SynthesisReport
 
 _EPS = 1e-9
 
@@ -87,6 +88,9 @@ class XRingDesign:
     pdn: PdnDesign | None = None
     synthesis_time_s: float = 0.0
     label: str = "xring"
+    #: Machine-readable provenance of the synthesis run (stage timings,
+    #: fallbacks taken, repair retries); None for hand-built designs.
+    report: SynthesisReport | None = field(default=None, repr=False)
     _bends: list[float] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:

@@ -24,6 +24,7 @@ import itertools
 from repro.core.ring import RingTour, _choose_realizations
 from repro.geometry import Point, edges_conflict
 from repro.milp import SolveError
+from repro.robustness.errors import InputError
 
 
 def _tour_length(order: list[int], points: list[Point]) -> float:
@@ -127,10 +128,12 @@ def construct_ring_tour_heuristic(points: list[Point]) -> RingTour:
     """
     n = len(points)
     if n < 3:
-        raise ValueError("a ring router needs at least 3 nodes")
+        raise InputError("a ring router needs at least 3 nodes", stage="ring")
     for a, b in itertools.combinations(range(n), 2):
         if points[a].almost_equals(points[b]):
-            raise ValueError(f"nodes {a} and {b} share a position")
+            raise InputError(
+                f"nodes {a} and {b} share a position", stage="ring"
+            )
 
     order = _nearest_neighbour(points)
     order = _two_opt(order, points)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.core.ring import RingTour
 from repro.core.shortcuts import ShortcutPlan
+from repro.robustness.errors import ConfigurationError
 
 
 class Direction(enum.Enum):
@@ -351,9 +352,14 @@ def map_signals(
     Table I variants without PDN openings).
     """
     if wl_budget < 1:
-        raise ValueError("wavelength budget must be at least 1")
+        raise ConfigurationError(
+            f"wavelength budget must be at least 1, got {wl_budget}",
+            stage="mapping",
+        )
     if direction_policy not in ("shortest", "first_fit"):
-        raise ValueError(f"unknown direction policy {direction_policy!r}")
+        raise ConfigurationError(
+            f"unknown direction policy {direction_policy!r}", stage="mapping"
+        )
     mapper = _Mapper(tour, wl_budget)
 
     ring_demands = [d for d in demands if d not in shortcut_plan.served]
@@ -364,7 +370,9 @@ def map_signals(
             )
         )
     elif order != "demand":
-        raise ValueError(f"unknown mapping order {order!r}")
+        raise ConfigurationError(
+            f"unknown mapping order {order!r}", stage="mapping"
+        )
 
     for src, dst in ring_demands:
         if direction_policy == "first_fit":

@@ -35,6 +35,7 @@ from repro.core.mapping import SignalMapping
 from repro.core.ring import RingTour
 from repro.core.shortcuts import ShortcutPlan
 from repro.photonics.parameters import LossParameters
+from repro.robustness.errors import ConfigurationError
 
 #: Feed key of a ring sender: ("ring", ring id, node index).
 #: Feed key of a shortcut sender: ("shortcut", shortcut index, node index).
@@ -223,7 +224,7 @@ def build_pdn(
     (baseline style; crossings counted geometrically).
     """
     if mode not in ("internal", "external"):
-        raise ValueError(f"unknown PDN mode {mode!r}")
+        raise ConfigurationError(f"unknown PDN mode {mode!r}", stage="pdn")
 
     ring_copies = len(mapping.rings)
     builder = _PdnBuilder(tour, loss, mode, die, ring_copies)

@@ -33,8 +33,10 @@ from repro.geometry import (
     edges_conflict,
     paths_cross,
 )
-from repro.milp import Model, SolveError
+from repro.milp import Model, SolveError, SolveStatus
 from repro.milp.expression import lin_sum
+from repro.robustness.deadline import Deadline
+from repro.robustness.errors import InputError, StageFailure, StageTimeout
 from repro.sat import TwoSat
 
 
@@ -55,6 +57,9 @@ class RingTour:
     length_mm: float
     node_position_mm: dict[int, float] = field(default_factory=dict)
     crossing_count: int = 0
+    #: True when the MILP hit its time budget and this tour was built
+    #: from the best incumbent rather than a proven optimum.
+    timed_out: bool = False
 
     @property
     def size(self) -> int:
@@ -394,20 +399,28 @@ def construct_ring_tour(
     points: list[Point],
     backend: str = "auto",
     time_limit: float | None = None,
+    deadline: Deadline | None = None,
 ) -> RingTour:
     """Synthesize the minimum-length crossing-free ring tour.
 
-    ``backend`` selects the MILP solver (see :mod:`repro.milp`).
-    Raises :class:`~repro.milp.SolveError` when the relaxed model is
-    infeasible (e.g. duplicate node positions making every drawing
-    illegal).
+    ``backend`` selects the MILP solver (see :mod:`repro.milp`).  Both
+    backends honor ``time_limit`` (seconds) and ``deadline``; when the
+    budget runs out mid-solve the best integer incumbent is used and
+    the returned tour carries ``timed_out=True``.  Raises
+    :class:`~repro.robustness.errors.StageTimeout` when time expires
+    before any incumbent exists, and
+    :class:`~repro.robustness.errors.StageFailure` when the relaxed
+    model is infeasible (e.g. duplicate node positions making every
+    drawing illegal).
     """
     n = len(points)
     if n < 3:
-        raise ValueError("a ring router needs at least 3 nodes")
+        raise InputError("a ring router needs at least 3 nodes", stage="ring")
     for a, b in itertools.combinations(range(n), 2):
         if points[a].almost_equals(points[b]):
-            raise ValueError(f"nodes {a} and {b} share a position")
+            raise InputError(
+                f"nodes {a} and {b} share a position", stage="ring"
+            )
 
     conflicts = _build_edge_conflicts(points)
 
@@ -460,10 +473,33 @@ def construct_ring_tour(
     )
     model.minimize(objective)
 
-    options = {"time_limit": time_limit} if time_limit else {}
+    options: dict[str, object] = {}
+    if time_limit:
+        options["time_limit"] = time_limit
+    if deadline is not None:
+        options["deadline"] = deadline
     solution = model.solve(backend=backend, **options)
-    if not solution.is_optimal:
-        raise SolveError(f"ring MILP failed: {solution.status.value}")
+    if solution.status is SolveStatus.TIMEOUT and not solution.values:
+        raise StageTimeout(
+            f"ring MILP hit its time budget before finding any tour "
+            f"({solution.message})",
+            stage="ring",
+            context={"backend": solution.backend, "nodes": n},
+        )
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise StageFailure(
+            "ring MILP is infeasible (no crossing-free tour exists "
+            "for these positions)",
+            stage="ring",
+            cause="infeasible",
+            context={"backend": solution.backend, "nodes": n},
+        )
+    if not solution.has_solution:
+        raise SolveError(
+            f"ring MILP failed: {solution.status.value} {solution.message}",
+            stage="ring",
+        )
+    timed_out = solution.status is SolveStatus.TIMEOUT
 
     selected = {
         edge for edge, var in b_vars.items() if solution.value(var, as_int=True) == 1
@@ -512,4 +548,5 @@ def construct_ring_tour(
         length_mm=travelled,
         node_position_mm=node_position,
         crossing_count=crossing_count,
+        timed_out=timed_out,
     )

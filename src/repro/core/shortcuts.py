@@ -27,6 +27,7 @@ from repro.geometry import (
     paths_cross,
 )
 from repro.core.ring import RingTour
+from repro.robustness.errors import ConfigurationError
 
 
 class LegDirection(enum.Enum):
@@ -347,7 +348,9 @@ def select_shortcuts(
     paper's traffic).
     """
     if selection not in ("gain", "ring_length"):
-        raise ValueError(f"unknown selection policy {selection!r}")
+        raise ConfigurationError(
+            f"unknown selection policy {selection!r}", stage="shortcuts"
+        )
     plan = ShortcutPlan()
     if not enabled:
         return plan

@@ -1,10 +1,32 @@
-"""Top-level XRing synthesis flow.
+"""Top-level XRing synthesis flow with graceful degradation.
 
 :class:`XRingSynthesizer` runs the paper's four steps in order on a
 :class:`~repro.network.Network` and returns an
 :class:`~repro.core.design.XRingDesign`.  :class:`SynthesisOptions`
 exposes every knob the experiments and ablations need (wavelength
-budget, shortcut/opening toggles, PDN mode, MILP backend).
+budget, shortcut/opening toggles, PDN mode, MILP backend) and is
+validated eagerly, so typos fail at construction instead of deep
+inside a stage.
+
+The flow is resilient by default (``on_error="degrade"``): every stage
+runs under a shared :class:`~repro.robustness.deadline.Deadline`, and a
+stage that times out, proves infeasible, or raises falls back along a
+degradation chain instead of hanging or surfacing garbage:
+
+- ring MILP timeout/infeasibility → heuristic ring (nearest-neighbour
+  + 2-opt); an in-budget incumbent is kept and flagged;
+- shortcut failure → no shortcuts;
+- mapping failure → plain-ring mapping (no shortcuts, demand order);
+- PDN failure → design without a PDN.
+
+Validation gates re-check the design rules after mapping and at the
+end; a gate failure triggers one bounded repair-retry (plain-ring
+remap) before a typed :class:`~repro.robustness.errors.ValidationFailure`
+is raised.  Every fallback, retry, and per-stage elapsed time lands in
+the machine-readable :class:`~repro.robustness.report.SynthesisReport`
+attached to the design.  ``on_error="raise"`` restores the old
+fail-fast behaviour: the first stage error propagates as a typed
+:class:`~repro.robustness.errors.SynthesisError`.
 """
 
 from __future__ import annotations
@@ -13,12 +35,53 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.design import XRingDesign
-from repro.core.mapping import map_signals
-from repro.core.pdn import build_pdn
+from repro.core.heuristic_ring import construct_ring_tour_heuristic
+from repro.core.mapping import SignalMapping, map_signals
+from repro.core.pdn import PdnDesign, build_pdn
 from repro.core.ring import RingTour, construct_ring_tour
 from repro.core.shortcuts import ShortcutPlan, select_shortcuts
+from repro.core.validate import validate_design
 from repro.network import Network
 from repro.photonics.parameters import ORING_LOSSES, LossParameters
+from repro.robustness import (
+    ConfigurationError,
+    Deadline,
+    FaultPlan,
+    InputError,
+    StageRecord,
+    SynthesisError,
+    SynthesisReport,
+    ValidationFailure,
+)
+from repro.robustness.report import (
+    STATUS_FAILED,
+    STATUS_FALLBACK,
+    STATUS_OK,
+    STATUS_PROVIDED,
+    STATUS_REPAIRED,
+    STATUS_SKIPPED,
+)
+
+_RING_METHODS = ("milp", "heuristic")
+_SHORTCUT_SELECTIONS = ("gain", "ring_length")
+_PDN_MODES = ("internal", "external")
+_MAPPING_ORDERS = ("length", "demand")
+_DIRECTION_POLICIES = ("shortest", "first_fit")
+_MILP_BACKENDS = ("auto", "scipy", "branch_bound")
+_ON_ERROR_POLICIES = ("raise", "degrade")
+
+#: Exceptions a degrading stage must NOT swallow: they indicate a bad
+#: call, not a runtime failure, and the fallback would hit them too.
+_NON_DEGRADABLE = (ConfigurationError, InputError)
+
+
+def _require(value, allowed, option: str) -> None:
+    if value not in allowed:
+        raise ConfigurationError(
+            f"unknown {option} {value!r}; allowed: "
+            + ", ".join(repr(a) for a in allowed),
+            context={"option": option, "value": value},
+        )
 
 
 @dataclass
@@ -26,9 +89,14 @@ class SynthesisOptions:
     """Configuration of one synthesis run.
 
     ``wl_budget=None`` defaults to the node count N, the paper's
-    typical best setting; experiments sweep this value explicitly.
-    ``pdn_mode`` may be ``"internal"`` (XRing), ``"external"``
-    (baseline-style, crossings counted) or ``None`` (no PDN, Table I).
+    typical best setting; experiments sweep this value explicitly (an
+    explicit budget must be >= 1 — zero is rejected, not silently
+    replaced).  ``pdn_mode`` may be ``"internal"`` (XRing),
+    ``"external"`` (baseline-style, crossings counted) or ``None``
+    (no PDN, Table I).  ``deadline_s`` bounds the whole run;
+    ``on_error`` selects ``"degrade"`` (fallback chain, the default)
+    or ``"raise"`` (fail fast on the first stage error).  All
+    categorical options are validated here, at construction.
     """
 
     wl_budget: int | None = None
@@ -46,14 +114,56 @@ class SynthesisOptions:
     milp_time_limit: float | None = None
     loss: LossParameters = field(default_factory=lambda: ORING_LOSSES)
     label: str = "xring"
+    #: Whole-run wall-clock budget in seconds (None = unlimited).
+    deadline_s: float | None = None
+    #: "degrade" (fallback chain) or "raise" (old fail-fast behaviour).
+    on_error: str = "degrade"
+    #: Run validation gates (post-mapping and final) with one bounded
+    #: repair-retry each.
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.ring_method, _RING_METHODS, "ring method")
+        _require(self.shortcut_selection, _SHORTCUT_SELECTIONS, "shortcut selection")
+        if self.pdn_mode is not None:
+            _require(self.pdn_mode, _PDN_MODES, "PDN mode")
+        _require(self.mapping_order, _MAPPING_ORDERS, "mapping order")
+        _require(self.direction_policy, _DIRECTION_POLICIES, "direction policy")
+        _require(self.milp_backend, _MILP_BACKENDS, "MILP backend")
+        _require(self.on_error, _ON_ERROR_POLICIES, "on_error policy")
+        if self.wl_budget is not None and self.wl_budget < 1:
+            raise ConfigurationError(
+                f"wavelength budget must be >= 1 (or None for N), "
+                f"got {self.wl_budget}",
+                context={"wl_budget": self.wl_budget},
+            )
+        if self.milp_time_limit is not None and self.milp_time_limit <= 0:
+            raise ConfigurationError(
+                f"milp_time_limit must be positive, got {self.milp_time_limit}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
 
 
 class XRingSynthesizer:
-    """Runs Steps 1-4 on a network."""
+    """Runs Steps 1-4 on a network under a deadline, degrading gracefully.
 
-    def __init__(self, network: Network, options: SynthesisOptions | None = None):
+    ``fault_plan`` (tests only) injects deterministic stalls, errors,
+    and artifact corruptions; see :mod:`repro.robustness.faults`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        options: SynthesisOptions | None = None,
+        *,
+        fault_plan: FaultPlan | None = None,
+    ):
         self.network = network
         self.options = options or SynthesisOptions()
+        self.fault_plan = fault_plan or FaultPlan()
 
     def run(self, tour: RingTour | None = None) -> XRingDesign:
         """Synthesize the router; ``tour`` may be supplied to reuse a
@@ -61,64 +171,330 @@ class XRingSynthesizer:
         between XRing and the ring baselines, as the paper does for
         ORNoC)."""
         opts = self.options
+        deadline = Deadline(opts.deadline_s)
+        report = SynthesisReport(deadline_s=opts.deadline_s, on_error=opts.on_error)
         started = time.perf_counter()
 
-        if tour is None:
-            if opts.ring_method == "milp":
-                tour = construct_ring_tour(
-                    list(self.network.positions),
-                    backend=opts.milp_backend,
-                    time_limit=opts.milp_time_limit,
+        tour = self._stage_ring(tour, deadline, report)
+        plan = self._stage_shortcuts(tour, deadline, report)
+        wl_budget = self.network.size if opts.wl_budget is None else opts.wl_budget
+        mapping, plan = self._stage_mapping(tour, plan, wl_budget, deadline, report)
+        pdn = self._stage_pdn(tour, mapping, plan, deadline, report)
+
+        design = self._assemble(tour, plan, mapping, pdn, report)
+        design = self._final_gate(design, wl_budget, deadline, report)
+
+        report.total_elapsed_s = deadline.elapsed()
+        design.synthesis_time_s = time.perf_counter() - started
+        return design
+
+    # -- fail-fast policy ----------------------------------------------------
+    @property
+    def _fail_fast(self) -> bool:
+        return self.options.on_error == "raise"
+
+    def _reraise(self, exc: Exception) -> bool:
+        """Whether ``exc`` must propagate instead of degrading."""
+        return self._fail_fast or isinstance(exc, _NON_DEGRADABLE)
+
+    # -- stage 1: ring -------------------------------------------------------
+    def _stage_ring(
+        self,
+        provided: RingTour | None,
+        deadline: Deadline,
+        report: SynthesisReport,
+    ) -> RingTour:
+        opts = self.options
+        record = report.record(StageRecord("ring"))
+        with deadline.stage("ring"):
+            if provided is not None:
+                record.status = STATUS_PROVIDED
+                record.elapsed_s = deadline.stage_elapsed_s.get("ring", 0.0)
+                return provided
+            points = list(self.network.positions)
+            try:
+                self.fault_plan.apply_before("ring", deadline)
+                deadline.check("ring")
+                if opts.ring_method == "milp":
+                    tour = construct_ring_tour(
+                        points,
+                        backend=opts.milp_backend,
+                        time_limit=opts.milp_time_limit,
+                        deadline=deadline,
+                    )
+                    if tour.timed_out:
+                        # In-budget incumbent: usable, but flagged.
+                        record.status = STATUS_FALLBACK
+                        record.fallback = "milp_incumbent"
+                else:
+                    tour = construct_ring_tour_heuristic(points)
+            except SynthesisError as exc:
+                if self._reraise(exc):
+                    raise
+                tour = construct_ring_tour_heuristic(points)
+                record.status = STATUS_FALLBACK
+                record.fallback = "heuristic_ring"
+                record.error = str(exc)
+                record.attempts = 2
+            tour = self.fault_plan.apply_after("ring", tour)
+            if opts.validate and not self._tour_ok(tour):
+                # Repair-retry: rebuild with the (bounded, fast)
+                # heuristic; a second failure is surfaced typed.
+                report.retries += 1
+                record.attempts += 1
+                record.status = STATUS_REPAIRED
+                record.fallback = record.fallback or "heuristic_ring"
+                record.error = record.error or "tour failed the validation gate"
+                tour = construct_ring_tour_heuristic(points)
+                if not self._tour_ok(tour):
+                    record.status = STATUS_FAILED
+                    raise ValidationFailure(
+                        "ring tour still violates invariants after repair",
+                        stage="ring",
+                    )
+        record.elapsed_s = deadline.stage_elapsed_s["ring"]
+        return tour
+
+    def _tour_ok(self, tour: RingTour) -> bool:
+        """The post-ring gate: the "tour" design rule on a stub design."""
+        interim = XRingDesign(
+            network=self.network,
+            tour=tour,
+            shortcut_plan=ShortcutPlan(),
+            mapping=SignalMapping(),
+        )
+        return not validate_design(interim, rules=("tour",))
+
+    # -- stage 2: shortcuts --------------------------------------------------
+    def _stage_shortcuts(
+        self, tour: RingTour, deadline: Deadline, report: SynthesisReport
+    ) -> ShortcutPlan:
+        opts = self.options
+        record = report.record(StageRecord("shortcuts"))
+        with deadline.stage("shortcuts"):
+            try:
+                self.fault_plan.apply_before("shortcuts", deadline)
+                deadline.check("shortcuts")
+                plan = select_shortcuts(
+                    tour,
+                    enabled=opts.enable_shortcuts,
+                    loss=opts.loss,
+                    selection=opts.shortcut_selection,
+                    demands=self.network.demands(),
                 )
-            elif opts.ring_method == "heuristic":
-                from repro.core.heuristic_ring import construct_ring_tour_heuristic
+            except SynthesisError as exc:
+                if self._reraise(exc):
+                    raise
+                plan = ShortcutPlan()
+                record.status = STATUS_FALLBACK
+                record.fallback = "no_shortcuts"
+                record.error = str(exc)
+                record.attempts = 2
+            plan = self.fault_plan.apply_after("shortcuts", plan)
+        record.elapsed_s = deadline.stage_elapsed_s["shortcuts"]
+        return plan
 
-                tour = construct_ring_tour_heuristic(list(self.network.positions))
-            else:
-                raise ValueError(f"unknown ring method {opts.ring_method!r}")
+    # -- stage 3: mapping ----------------------------------------------------
+    def _stage_mapping(
+        self,
+        tour: RingTour,
+        plan: ShortcutPlan,
+        wl_budget: int,
+        deadline: Deadline,
+        report: SynthesisReport,
+    ) -> tuple[SignalMapping, ShortcutPlan]:
+        opts = self.options
+        record = report.record(StageRecord("mapping"))
 
-        shortcut_plan = select_shortcuts(
-            tour,
-            enabled=opts.enable_shortcuts,
-            loss=opts.loss,
-            selection=opts.shortcut_selection,
-            demands=self.network.demands(),
-        )
-
-        wl_budget = opts.wl_budget or self.network.size
-        mapping = map_signals(
-            tour,
-            self.network.demands(),
-            shortcut_plan,
-            wl_budget,
-            open_rings=opts.enable_openings,
-            order=opts.mapping_order,
-            direction_policy=opts.direction_policy,
-        )
-
-        pdn = None
-        if opts.pdn_mode is not None:
-            pdn = build_pdn(
+        def plain_ring() -> tuple[SignalMapping, ShortcutPlan]:
+            """The most conservative mapping: no shortcuts, demand order."""
+            fallback_plan = ShortcutPlan()
+            mapping = map_signals(
                 tour,
-                mapping,
-                shortcut_plan,
-                opts.loss,
-                self.network.bounding_box(),
-                mode=opts.pdn_mode,
+                self.network.demands(),
+                fallback_plan,
+                wl_budget,
+                open_rings=opts.enable_openings,
+                order="demand",
+                direction_policy="shortest",
             )
+            return mapping, fallback_plan
 
-        elapsed = time.perf_counter() - started
+        with deadline.stage("mapping"):
+            try:
+                self.fault_plan.apply_before("mapping", deadline)
+                deadline.check("mapping")
+                mapping = map_signals(
+                    tour,
+                    self.network.demands(),
+                    plan,
+                    wl_budget,
+                    open_rings=opts.enable_openings,
+                    order=opts.mapping_order,
+                    direction_policy=opts.direction_policy,
+                )
+            except SynthesisError as exc:
+                if self._reraise(exc):
+                    raise
+                mapping, plan = plain_ring()
+                record.status = STATUS_FALLBACK
+                record.fallback = "plain_ring"
+                record.error = str(exc)
+                record.attempts = 2
+            mapping = self.fault_plan.apply_after("mapping", mapping)
+            if opts.validate:
+                violations = self._gate(
+                    tour, plan, mapping,
+                    rules=("coverage", "wavelengths", "openings", "shortcuts"),
+                )
+                if violations:
+                    report.retries += 1
+                    record.attempts += 1
+                    record.status = STATUS_REPAIRED
+                    record.fallback = "plain_ring"
+                    record.error = record.error or "; ".join(
+                        str(v) for v in violations[:3]
+                    )
+                    mapping, plan = plain_ring()
+                    violations = self._gate(
+                        tour, plan, mapping,
+                        rules=("coverage", "wavelengths", "openings", "shortcuts"),
+                    )
+                    if violations:
+                        record.status = STATUS_FAILED
+                        raise ValidationFailure(
+                            "mapping still violates design rules after repair",
+                            violations=violations,
+                            stage="mapping",
+                        )
+        record.elapsed_s = deadline.stage_elapsed_s["mapping"]
+        return mapping, plan
+
+    def _gate(self, tour, plan, mapping, rules):
+        """Run a validation-rule subset on an interim (PDN-less) design."""
+        interim = XRingDesign(
+            network=self.network,
+            tour=tour,
+            shortcut_plan=plan,
+            mapping=mapping,
+        )
+        return validate_design(interim, rules=rules)
+
+    # -- stage 4: pdn --------------------------------------------------------
+    def _stage_pdn(
+        self,
+        tour: RingTour,
+        mapping: SignalMapping,
+        plan: ShortcutPlan,
+        deadline: Deadline,
+        report: SynthesisReport,
+    ) -> PdnDesign | None:
+        opts = self.options
+        record = report.record(StageRecord("pdn"))
+        with deadline.stage("pdn"):
+            if opts.pdn_mode is None:
+                record.status = STATUS_OK
+                return None
+            try:
+                self.fault_plan.apply_before("pdn", deadline)
+                deadline.check("pdn")
+                pdn = build_pdn(
+                    tour,
+                    mapping,
+                    plan,
+                    opts.loss,
+                    self.network.bounding_box(),
+                    mode=opts.pdn_mode,
+                )
+            except Exception as exc:
+                if self._reraise(exc) or not isinstance(
+                    exc, (SynthesisError, ValueError, KeyError)
+                ):
+                    raise
+                pdn = None
+                record.status = STATUS_SKIPPED
+                record.fallback = "no_pdn"
+                record.error = str(exc)
+                record.attempts = 2
+        record.elapsed_s = deadline.stage_elapsed_s["pdn"]
+        return pdn
+
+    # -- assembly + final gate -----------------------------------------------
+    def _assemble(self, tour, plan, mapping, pdn, report) -> XRingDesign:
         return XRingDesign(
             network=self.network,
             tour=tour,
-            shortcut_plan=shortcut_plan,
+            shortcut_plan=plan,
             mapping=mapping,
             pdn=pdn,
-            synthesis_time_s=elapsed,
-            label=opts.label,
+            label=self.options.label,
+            report=report,
         )
 
+    def _final_gate(
+        self,
+        design: XRingDesign,
+        wl_budget: int,
+        deadline: Deadline,
+        report: SynthesisReport,
+    ) -> XRingDesign:
+        opts = self.options
+        if not opts.validate:
+            return design
+        record = report.record(StageRecord("validate"))
+        try:
+            with deadline.stage("validate"):
+                violations = validate_design(design)
+                if not violations:
+                    return design
+                # One bounded repair-retry: plain-ring remap + PDN rebuild.
+                report.retries += 1
+                record.attempts += 1
+                record.status = STATUS_REPAIRED
+                record.fallback = "plain_ring"
+                record.error = "; ".join(str(v) for v in violations[:3])
+                plan = ShortcutPlan()
+                mapping = map_signals(
+                    design.tour,
+                    self.network.demands(),
+                    plan,
+                    wl_budget,
+                    open_rings=opts.enable_openings,
+                    order="demand",
+                    direction_policy="shortest",
+                )
+                pdn = None
+                if opts.pdn_mode is not None:
+                    pdn = build_pdn(
+                        design.tour,
+                        mapping,
+                        plan,
+                        opts.loss,
+                        self.network.bounding_box(),
+                        mode=opts.pdn_mode,
+                    )
+                design = self._assemble(design.tour, plan, mapping, pdn, report)
+                violations = validate_design(design)
+                if violations:
+                    record.status = STATUS_FAILED
+                    report.violations = [str(v) for v in violations]
+                    raise ValidationFailure(
+                        f"design still violates {len(violations)} rule(s) "
+                        f"after repair",
+                        violations=violations,
+                    )
+        finally:
+            record.elapsed_s = deadline.stage_elapsed_s.get("validate", 0.0)
+        return design
 
-def synthesize(network: Network, **option_kwargs) -> XRingDesign:
+
+def synthesize(
+    network: Network,
+    *,
+    fault_plan: FaultPlan | None = None,
+    **option_kwargs,
+) -> XRingDesign:
     """One-call convenience API: ``synthesize(network, wl_budget=14)``."""
-    return XRingSynthesizer(network, SynthesisOptions(**option_kwargs)).run()
+    return XRingSynthesizer(
+        network, SynthesisOptions(**option_kwargs), fault_plan=fault_plan
+    ).run()

@@ -150,6 +150,30 @@ def _check_tour(design: XRingDesign, violations: list[Violation]) -> None:
             Violation("tour", "tour order is not a permutation of the nodes")
         )
         return
+    # Node ring coordinates must equal the cumulative realized edge
+    # lengths (every arc metric downstream is derived from them).
+    travelled = 0.0
+    for k, node in enumerate(tour.order):
+        actual = tour.node_position_mm.get(node)
+        if actual is None or abs(actual - travelled) > 1e-6:
+            violations.append(
+                Violation(
+                    "tour",
+                    f"node {node} ring position {actual} deviates from the "
+                    f"cumulative edge length {travelled:.3f}",
+                )
+            )
+            return
+        travelled += tour.edge_paths[k].length
+    if abs(travelled - tour.length_mm) > 1e-6:
+        violations.append(
+            Violation(
+                "tour",
+                f"perimeter {tour.length_mm:.3f} does not match the summed "
+                f"edge paths {travelled:.3f}",
+            )
+        )
+        return
     for a, b in itertools.combinations(tour.order, 2):
         total = tour.cw_distance(a, b) + tour.ccw_distance(a, b)
         if abs(total - tour.length_mm) > 1e-6:
@@ -179,15 +203,32 @@ def _check_pdn(design: XRingDesign, violations: list[Violation]) -> None:
             )
 
 
-def validate_design(design: XRingDesign) -> list[Violation]:
-    """Run all design-rule checks; returns the violations found."""
+#: Rule name -> checker, in canonical execution order.  The synthesis
+#: pipeline's incremental gates run the subset that is meaningful after
+#: each stage (e.g. no PDN rule before Step 4 has run).
+RULE_CHECKS = {
+    "tour": _check_tour,
+    "coverage": _check_coverage,
+    "wavelengths": _check_wavelengths,
+    "openings": _check_openings,
+    "shortcuts": _check_shortcuts,
+    "pdn": _check_pdn,
+}
+
+
+def validate_design(
+    design: XRingDesign, rules: tuple[str, ...] | None = None
+) -> list[Violation]:
+    """Run design-rule checks; returns the violations found.
+
+    ``rules`` selects a subset by name (see :data:`RULE_CHECKS`);
+    ``None`` runs everything.  Unknown rule names raise ``KeyError``
+    rather than silently passing.
+    """
     violations: list[Violation] = []
-    _check_tour(design, violations)
-    _check_coverage(design, violations)
-    _check_wavelengths(design, violations)
-    _check_openings(design, violations)
-    _check_shortcuts(design, violations)
-    _check_pdn(design, violations)
+    selected = RULE_CHECKS if rules is None else {r: RULE_CHECKS[r] for r in rules}
+    for check in selected.values():
+        check(design, violations)
     return violations
 
 

@@ -25,6 +25,7 @@ from repro.photonics.parameters import (
     CrosstalkParameters,
     LossParameters,
 )
+from repro.robustness import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,12 @@ class RingRouterRow:
     snr_w: float | None
     time_s: float
     signal_count: int = 0
+    #: Whether any synthesis stage fell back, repaired, or was skipped
+    #: (from the design's SynthesisReport); clean runs stay False.
+    degraded: bool = False
+    #: The fallbacks taken, as "stage:fallback" strings, for table
+    #: footnotes and result auditing.
+    fallbacks: tuple[str, ...] = ()
 
     @property
     def snr_text(self) -> str:
@@ -60,7 +67,10 @@ def _router_options(kind: str, wl_budget: int, loss: LossParameters, pdn: bool):
         return ornoc_options(wl_budget, loss, pdn)
     if kind == "oring":
         return oring_options(wl_budget, loss, pdn)
-    raise ValueError(f"unknown ring router kind {kind!r}")
+    raise ConfigurationError(
+        f"unknown ring router kind {kind!r}; allowed: 'xring', 'ornoc', 'oring'",
+        context={"kind": kind},
+    )
 
 
 def evaluate_design(
@@ -72,6 +82,7 @@ def evaluate_design(
     circuit = design.to_circuit(loss, xtalk or NIKDAST_CROSSTALK)
     with_power = design.pdn is not None
     evaluation = evaluate_circuit(circuit, loss, xtalk, with_power=with_power)
+    report = design.report
     return RingRouterRow(
         label=design.label,
         wl=evaluation.wl_count,
@@ -83,6 +94,8 @@ def evaluate_design(
         snr_w=evaluation.snr_worst_db,
         time_s=design.synthesis_time_s,
         signal_count=evaluation.signal_count,
+        degraded=report.degraded if report is not None else False,
+        fallbacks=report.fallbacks if report is not None else (),
     )
 
 

@@ -8,7 +8,10 @@ each node is just a ``(lb, ub)`` pair plus its parent relaxation bound.
 This backend exists so the XRing flow runs without scipy and so tests
 can cross-check HiGHS answers with an independent implementation.  It
 is exact but slow; use it for instances up to roughly a hundred
-binaries.
+binaries.  A ``time_limit`` (or a shared
+:class:`~repro.robustness.deadline.Deadline`) is enforced inside the
+node loop *and* inside every LP solve, so a pathological instance
+returns its best incumbent instead of running unbounded.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import numpy as np
 
 from repro.milp.model import Model, Sense, Solution, SolveStatus
 from repro.milp.simplex import LPStatus, solve_lp
+from repro.robustness.deadline import Deadline
 
 _INT_TOL = 1e-6
 
@@ -58,17 +62,32 @@ def _most_fractional(x: np.ndarray, integer_idx: list[int]) -> int | None:
 def solve_with_branch_bound(
     model: Model,
     max_nodes: int = 200_000,
+    time_limit: float | None = None,
+    deadline: Deadline | None = None,
 ) -> Solution:
     """Solve ``model`` exactly by branch-and-bound.
 
-    Raises no exception on node exhaustion; instead returns the best
-    incumbent with an explanatory message (status stays OPTIMAL only if
-    the tree was exhausted).
+    Raises no exception on resource exhaustion.  Status semantics:
+
+    - OPTIMAL — tree exhausted, incumbent proven optimal;
+    - FEASIBLE — ``max_nodes`` hit, best incumbent returned;
+    - TIMEOUT — ``time_limit``/``deadline`` expired; ``values`` holds
+      the best incumbent found so far, possibly none;
+    - INFEASIBLE / UNBOUNDED / ERROR — as usual.
     """
+    if deadline is None and time_limit is not None:
+        deadline = Deadline(time_limit)
+
     c, a_rows, senses, b, lb0, ub0 = _model_matrices(model)
     integer_idx = [v.index for v in model.variables if v.is_integer]
 
-    root = solve_lp(c, a_rows, senses, b, lb0, ub0)
+    root = solve_lp(c, a_rows, senses, b, lb0, ub0, deadline)
+    if root.status is LPStatus.TIMEOUT:
+        return Solution(
+            status=SolveStatus.TIMEOUT,
+            backend="branch_bound",
+            message="deadline expired in root relaxation",
+        )
     if root.status is LPStatus.INFEASIBLE:
         return Solution(status=SolveStatus.INFEASIBLE, backend="branch_bound")
     if root.status is LPStatus.UNBOUNDED:
@@ -83,15 +102,21 @@ def solve_with_branch_bound(
     incumbent_x: np.ndarray | None = None
     nodes = 0
     exhausted = True
+    timed_out = False
 
     while heap:
+        if deadline is not None and deadline.expired():
+            exhausted = False
+            timed_out = True
+            break
         bound, _, x, lb, ub = heapq.heappop(heap)
-        if bound >= incumbent_obj - 1e-9:
-            continue
         nodes += 1
         if nodes > max_nodes:
             exhausted = False
             break
+        if bound >= incumbent_obj - 1e-9:
+            # Fathomed by bound; counts as a processed node.
+            continue
 
         branch_var = _most_fractional(x, integer_idx)
         if branch_var is None:
@@ -115,7 +140,11 @@ def solve_with_branch_bound(
                 new_lb[branch_var] = floor_val + 1
             if new_lb[branch_var] > new_ub[branch_var] + 1e-9:
                 continue
-            child = solve_lp(c, a_rows, senses, b, new_lb, new_ub)
+            child = solve_lp(c, a_rows, senses, b, new_lb, new_ub, deadline)
+            if child.status is LPStatus.TIMEOUT:
+                exhausted = False
+                timed_out = True
+                break
             if child.status is not LPStatus.OPTIMAL or child.x is None:
                 continue
             if child.objective < incumbent_obj - 1e-9:
@@ -123,8 +152,16 @@ def solve_with_branch_bound(
                     heap,
                     (child.objective, next(counter), child.x, new_lb, new_ub),
                 )
+        if timed_out:
+            break
 
     if incumbent_x is None:
+        if timed_out:
+            return Solution(
+                status=SolveStatus.TIMEOUT,
+                backend="branch_bound",
+                message=f"deadline expired after {nodes} nodes, no incumbent",
+            )
         if exhausted:
             return Solution(status=SolveStatus.INFEASIBLE, backend="branch_bound")
         return Solution(
@@ -134,9 +171,17 @@ def solve_with_branch_bound(
         )
 
     objective = incumbent_obj + model.objective.constant
-    message = "" if exhausted else f"node limit {max_nodes} reached; best incumbent"
+    if timed_out:
+        status = SolveStatus.TIMEOUT
+        message = f"deadline expired after {nodes} nodes; best incumbent"
+    elif exhausted:
+        status = SolveStatus.OPTIMAL
+        message = ""
+    else:
+        status = SolveStatus.FEASIBLE
+        message = f"node limit {max_nodes} reached; best incumbent"
     return Solution(
-        status=SolveStatus.OPTIMAL,
+        status=status,
         objective=objective,
         values=[float(v) for v in incumbent_x],
         backend="branch_bound",

@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field
 
 from repro.milp.expression import LinExpr, Var, lin_sum
+from repro.robustness.deadline import Deadline
+from repro.robustness.errors import StageFailure
 
 
 class Sense(enum.Enum):
@@ -32,13 +34,29 @@ class SolveStatus(enum.Enum):
     """Outcome of a solve call."""
 
     OPTIMAL = "optimal"
+    #: An integer-feasible incumbent without an optimality proof
+    #: (node-limit exhaustion).
+    FEASIBLE = "feasible"
+    #: The time budget ran out; ``values`` holds the best incumbent
+    #: found so far (possibly none).
+    TIMEOUT = "timeout"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ERROR = "error"
 
 
-class SolveError(RuntimeError):
-    """Raised when a backend cannot produce a usable answer."""
+class SolveError(StageFailure):
+    """Raised when a backend cannot produce a usable answer.
+
+    Part of the :mod:`repro.robustness` taxonomy (stage ``"milp"``), so
+    the synthesizer's degradation chain catches it alongside the other
+    typed stage failures; remains a ``RuntimeError`` for old callers.
+    """
+
+    def __init__(self, message: str, **kwargs) -> None:
+        kwargs.setdefault("stage", "milp")
+        kwargs.setdefault("cause", "solver")
+        super().__init__(message, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -91,6 +109,21 @@ class Solution:
     def is_optimal(self) -> bool:
         """True when an optimal solution was found."""
         return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        """True when a usable (possibly non-proven) assignment exists.
+
+        Covers proven optima, node-limit incumbents (FEASIBLE), and
+        timeout incumbents (TIMEOUT with values).
+        """
+        if not self.values:
+            return False
+        return self.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.FEASIBLE,
+            SolveStatus.TIMEOUT,
+        )
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var.index]
@@ -189,9 +222,19 @@ class Model:
 
         ``backend`` is one of ``"auto"``, ``"scipy"``,
         ``"branch_bound"``.  Backend-specific keyword options are passed
-        through (e.g. ``time_limit`` for scipy, ``max_nodes`` for
-        branch-and-bound).
+        through (e.g. ``max_nodes`` for branch-and-bound); both
+        backends honor ``time_limit`` (seconds) and ``deadline``
+        (a shared :class:`~repro.robustness.deadline.Deadline`), and an
+        already-expired budget short-circuits to a TIMEOUT solution
+        without touching the backend.
         """
+        deadline: Deadline | None = options.get("deadline")
+        if deadline is not None and deadline.expired():
+            return Solution(
+                status=SolveStatus.TIMEOUT,
+                backend=backend,
+                message="deadline expired before solve started",
+            )
         if backend == "auto":
             try:
                 import scipy.optimize  # noqa: F401
@@ -207,7 +250,12 @@ class Model:
             from repro.milp.branch_bound import solve_with_branch_bound
 
             return solve_with_branch_bound(self, **options)
-        raise ValueError(f"unknown backend {backend!r}")
+        from repro.robustness.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown backend {backend!r}",
+            context={"known": ["auto", "scipy", "branch_bound"]},
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

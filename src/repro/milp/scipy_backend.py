@@ -7,13 +7,21 @@ import math
 import numpy as np
 
 from repro.milp.model import Model, Sense, Solution, SolveStatus
+from repro.robustness.deadline import Deadline
 
 
-def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
+def solve_with_scipy(
+    model: Model,
+    time_limit: float | None = None,
+    deadline: Deadline | None = None,
+) -> Solution:
     """Solve ``model`` with scipy's bundled HiGHS MILP solver.
 
     Equality constraints become two-sided bounds ``rhs <= Ax <= rhs``;
-    inequalities get an infinite bound on the open side.
+    inequalities get an infinite bound on the open side.  A shared
+    ``deadline`` tightens ``time_limit`` to the remaining budget; a
+    HiGHS time-limit stop maps to TIMEOUT, carrying the incumbent when
+    the solver surfaced one.
     """
     from scipy.optimize import Bounds, LinearConstraint, milp
 
@@ -51,9 +59,11 @@ def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
         )
         constraints.append(LinearConstraint(matrix, lo, hi))
 
+    if deadline is not None:
+        time_limit = deadline.clamp(time_limit)
     options = {}
     if time_limit is not None:
-        options["time_limit"] = time_limit
+        options["time_limit"] = max(time_limit, 1e-3)
 
     result = milp(
         c=c,
@@ -68,6 +78,21 @@ def solve_with_scipy(model: Model, time_limit: float | None = None) -> Solution:
         objective = float(result.fun) + model.objective.constant
         return Solution(
             status=SolveStatus.OPTIMAL,
+            objective=objective,
+            values=values,
+            backend="scipy",
+            message=result.message,
+        )
+    if result.status == 1:
+        # Iteration/time limit: surface whatever incumbent HiGHS kept.
+        values = [] if result.x is None else [float(x) for x in result.x]
+        objective = (
+            math.nan
+            if result.x is None
+            else float(result.fun) + model.objective.constant
+        )
+        return Solution(
+            status=SolveStatus.TIMEOUT,
             objective=objective,
             values=values,
             backend="scipy",

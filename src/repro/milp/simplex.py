@@ -7,7 +7,10 @@ backend.  It is intentionally simple and robust rather than fast:
   finite upper bounds added as explicit rows;
 - inequality rows receive slack/surplus columns and phase-1 artificial
   variables drive a feasible basis;
-- Bland's rule guarantees termination (no cycling).
+- Bland's rule guarantees termination (no cycling);
+- an optional :class:`~repro.robustness.deadline.Deadline` is polled
+  every few pivots so a pathological relaxation cannot stall the
+  branch-and-bound loop past its budget.
 
 Intended problem sizes are the test instances of the XRing ring model
 (tens of variables); production solves go through the HiGHS backend.
@@ -21,7 +24,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.robustness.deadline import Deadline
+
 _TOL = 1e-9
+#: Pivots between deadline polls (a poll is one clock read).
+_DEADLINE_STRIDE = 16
 
 
 class LPStatus(enum.Enum):
@@ -30,6 +37,7 @@ class LPStatus(enum.Enum):
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"
 
 
 @dataclass
@@ -50,15 +58,29 @@ def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:
     basis[row] = col
 
 
-def _run_simplex(tableau: np.ndarray, basis: list[int], cost: np.ndarray) -> LPStatus:
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: list[int],
+    cost: np.ndarray,
+    deadline: Deadline | None = None,
+) -> LPStatus:
     """Minimize ``cost`` over the tableau's feasible region in place.
 
     The tableau holds rows ``[A | b]`` with a feasible basis.  Uses
-    Bland's smallest-index rule.
+    Bland's smallest-index rule.  Returns TIMEOUT (leaving the tableau
+    mid-pivot, unusable) when ``deadline`` expires.
     """
     m, width = tableau.shape
     n = width - 1
+    pivots = 0
     while True:
+        pivots += 1
+        if (
+            deadline is not None
+            and pivots % _DEADLINE_STRIDE == 0
+            and deadline.expired()
+        ):
+            return LPStatus.TIMEOUT
         # Reduced costs: c_j - c_B' * B^-1 A_j.
         cb = cost[basis]
         reduced = cost[:n] - cb @ tableau[:, :n]
@@ -93,11 +115,13 @@ def solve_lp(
     b: np.ndarray,
     lb: np.ndarray,
     ub: np.ndarray,
+    deadline: Deadline | None = None,
 ) -> LPResult:
     """Minimize ``c'x`` s.t. ``A x (senses) b`` and ``lb <= x <= ub``.
 
     ``senses`` entries are ``"<="``, ``">="`` or ``"=="`` per row.
     Lower bounds must be finite; infinite upper bounds are allowed.
+    ``deadline`` expiry aborts either simplex phase with TIMEOUT.
     """
     n = len(c)
     if np.any(~np.isfinite(lb)):
@@ -175,7 +199,9 @@ def solve_lp(
     phase1_cost = np.zeros(total)
     for col in artificials:
         phase1_cost[col] = 1.0
-    status = _run_simplex(tableau, basis, phase1_cost)
+    status = _run_simplex(tableau, basis, phase1_cost, deadline)
+    if status is LPStatus.TIMEOUT:
+        return LPResult(LPStatus.TIMEOUT)
     if status is not LPStatus.OPTIMAL:
         return LPResult(LPStatus.INFEASIBLE)
     cb = phase1_cost[basis]
@@ -198,7 +224,7 @@ def solve_lp(
     phase2_cost[:n] = c
     for col in artificials:
         phase2_cost[col] = 1e9  # keep artificials out of the basis
-    status = _run_simplex(tableau, basis, phase2_cost)
+    status = _run_simplex(tableau, basis, phase2_cost, deadline)
     if status is not LPStatus.OPTIMAL:
         return LPResult(status)
 

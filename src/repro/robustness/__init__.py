@@ -1,0 +1,49 @@
+"""Resilience substrate for the XRing synthesis pipeline.
+
+Four cooperating pieces, all free of dependencies on :mod:`repro.core`
+or :mod:`repro.milp` (those layers import *us*):
+
+- :mod:`repro.robustness.errors` — the typed exception taxonomy
+  (:class:`SynthesisError` and friends) carrying stage/cause/context;
+- :mod:`repro.robustness.deadline` — :class:`Deadline`, a wall-clock
+  budget polled cooperatively by solver loops and stage boundaries,
+  with per-stage accounting;
+- :mod:`repro.robustness.report` — :class:`SynthesisReport`, the
+  machine-readable provenance (stage timings, fallbacks, retries,
+  residual violations) attached to every synthesized design;
+- :mod:`repro.robustness.faults` — :class:`FaultPlan`, deterministic
+  fault injection (stalls, forced errors/infeasibility, artifact
+  corruption) used by the robustness test suite to prove that every
+  degraded path terminates within its deadline and still validates.
+"""
+
+from repro.robustness.deadline import Deadline
+from repro.robustness.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    FaultInjected,
+    InputError,
+    StageFailure,
+    StageTimeout,
+    SynthesisError,
+    ValidationFailure,
+)
+from repro.robustness.faults import CORRUPTIONS, FaultPlan, StageFault
+from repro.robustness.report import StageRecord, SynthesisReport
+
+__all__ = [
+    "Deadline",
+    "SynthesisError",
+    "ConfigurationError",
+    "InputError",
+    "StageFailure",
+    "StageTimeout",
+    "DeadlineExceeded",
+    "ValidationFailure",
+    "FaultInjected",
+    "FaultPlan",
+    "StageFault",
+    "CORRUPTIONS",
+    "StageRecord",
+    "SynthesisReport",
+]

@@ -1,0 +1,102 @@
+"""Structured exception taxonomy for the synthesis pipeline.
+
+Every failure surfaced by the XRing flow carries the *stage* it
+happened in (``"options"``, ``"ring"``, ``"shortcuts"``, ``"mapping"``,
+``"pdn"``, ``"validate"``, ``"milp"``), a short machine-readable
+*cause* slug, and a free-form *context* dict with instance details
+(node counts, budgets, solver status).  The synthesizer's degradation
+chain dispatches on these types; callers that want the old fail-fast
+behaviour (``on_error="raise"``) receive them unchanged.
+
+``ConfigurationError`` and ``InputError`` additionally subclass
+``ValueError`` so pre-existing call sites (and tests) that guarded
+against bad options with ``except ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SynthesisError(RuntimeError):
+    """Base class of every typed synthesis failure.
+
+    ``stage`` names the pipeline stage, ``cause`` is a short slug
+    (e.g. ``"timeout"``, ``"infeasible"``, ``"injected"``), and
+    ``context`` holds instance data for logs and reports.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str = "",
+        cause: str = "",
+        context: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.cause = cause
+        self.context = dict(context or {})
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        tags = [t for t in (self.stage, self.cause) if t]
+        return f"[{'/'.join(tags)}] {base}" if tags else base
+
+
+class ConfigurationError(SynthesisError, ValueError):
+    """Invalid :class:`SynthesisOptions` (typo'd policy, bad budget)."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("stage", "options")
+        kwargs.setdefault("cause", "config")
+        super().__init__(message, **kwargs)
+
+
+class InputError(SynthesisError, ValueError):
+    """Invalid problem instance (too few nodes, duplicate positions)."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("cause", "input")
+        super().__init__(message, **kwargs)
+
+
+class StageFailure(SynthesisError):
+    """A pipeline stage raised or produced an unusable artifact."""
+
+
+class StageTimeout(StageFailure):
+    """A stage exceeded its time budget."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("cause", "timeout")
+        super().__init__(message, **kwargs)
+
+
+class DeadlineExceeded(StageTimeout):
+    """The whole-run deadline expired (raised by ``Deadline.check``)."""
+
+
+class ValidationFailure(SynthesisError):
+    """A validation gate found rule violations that repair could not fix.
+
+    ``violations`` holds the :class:`~repro.core.validate.Violation`
+    objects (stringified copies also land in ``context``).
+    """
+
+    def __init__(self, message: str, violations=(), **kwargs: Any) -> None:
+        kwargs.setdefault("stage", "validate")
+        kwargs.setdefault("cause", "design_rules")
+        context = kwargs.pop("context", None) or {}
+        context.setdefault("violations", [str(v) for v in violations])
+        super().__init__(message, context=context, **kwargs)
+        self.violations = tuple(violations)
+
+
+class FaultInjected(StageFailure):
+    """Raised by :class:`~repro.robustness.faults.FaultPlan` on purpose."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("cause", "injected")
+        super().__init__(message, **kwargs)

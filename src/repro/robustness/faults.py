@@ -1,0 +1,149 @@
+"""Deterministic fault injection for the synthesis pipeline.
+
+A :class:`FaultPlan` is a scripted list of faults keyed by stage name.
+The synthesizer consults it at two points per stage:
+
+- ``apply_before(stage, deadline)`` — fires *stalls* (burning deadline
+  budget without sleeping, so tests stay fast and deterministic) and
+  *errors* (raising :class:`~repro.robustness.errors.FaultInjected`,
+  optionally dressed as solver infeasibility);
+- ``apply_after(stage, artifact)`` — fires *corruptions*, mutating the
+  stage's intermediate artifact in a named, reproducible way so the
+  validation gates have something real to catch.
+
+Faults are one-shot: once fired they are removed from the plan, so a
+repair retry or fallback path runs clean.  There is no randomness
+anywhere — a plan replays identically every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.robustness.deadline import Deadline
+from repro.robustness.errors import FaultInjected
+
+
+@dataclass(frozen=True)
+class StageFault:
+    """One scripted fault: what to do, where, with which payload."""
+
+    stage: str
+    kind: str  # "stall" | "error" | "corrupt"
+    seconds: float = 0.0
+    cause: str = "injected"
+    corruption: str = ""
+    message: str = ""
+
+
+def _corrupt_shift_position(tour: Any) -> Any:
+    """Shift one node's ring coordinate, breaking the arc-sum invariant."""
+    node = tour.order[-1]
+    tour.node_position_mm[node] += tour.length_mm / 3.0 + 1.0
+    return tour
+
+
+def _corrupt_drop_assignment(mapping: Any) -> Any:
+    """Remove one mapped signal, leaving a demand unserved."""
+    if mapping.assignments:
+        mapping.assignments.pop(next(iter(mapping.assignments)))
+    return mapping
+
+
+def _corrupt_wavelength_overflow(mapping: Any) -> Any:
+    """Push one signal's wavelength past the budget."""
+    for key, assignment in mapping.assignments.items():
+        mapping.assignments[key] = dataclasses.replace(
+            assignment, wavelength=mapping.wl_budget + 7
+        )
+        break
+    return mapping
+
+
+def _corrupt_negative_gain(plan: Any) -> Any:
+    """Flip one shortcut's gain negative (a design-rule violation)."""
+    if plan.shortcuts:
+        plan.shortcuts[0] = dataclasses.replace(plan.shortcuts[0], gain_mm=-1.0)
+    return plan
+
+
+#: Registry of named, deterministic artifact corruptions per stage kind.
+CORRUPTIONS = {
+    "shift_position": _corrupt_shift_position,
+    "drop_assignment": _corrupt_drop_assignment,
+    "wavelength_overflow": _corrupt_wavelength_overflow,
+    "negative_gain": _corrupt_negative_gain,
+}
+
+
+@dataclass
+class FaultPlan:
+    """A scripted, replayable set of pipeline faults.
+
+    Build fluently::
+
+        FaultPlan().stall("ring", 10.0).corrupt("mapping", "drop_assignment")
+    """
+
+    faults: list[StageFault] = field(default_factory=list)
+
+    # -- builders ------------------------------------------------------------
+    def stall(self, stage: str, seconds: float) -> "FaultPlan":
+        """Burn ``seconds`` of deadline budget before ``stage`` runs."""
+        self.faults.append(StageFault(stage, "stall", seconds=seconds))
+        return self
+
+    def error(self, stage: str, message: str = "") -> "FaultPlan":
+        """Raise inside ``stage``'s primary attempt."""
+        self.faults.append(
+            StageFault(stage, "error", message=message or f"injected {stage} fault")
+        )
+        return self
+
+    def infeasible(self, stage: str) -> "FaultPlan":
+        """Raise inside ``stage`` dressed as solver infeasibility."""
+        self.faults.append(
+            StageFault(
+                stage,
+                "error",
+                cause="infeasible",
+                message=f"injected infeasibility in {stage}",
+            )
+        )
+        return self
+
+    def corrupt(self, stage: str, corruption: str) -> "FaultPlan":
+        """Corrupt ``stage``'s output artifact with a named mutation."""
+        if corruption not in CORRUPTIONS:
+            raise ValueError(
+                f"unknown corruption {corruption!r}; "
+                f"known: {sorted(CORRUPTIONS)}"
+            )
+        self.faults.append(StageFault(stage, "corrupt", corruption=corruption))
+        return self
+
+    # -- consumption ---------------------------------------------------------
+    def _take(self, stage: str, kind: str) -> list[StageFault]:
+        hits = [f for f in self.faults if f.stage == stage and f.kind == kind]
+        self.faults = [f for f in self.faults if f not in hits]
+        return hits
+
+    def apply_before(self, stage: str, deadline: Deadline) -> None:
+        """Fire stalls and errors scheduled for ``stage`` (one-shot)."""
+        for fault in self._take(stage, "stall"):
+            deadline.consume(fault.seconds)
+        for fault in self._take(stage, "error"):
+            raise FaultInjected(fault.message, stage=stage, cause=fault.cause)
+
+    def apply_after(self, stage: str, artifact: Any) -> Any:
+        """Fire corruptions scheduled for ``stage`` on its artifact."""
+        for fault in self._take(stage, "corrupt"):
+            artifact = CORRUPTIONS[fault.corruption](artifact)
+        return artifact
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted fault has fired."""
+        return not self.faults

@@ -1,0 +1,114 @@
+"""Machine-readable provenance of one synthesis run.
+
+Every :class:`~repro.core.design.XRingDesign` produced by the
+synthesizer carries a :class:`SynthesisReport`: which stages ran, how
+long each took, which fallbacks fired, how many repair retries the
+validation gates spent, and any residual rule violations.  Experiments
+persist ``to_dict()`` so table rows can state whether a number came
+from the full flow or a degraded path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Stage outcome labels (``StageRecord.status``).
+STATUS_OK = "ok"
+STATUS_FALLBACK = "fallback"
+STATUS_REPAIRED = "repaired"
+STATUS_SKIPPED = "skipped"
+STATUS_FAILED = "failed"
+STATUS_PROVIDED = "provided"
+
+_DEGRADED_STATUSES = (STATUS_FALLBACK, STATUS_REPAIRED, STATUS_SKIPPED)
+
+
+@dataclass
+class StageRecord:
+    """Outcome of one pipeline stage.
+
+    ``fallback`` names the degraded path taken (empty when the primary
+    succeeded); ``error`` keeps the stringified exception that forced
+    it; ``attempts`` counts primary + retries.
+    """
+
+    name: str
+    status: str = STATUS_OK
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    fallback: str = ""
+    error: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "elapsed_s": self.elapsed_s,
+            "attempts": self.attempts,
+            "fallback": self.fallback,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SynthesisReport:
+    """The full per-run provenance record."""
+
+    deadline_s: float | None = None
+    on_error: str = "degrade"
+    stages: list[StageRecord] = field(default_factory=list)
+    retries: int = 0
+    total_elapsed_s: float = 0.0
+    #: Residual rule violations (stringified); empty for a clean design.
+    violations: list[str] = field(default_factory=list)
+
+    def record(self, record: StageRecord) -> StageRecord:
+        """Append a stage record (returned for further mutation)."""
+        self.stages.append(record)
+        return record
+
+    def stage(self, name: str) -> StageRecord | None:
+        """The latest record for ``name``, or None if it never ran."""
+        for record in reversed(self.stages):
+            if record.name == name:
+                return record
+        return None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage fell back, was repaired, or was skipped."""
+        return any(s.status in _DEGRADED_STATUSES for s in self.stages)
+
+    @property
+    def fallbacks(self) -> tuple[str, ...]:
+        """``"stage:fallback"`` labels of every degraded path taken."""
+        return tuple(
+            f"{s.name}:{s.fallback}" for s in self.stages if s.fallback
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dump (what experiments persist)."""
+        return {
+            "deadline_s": self.deadline_s,
+            "on_error": self.on_error,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "total_elapsed_s": self.total_elapsed_s,
+            "fallbacks": list(self.fallbacks),
+            "violations": list(self.violations),
+            "stages": [s.to_dict() for s in self.stages],
+        }
+
+    def summary(self) -> str:
+        """One-line human summary (CLI output)."""
+        if not self.degraded and not self.violations:
+            return "clean"
+        parts = []
+        if self.fallbacks:
+            parts.append("fallbacks: " + ", ".join(self.fallbacks))
+        if self.retries:
+            parts.append(f"retries: {self.retries}")
+        if self.violations:
+            parts.append(f"violations: {len(self.violations)}")
+        return "; ".join(parts) or "clean"
