@@ -11,7 +11,6 @@ produce, so Table I compares like with like.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 
 from repro.analysis.insertion_loss import LossBreakdown
@@ -21,6 +20,7 @@ from repro.baselines.tools.config import ToolConfig
 from repro.baselines.tools.router import GridRouter, RoutedSegment
 from repro.geometry import BBox, Point
 from repro.network import Network
+from repro.obs import get_obs
 from repro.photonics.parameters import LossParameters
 
 
@@ -151,24 +151,27 @@ def run_tool(
     the topology supports it, geometry-matched port orders) are placed
     and routed and the fewest-crossings layout wins.
     """
-    started = time.perf_counter()
     orientations = (
         range(min(8, config.max_orientations)) if config.try_orientations else (0,)
     )
 
-    best: tuple[CrossbarTopology, PhysicalNetlist, dict[int, RoutedSegment], int] | None = None
-    for variant in _port_order_candidates(topology, network, config):
-        netlist = variant.build_netlist()
-        for orientation in orientations:
-            positions = _place_stops(netlist, network, config, orientation)
-            segments, crossings = _route_all(netlist, positions, config)
-            if best is None or crossings < best[3]:
-                best = (variant, netlist, segments, crossings)
-    assert best is not None
+    with get_obs().tracer.span(
+        "tool.run", topology=type(topology).__name__, nodes=network.size
+    ) as span:
+        best: tuple[CrossbarTopology, PhysicalNetlist, dict[int, RoutedSegment], int] | None = None
+        for variant in _port_order_candidates(topology, network, config):
+            netlist = variant.build_netlist()
+            for orientation in orientations:
+                positions = _place_stops(netlist, network, config, orientation)
+                segments, crossings = _route_all(netlist, positions, config)
+                if best is None or crossings < best[3]:
+                    best = (variant, netlist, segments, crossings)
+        assert best is not None
+        span.set_attribute("crossings", best[3])
 
     layout = CrossbarLayout(topology=best[0], netlist=best[1])
     layout.segments, layout.total_crossings = best[2], best[3]
-    layout.runtime_s = time.perf_counter() - started
+    layout.runtime_s = span.duration_s
     return layout
 
 

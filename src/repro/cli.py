@@ -19,6 +19,17 @@ from repro.analysis import evaluate_circuit
 from repro.core import SynthesisOptions, XRingSynthesizer
 from repro.network import Network
 from repro.network.placement import extended_placement, psion_placement
+from repro.obs import (
+    LOG_LEVELS,
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    ObsContext,
+    RunArtifacts,
+    Tracer,
+    configure_logging,
+    use_obs,
+)
 from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
 from repro.robustness import SynthesisError
 
@@ -65,8 +76,11 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         pdn_mode=None if args.no_pdn else "internal",
         deadline_s=args.deadline,
         on_error=args.on_error,
+        milp_backend=args.milp_backend,
     )
     design = XRingSynthesizer(network, options).run()
+    if args.trace_dir and design.report is not None:
+        RunArtifacts(args.trace_dir).write(report=design.report)
     circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
     evaluation = evaluate_circuit(
         circuit, ORING_LOSSES, NIKDAST_CROSSTALK, with_power=not args.no_pdn
@@ -169,7 +183,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    synth = sub.add_parser("synth", help="synthesize one XRing router")
+    # Observability flags shared by every subcommand.
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument(
+        "--trace-dir",
+        type=str,
+        default="",
+        help="write trace.jsonl / trace.json (Chrome trace_event) / "
+        "metrics.json run artifacts into this directory",
+    )
+    obs.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default="WARNING",
+        help="stderr logging threshold for the repro logger hierarchy",
+    )
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the solver-metrics snapshot as JSON on exit",
+    )
+
+    synth = sub.add_parser(
+        "synth", help="synthesize one XRing router", parents=[obs]
+    )
     synth.add_argument("--nodes", type=int, default=16)
     synth.add_argument(
         "--placement",
@@ -188,6 +225,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--ring-method", choices=["milp", "heuristic"], default="milp"
     )
     synth.add_argument(
+        "--milp-backend",
+        choices=["auto", "scipy", "branch_bound"],
+        default="auto",
+        help="LP/MILP solver for the ring model (branch_bound is the "
+        "pure-Python backend with simplex-pivot metrics)",
+    )
+    synth.add_argument(
         "--deadline",
         type=float,
         default=None,
@@ -201,30 +245,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synth.set_defaults(func=_cmd_synth)
 
-    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1 = sub.add_parser("table1", help="regenerate Table I", parents=[obs])
     table1.add_argument("--sizes", type=int, nargs="+", default=[8, 16])
     table1.add_argument("--quick", action="store_true", help="single #wl setting")
     table1.set_defaults(func=_cmd_table1)
 
-    table2 = sub.add_parser("table2", help="regenerate Table II")
+    table2 = sub.add_parser("table2", help="regenerate Table II", parents=[obs])
     table2.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32])
     table2.add_argument("--quick", action="store_true")
     table2.set_defaults(func=_cmd_table2)
 
-    table3 = sub.add_parser("table3", help="regenerate Table III")
+    table3 = sub.add_parser("table3", help="regenerate Table III", parents=[obs])
     table3.add_argument("--quick", action="store_true")
     table3.set_defaults(func=_cmd_table3)
 
-    ablation = sub.add_parser("ablation", help="shortcut/opening feature matrix")
+    ablation = sub.add_parser(
+        "ablation", help="shortcut/opening feature matrix", parents=[obs]
+    )
     ablation.add_argument("--nodes", type=int, default=16)
     ablation.set_defaults(func=_cmd_ablation)
 
-    scale = sub.add_parser("scale", help="scaling study (MILP vs heuristic)")
+    scale = sub.add_parser(
+        "scale", help="scaling study (MILP vs heuristic)", parents=[obs]
+    )
     scale.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32, 64])
     scale.add_argument("--milp-limit", type=int, default=32)
     scale.set_defaults(func=_cmd_scale)
 
-    sweep = sub.add_parser("sweep", help="power vs wavelength budget")
+    sweep = sub.add_parser(
+        "sweep", help="power vs wavelength budget", parents=[obs]
+    )
     sweep.add_argument("--nodes", type=int, default=16)
     sweep.add_argument(
         "--router", choices=["xring", "ornoc", "oring"], default="xring"
@@ -239,14 +289,33 @@ def main(argv: list[str] | None = None) -> int:
     Typed synthesis failures (bad options, unrepairable designs,
     ``--on-error raise`` stage errors) print one line and exit 2
     instead of dumping a traceback.
+
+    ``--trace-dir`` turns tracing on and drops ``trace.jsonl`` (one
+    span per line), ``trace.json`` (Chrome ``trace_event`` — load in
+    about:tracing or https://ui.perfetto.dev), and ``metrics.json``
+    into the directory; artifacts are written even when the run fails,
+    so a timed-out synthesis still leaves its partial trace behind.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(getattr(args, "log_level", "WARNING"))
+    trace_dir = getattr(args, "trace_dir", "")
+    want_metrics = bool(getattr(args, "metrics", False)) or bool(trace_dir)
+    tracer = Tracer() if trace_dir else NULL_TRACER
+    registry = MetricsRegistry() if want_metrics else NULL_METRICS
     try:
-        return args.func(args)
+        with use_obs(ObsContext(tracer=tracer, metrics=registry)):
+            return args.func(args)
     except SynthesisError as exc:
         print(f"xring: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_dir:
+            paths = RunArtifacts(trace_dir).write(tracer=tracer, metrics=registry)
+            for path in paths:
+                print(f"artifact written: {path}", file=sys.stderr)
+        if getattr(args, "metrics", False):
+            print(registry.to_json())
 
 
 if __name__ == "__main__":  # pragma: no cover

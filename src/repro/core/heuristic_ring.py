@@ -24,6 +24,7 @@ import itertools
 from repro.core.ring import RingTour, _choose_realizations
 from repro.geometry import Point, edges_conflict
 from repro.milp import SolveError
+from repro.obs import get_obs
 from repro.robustness.errors import InputError
 
 
@@ -98,10 +99,12 @@ def _repair_conflicts(
     taken.  Gives up (raises) if the count stops decreasing.
     """
     n = len(order)
+    repairs = get_obs().metrics.counter("ring.heuristic.conflict_repairs")
     for _ in range(max_repairs):
         conflicts = _conflicting_edge_pairs(order, points)
         if not conflicts:
             return order
+        repairs.inc()
         best: tuple[float, list[int]] | None = None
         for k1, k2 in conflicts:
             i, j = min(k1, k2), max(k1, k2)
@@ -135,10 +138,12 @@ def construct_ring_tour_heuristic(points: list[Point]) -> RingTour:
                 f"nodes {a} and {b} share a position", stage="ring"
             )
 
-    order = _nearest_neighbour(points)
-    order = _two_opt(order, points)
-    order = _repair_conflicts(order, points)
-    paths, crossing_count = _choose_realizations(order, points)
+    obs = get_obs()
+    with obs.tracer.span("ring.heuristic", nodes=n):
+        order = _nearest_neighbour(points)
+        order = _two_opt(order, points)
+        order = _repair_conflicts(order, points)
+        paths, crossing_count = _choose_realizations(order, points)
 
     node_position: dict[int, float] = {}
     travelled = 0.0

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.core.ring import RingTour
 from repro.core.shortcuts import ShortcutPlan
+from repro.obs import get_obs
 from repro.robustness.errors import ConfigurationError
 
 
@@ -221,6 +222,7 @@ class _Mapper:
 
     def relocate(self, assignment: RingAssignment, forbidden_rid: int) -> None:
         """Move a signal off ``forbidden_rid`` (same direction)."""
+        get_obs().metrics.counter("mapping.relocations").inc()
         del self.assignments[(assignment.src, assignment.dst)]
         for ring in self.rings:
             if ring.direction is not assignment.direction or ring.rid == forbidden_rid:
@@ -387,9 +389,20 @@ def map_signals(
         mapper.open_rings()
     mapper.drop_empty_rings()
 
-    return SignalMapping(
+    mapping = SignalMapping(
         rings=mapper.rings,
         assignments=mapper.assignments,
         shortcut_wavelengths=_shortcut_wavelengths(shortcut_plan),
         wl_budget=wl_budget,
     )
+    metrics = get_obs().metrics
+    if metrics.enabled:
+        metrics.counter("mapping.signals_placed").inc(len(mapping.assignments))
+        metrics.gauge("mapping.ring_waveguides").set(len(mapping.rings))
+        # Per-waveguide wavelength occupancy: how many distinct
+        # wavelengths each physical ring instance actually carries.
+        occupancy = metrics.histogram("mapping.waveguide_wavelengths")
+        for ring in mapping.rings:
+            distinct = {a.wavelength for a in mapping.ring_signals(ring.rid)}
+            occupancy.observe(len(distinct))
+    return mapping

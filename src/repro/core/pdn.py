@@ -34,6 +34,7 @@ from repro.geometry import BBox, Point, RectilinearPath, crossing_points, distan
 from repro.core.mapping import SignalMapping
 from repro.core.ring import RingTour
 from repro.core.shortcuts import ShortcutPlan
+from repro.obs import get_obs
 from repro.photonics.parameters import LossParameters
 from repro.robustness.errors import ConfigurationError
 
@@ -120,6 +121,13 @@ def _pair_up(nodes: list[_TreeNode]) -> _TreeNode:
             next_level.append(level[-1])
         level = next_level
     return level[0]
+
+
+def _tree_depth(node: _TreeNode) -> int:
+    """Levels in the splitter tree (a lone leaf has depth 1)."""
+    if not node.children:
+        return 1
+    return 1 + max(_tree_depth(child) for child in node.children)
 
 
 def _ring_sender_order(tour: RingTour, opening: int | None, senders: set[int]) -> list[int]:
@@ -268,4 +276,13 @@ def build_pdn(
     # Combiner and trunk edges span the die: they cross the whole
     # nested bundle per geometric hit.
     builder.accumulate(trunk, 0.0, list(range(ring_copies)))
+
+    metrics = get_obs().metrics
+    if metrics.enabled:
+        depths = metrics.histogram("pdn.splitter_tree_depth")
+        for root in tree_roots:
+            depths.observe(_tree_depth(root))
+        metrics.gauge("pdn.tree_depth_total").set(_tree_depth(trunk))
+        metrics.counter("pdn.splitters").inc(builder.design.splitter_count)
+        metrics.counter("pdn.ring_crossings").inc(builder.design.crossing_count)
     return builder.design

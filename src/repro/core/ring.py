@@ -35,6 +35,7 @@ from repro.geometry import (
 )
 from repro.milp import Model, SolveError, SolveStatus
 from repro.milp.expression import lin_sum
+from repro.obs import get_obs
 from repro.robustness.deadline import Deadline
 from repro.robustness.errors import InputError, StageFailure, StageTimeout
 from repro.sat import TwoSat
@@ -221,17 +222,22 @@ def _merge_two_cycles(
                     (splice_cost(a, b, c, d), a, b, c, d, orient_idx)
                 )
     candidates.sort(key=lambda item: item[0])
-    for strict in (True, False):
-        for cost, a, b, c, d, orient_idx in candidates:
-            cycle2 = orientations[orient_idx]
-            if new_edges_clean(a, b, c, d, cycle2, strict):
-                # Splice: ... a -> d ... c -> b ...
-                ia = c1.index(a)
-                ic = cycle2.index(c)
-                rotated = cycle2[ic + 1 :] + cycle2[: ic + 1]  # d ... c
-                merged = c1[: ia + 1] + rotated + c1[ia + 1 :]
-                return merged, cost
-    raise SolveError("no feasible splice between sub-cycles")
+    attempts = 0
+    try:
+        for strict in (True, False):
+            for cost, a, b, c, d, orient_idx in candidates:
+                attempts += 1
+                cycle2 = orientations[orient_idx]
+                if new_edges_clean(a, b, c, d, cycle2, strict):
+                    # Splice: ... a -> d ... c -> b ...
+                    ia = c1.index(a)
+                    ic = cycle2.index(c)
+                    rotated = cycle2[ic + 1 :] + cycle2[: ic + 1]  # d ... c
+                    merged = c1[: ia + 1] + rotated + c1[ia + 1 :]
+                    return merged, cost
+        raise SolveError("no feasible splice between sub-cycles")
+    finally:
+        get_obs().metrics.counter("ring.merge.splice_attempts").inc(attempts)
 
 
 def _staircase_routes(a: Point, b: Point) -> list[RectilinearPath]:
@@ -422,8 +428,111 @@ def construct_ring_tour(
                 f"nodes {a} and {b} share a position", stage="ring"
             )
 
-    conflicts = _build_edge_conflicts(points)
+    obs = get_obs()
+    with obs.tracer.span("ring.build_model", nodes=n) as build_span:
+        conflicts = _build_edge_conflicts(points)
+        model = _build_ring_model(points, conflicts)
+        conflict_constraints = sum(
+            1 for con in model.constraints if con.name.startswith("conflict_")
+        )
+        build_span.set_attribute("constraints", model.num_constraints)
+        build_span.set_attribute("conflict_constraints", conflict_constraints)
+    obs.metrics.counter("ring.conflict_constraints").inc(conflict_constraints)
 
+    options: dict[str, object] = {}
+    if time_limit:
+        options["time_limit"] = time_limit
+    if deadline is not None:
+        options["deadline"] = deadline
+    solution = model.solve(backend=backend, **options)
+    if solution.status is SolveStatus.TIMEOUT and not solution.values:
+        raise StageTimeout(
+            f"ring MILP hit its time budget before finding any tour "
+            f"({solution.message})",
+            stage="ring",
+            context={"backend": solution.backend, "nodes": n},
+        )
+    if solution.status is SolveStatus.INFEASIBLE:
+        raise StageFailure(
+            "ring MILP is infeasible (no crossing-free tour exists "
+            "for these positions)",
+            stage="ring",
+            cause="infeasible",
+            context={"backend": solution.backend, "nodes": n},
+        )
+    if not solution.has_solution:
+        raise SolveError(
+            f"ring MILP failed: {solution.status.value} {solution.message}",
+            stage="ring",
+        )
+    timed_out = solution.status is SolveStatus.TIMEOUT
+
+    b_vars = model._ring_edge_vars  # set by _build_ring_model
+    selected = {
+        edge for edge, var in b_vars.items() if solution.value(var, as_int=True) == 1
+    }
+    with obs.tracer.span("ring.merge_cycles") as merge_span:
+        cycles = _extract_cycles(selected, n)
+        merge_span.set_attribute("sub_cycles", len(cycles))
+
+        # Heuristic sub-cycle merging (Fig. 6(f)): repeatedly splice the
+        # cheapest-to-merge pair of cycles until one tour remains.
+        while len(cycles) > 1:
+            best: tuple[float, int, int, list[int]] | None = None
+            for idx1, idx2 in itertools.combinations(range(len(cycles)), 2):
+                others = [
+                    e
+                    for k, cycle in enumerate(cycles)
+                    if k not in (idx1, idx2)
+                    for e in _cycle_edges(cycle)
+                ]
+                try:
+                    merged, cost = _merge_two_cycles(
+                        cycles[idx1], cycles[idx2], points, others
+                    )
+                except SolveError:
+                    continue
+                if best is None or cost < best[0]:
+                    best = (cost, idx1, idx2, merged)
+            if best is None:
+                raise SolveError("could not merge sub-cycles into one tour")
+            _, idx1, idx2, merged = best
+            obs.metrics.counter("ring.merge.cycle_merges").inc()
+            cycles = [
+                cycle for k, cycle in enumerate(cycles) if k not in (idx1, idx2)
+            ]
+            cycles.append(merged)
+
+    order = cycles[0]
+    with obs.tracer.span("ring.realizations"):
+        paths, crossing_count = _choose_realizations(order, points)
+
+    node_position: dict[int, float] = {}
+    travelled = 0.0
+    for k, node in enumerate(order):
+        node_position[node] = travelled
+        travelled += paths[k].length
+    return RingTour(
+        order=tuple(order),
+        edge_paths=tuple(paths),
+        points=tuple(points),
+        length_mm=travelled,
+        node_position_mm=node_position,
+        crossing_count=crossing_count,
+        timed_out=timed_out,
+    )
+
+
+def _build_ring_model(
+    points: list[Point],
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]],
+) -> Model:
+    """Assemble the Step-1 MILP (constraints (1)-(3), objective (4)).
+
+    The edge-selection variables are stashed on the model as
+    ``_ring_edge_vars`` so the caller can decode the solution.
+    """
+    n = len(points)
     model = Model("xring-step1")
     b_vars: dict[tuple[int, int], object] = {}
     for i in range(n):
@@ -472,81 +581,5 @@ def construct_ring_tour(
         var * points[i].manhattan(points[j]) for (i, j), var in b_vars.items()
     )
     model.minimize(objective)
-
-    options: dict[str, object] = {}
-    if time_limit:
-        options["time_limit"] = time_limit
-    if deadline is not None:
-        options["deadline"] = deadline
-    solution = model.solve(backend=backend, **options)
-    if solution.status is SolveStatus.TIMEOUT and not solution.values:
-        raise StageTimeout(
-            f"ring MILP hit its time budget before finding any tour "
-            f"({solution.message})",
-            stage="ring",
-            context={"backend": solution.backend, "nodes": n},
-        )
-    if solution.status is SolveStatus.INFEASIBLE:
-        raise StageFailure(
-            "ring MILP is infeasible (no crossing-free tour exists "
-            "for these positions)",
-            stage="ring",
-            cause="infeasible",
-            context={"backend": solution.backend, "nodes": n},
-        )
-    if not solution.has_solution:
-        raise SolveError(
-            f"ring MILP failed: {solution.status.value} {solution.message}",
-            stage="ring",
-        )
-    timed_out = solution.status is SolveStatus.TIMEOUT
-
-    selected = {
-        edge for edge, var in b_vars.items() if solution.value(var, as_int=True) == 1
-    }
-    cycles = _extract_cycles(selected, n)
-
-    # Heuristic sub-cycle merging (Fig. 6(f)): repeatedly splice the
-    # cheapest-to-merge pair of cycles until one tour remains.
-    while len(cycles) > 1:
-        best: tuple[float, int, int, list[int]] | None = None
-        for idx1, idx2 in itertools.combinations(range(len(cycles)), 2):
-            others = [
-                e
-                for k, cycle in enumerate(cycles)
-                if k not in (idx1, idx2)
-                for e in _cycle_edges(cycle)
-            ]
-            try:
-                merged, cost = _merge_two_cycles(
-                    cycles[idx1], cycles[idx2], points, others
-                )
-            except SolveError:
-                continue
-            if best is None or cost < best[0]:
-                best = (cost, idx1, idx2, merged)
-        if best is None:
-            raise SolveError("could not merge sub-cycles into one tour")
-        _, idx1, idx2, merged = best
-        cycles = [
-            cycle for k, cycle in enumerate(cycles) if k not in (idx1, idx2)
-        ]
-        cycles.append(merged)
-
-    order = cycles[0]
-    paths, crossing_count = _choose_realizations(order, points)
-
-    node_position: dict[int, float] = {}
-    travelled = 0.0
-    for k, node in enumerate(order):
-        node_position[node] = travelled
-        travelled += paths[k].length
-    return RingTour(
-        order=tuple(order),
-        edge_paths=tuple(paths),
-        points=tuple(points),
-        length_mm=travelled,
-        node_position_mm=node_position,
-        crossing_count=crossing_count,
-        timed_out=timed_out,
-    )
+    model._ring_edge_vars = b_vars
+    return model

@@ -27,6 +27,7 @@ from repro.geometry import (
     paths_cross,
 )
 from repro.core.ring import RingTour
+from repro.obs import get_obs
 from repro.robustness.errors import ConfigurationError
 
 
@@ -359,6 +360,7 @@ def select_shortcuts(
     demand_set = set(demands) if demands is not None else None
     maze: _ChordMaze | None = None
     candidates: list[tuple[float, int, int, list[RectilinearPath]]] = []
+    gain_evaluations = 0
     for node_a in range(n):
         for node_b in range(node_a + 1, n):
             if demand_set is not None and not (
@@ -388,8 +390,12 @@ def select_shortcuts(
             gain = _ring_gain(
                 tour, node_a, node_b, realizations[0].length
             )
+            gain_evaluations += 1
             if gain > 1e-9:
                 candidates.append((gain, node_a, node_b, realizations))
+    metrics = get_obs().metrics
+    metrics.counter("shortcuts.gain_evaluations").inc(gain_evaluations)
+    metrics.counter("shortcuts.candidates").inc(len(candidates))
     if selection == "gain":
         candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
     else:  # ring_length: longest-suffering pairs first
@@ -472,6 +478,8 @@ def select_shortcuts(
         used_nodes.update((node_a, node_b))
 
     _register_served_pairs(plan, tour, loss, demand_set)
+    metrics.counter("shortcuts.selected").inc(len(plan.shortcuts))
+    metrics.counter("shortcuts.served_pairs").inc(len(plan.served))
     return plan
 
 

@@ -31,7 +31,6 @@ fail-fast behaviour: the first stage error propagates as a typed
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.design import XRingDesign
@@ -42,6 +41,13 @@ from repro.core.ring import RingTour, construct_ring_tour
 from repro.core.shortcuts import ShortcutPlan, select_shortcuts
 from repro.core.validate import validate_design
 from repro.network import Network
+from repro.obs import (
+    MetricsRegistry,
+    ObsContext,
+    get_logger,
+    get_obs,
+    use_obs,
+)
 from repro.photonics.parameters import ORING_LOSSES, LossParameters
 from repro.robustness import (
     ConfigurationError,
@@ -73,6 +79,8 @@ _ON_ERROR_POLICIES = ("raise", "degrade")
 #: Exceptions a degrading stage must NOT swallow: they indicate a bad
 #: call, not a runtime failure, and the fallback would hit them too.
 _NON_DEGRADABLE = (ConfigurationError, InputError)
+
+_log = get_logger("synthesizer")
 
 
 def _require(value, allowed, option: str) -> None:
@@ -152,6 +160,14 @@ class XRingSynthesizer:
 
     ``fault_plan`` (tests only) injects deterministic stalls, errors,
     and artifact corruptions; see :mod:`repro.robustness.faults`.
+
+    ``tracer`` defaults to whatever tracer is ambient (the CLI installs
+    one when ``--trace-dir`` is given; :data:`~repro.obs.NULL_TRACER`
+    otherwise).  ``metrics`` defaults to a fresh per-run
+    :class:`~repro.obs.MetricsRegistry`; its snapshot lands in
+    ``design.report.metrics`` and is merged into the ambient registry
+    afterwards, so experiment drivers can both read per-row solver
+    statistics and accumulate totals.
     """
 
     def __init__(
@@ -160,10 +176,14 @@ class XRingSynthesizer:
         options: SynthesisOptions | None = None,
         *,
         fault_plan: FaultPlan | None = None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.network = network
         self.options = options or SynthesisOptions()
         self.fault_plan = fault_plan or FaultPlan()
+        self.tracer = tracer
+        self.metrics = metrics
 
     def run(self, tour: RingTour | None = None) -> XRingDesign:
         """Synthesize the router; ``tour`` may be supplied to reuse a
@@ -171,22 +191,51 @@ class XRingSynthesizer:
         between XRing and the ring baselines, as the paper does for
         ORNoC)."""
         opts = self.options
+        ambient = get_obs()
+        tracer = self.tracer if self.tracer is not None else ambient.tracer
+        registry = self.metrics if self.metrics is not None else MetricsRegistry()
         deadline = Deadline(opts.deadline_s)
         report = SynthesisReport(deadline_s=opts.deadline_s, on_error=opts.on_error)
-        started = time.perf_counter()
 
-        tour = self._stage_ring(tour, deadline, report)
-        plan = self._stage_shortcuts(tour, deadline, report)
-        wl_budget = self.network.size if opts.wl_budget is None else opts.wl_budget
-        mapping, plan = self._stage_mapping(tour, plan, wl_budget, deadline, report)
-        pdn = self._stage_pdn(tour, mapping, plan, deadline, report)
+        with use_obs(ObsContext(tracer=tracer, metrics=registry)):
+            with tracer.span(
+                "synthesize",
+                label=opts.label,
+                nodes=self.network.size,
+                on_error=opts.on_error,
+            ) as root:
+                tour = self._stage_ring(tour, deadline, report)
+                plan = self._stage_shortcuts(tour, deadline, report)
+                wl_budget = (
+                    self.network.size if opts.wl_budget is None else opts.wl_budget
+                )
+                mapping, plan = self._stage_mapping(
+                    tour, plan, wl_budget, deadline, report
+                )
+                pdn = self._stage_pdn(tour, mapping, plan, deadline, report)
 
-        design = self._assemble(tour, plan, mapping, pdn, report)
-        design = self._final_gate(design, wl_budget, deadline, report)
+                design = self._assemble(tour, plan, mapping, pdn, report)
+                design = self._final_gate(design, wl_budget, deadline, report)
+            self._flush_deadline_gauges(deadline, registry)
 
         report.total_elapsed_s = deadline.elapsed()
-        design.synthesis_time_s = time.perf_counter() - started
+        design.synthesis_time_s = root.duration_s
+        report.metrics = registry.snapshot()
+        if ambient.metrics.enabled and ambient.metrics is not registry:
+            ambient.metrics.merge(registry)
         return design
+
+    @staticmethod
+    def _flush_deadline_gauges(deadline: Deadline, registry) -> None:
+        """Per-stage deadline-consumption gauges for the run registry."""
+        if not registry.enabled:
+            return
+        for stage, elapsed in deadline.stage_elapsed_s.items():
+            registry.gauge(f"deadline.{stage}.elapsed_s").set(elapsed)
+        registry.gauge("deadline.elapsed_s").set(deadline.elapsed())
+        if deadline.budget_s is not None:
+            registry.gauge("deadline.budget_s").set(deadline.budget_s)
+            registry.gauge("deadline.remaining_s").set(deadline.remaining())
 
     # -- fail-fast policy ----------------------------------------------------
     @property
@@ -206,10 +255,14 @@ class XRingSynthesizer:
     ) -> RingTour:
         opts = self.options
         record = report.record(StageRecord("ring"))
-        with deadline.stage("ring"):
+        with deadline.stage("ring"), get_obs().tracer.span(
+            "stage.ring", method=opts.ring_method
+        ) as span:
+            record.span_id = span.span_id
             if provided is not None:
                 record.status = STATUS_PROVIDED
                 record.elapsed_s = deadline.stage_elapsed_s.get("ring", 0.0)
+                span.set_attribute("status", record.status)
                 return provided
             points = list(self.network.positions)
             try:
@@ -226,6 +279,11 @@ class XRingSynthesizer:
                         # In-budget incumbent: usable, but flagged.
                         record.status = STATUS_FALLBACK
                         record.fallback = "milp_incumbent"
+                        _log.warning(
+                            "ring MILP hit its time limit; keeping the "
+                            "in-budget incumbent (span_id=%s)",
+                            record.span_id,
+                        )
                 else:
                     tour = construct_ring_tour_heuristic(points)
             except SynthesisError as exc:
@@ -236,6 +294,12 @@ class XRingSynthesizer:
                 record.fallback = "heuristic_ring"
                 record.error = str(exc)
                 record.attempts = 2
+                _log.warning(
+                    "ring MILP failed (%s); fell back to the heuristic "
+                    "ring (span_id=%s)",
+                    exc,
+                    record.span_id,
+                )
             tour = self.fault_plan.apply_after("ring", tour)
             if opts.validate and not self._tour_ok(tour):
                 # Repair-retry: rebuild with the (bounded, fast)
@@ -245,6 +309,11 @@ class XRingSynthesizer:
                 record.status = STATUS_REPAIRED
                 record.fallback = record.fallback or "heuristic_ring"
                 record.error = record.error or "tour failed the validation gate"
+                _log.warning(
+                    "ring tour failed the validation gate; rebuilding with "
+                    "the heuristic (span_id=%s)",
+                    record.span_id,
+                )
                 tour = construct_ring_tour_heuristic(points)
                 if not self._tour_ok(tour):
                     record.status = STATUS_FAILED
@@ -252,6 +321,7 @@ class XRingSynthesizer:
                         "ring tour still violates invariants after repair",
                         stage="ring",
                     )
+            span.set_attribute("status", record.status)
         record.elapsed_s = deadline.stage_elapsed_s["ring"]
         return tour
 
@@ -271,7 +341,10 @@ class XRingSynthesizer:
     ) -> ShortcutPlan:
         opts = self.options
         record = report.record(StageRecord("shortcuts"))
-        with deadline.stage("shortcuts"):
+        with deadline.stage("shortcuts"), get_obs().tracer.span(
+            "stage.shortcuts", enabled=opts.enable_shortcuts
+        ) as span:
+            record.span_id = span.span_id
             try:
                 self.fault_plan.apply_before("shortcuts", deadline)
                 deadline.check("shortcuts")
@@ -290,7 +363,15 @@ class XRingSynthesizer:
                 record.fallback = "no_shortcuts"
                 record.error = str(exc)
                 record.attempts = 2
+                _log.warning(
+                    "shortcut selection failed (%s); continuing without "
+                    "shortcuts (span_id=%s)",
+                    exc,
+                    record.span_id,
+                )
             plan = self.fault_plan.apply_after("shortcuts", plan)
+            span.set_attribute("status", record.status)
+            span.set_attribute("selected", len(plan.shortcuts))
         record.elapsed_s = deadline.stage_elapsed_s["shortcuts"]
         return plan
 
@@ -320,7 +401,10 @@ class XRingSynthesizer:
             )
             return mapping, fallback_plan
 
-        with deadline.stage("mapping"):
+        with deadline.stage("mapping"), get_obs().tracer.span(
+            "stage.mapping", wl_budget=wl_budget
+        ) as span:
+            record.span_id = span.span_id
             try:
                 self.fault_plan.apply_before("mapping", deadline)
                 deadline.check("mapping")
@@ -341,6 +425,12 @@ class XRingSynthesizer:
                 record.fallback = "plain_ring"
                 record.error = str(exc)
                 record.attempts = 2
+                _log.warning(
+                    "signal mapping failed (%s); fell back to the "
+                    "plain-ring mapping (span_id=%s)",
+                    exc,
+                    record.span_id,
+                )
             mapping = self.fault_plan.apply_after("mapping", mapping)
             if opts.validate:
                 violations = self._gate(
@@ -355,6 +445,12 @@ class XRingSynthesizer:
                     record.error = record.error or "; ".join(
                         str(v) for v in violations[:3]
                     )
+                    _log.warning(
+                        "mapping failed the validation gate (%d violations); "
+                        "retrying with the plain-ring mapping (span_id=%s)",
+                        len(violations),
+                        record.span_id,
+                    )
                     mapping, plan = plain_ring()
                     violations = self._gate(
                         tour, plan, mapping,
@@ -367,6 +463,7 @@ class XRingSynthesizer:
                             violations=violations,
                             stage="mapping",
                         )
+            span.set_attribute("status", record.status)
         record.elapsed_s = deadline.stage_elapsed_s["mapping"]
         return mapping, plan
 
@@ -391,9 +488,13 @@ class XRingSynthesizer:
     ) -> PdnDesign | None:
         opts = self.options
         record = report.record(StageRecord("pdn"))
-        with deadline.stage("pdn"):
+        with deadline.stage("pdn"), get_obs().tracer.span(
+            "stage.pdn", mode=opts.pdn_mode or "none"
+        ) as span:
+            record.span_id = span.span_id
             if opts.pdn_mode is None:
                 record.status = STATUS_OK
+                span.set_attribute("status", record.status)
                 return None
             try:
                 self.fault_plan.apply_before("pdn", deadline)
@@ -416,6 +517,13 @@ class XRingSynthesizer:
                 record.fallback = "no_pdn"
                 record.error = str(exc)
                 record.attempts = 2
+                _log.warning(
+                    "PDN construction failed (%s); shipping the design "
+                    "without a PDN (span_id=%s)",
+                    exc,
+                    record.span_id,
+                )
+            span.set_attribute("status", record.status)
         record.elapsed_s = deadline.stage_elapsed_s["pdn"]
         return pdn
 
@@ -443,7 +551,10 @@ class XRingSynthesizer:
             return design
         record = report.record(StageRecord("validate"))
         try:
-            with deadline.stage("validate"):
+            with deadline.stage("validate"), get_obs().tracer.span(
+                "stage.validate"
+            ) as span:
+                record.span_id = span.span_id
                 violations = validate_design(design)
                 if not violations:
                     return design
@@ -453,6 +564,12 @@ class XRingSynthesizer:
                 record.status = STATUS_REPAIRED
                 record.fallback = "plain_ring"
                 record.error = "; ".join(str(v) for v in violations[:3])
+                _log.warning(
+                    "final gate found %d violation(s); repairing with a "
+                    "plain-ring remap (span_id=%s)",
+                    len(violations),
+                    record.span_id,
+                )
                 plan = ShortcutPlan()
                 mapping = map_signals(
                     design.tour,

@@ -48,6 +48,10 @@ class RingRouterRow:
     #: The fallbacks taken, as "stage:fallback" strings, for table
     #: footnotes and result auditing.
     fallbacks: tuple[str, ...] = ()
+    #: Simplex pivots spent by the run's LP solves (pure-Python backend).
+    simplex_pivots: int = 0
+    #: Branch-and-bound nodes explored (either backend).
+    bb_nodes: int = 0
 
     @property
     def snr_text(self) -> str:
@@ -96,6 +100,8 @@ def evaluate_design(
         signal_count=evaluation.signal_count,
         degraded=report.degraded if report is not None else False,
         fallbacks=report.fallbacks if report is not None else (),
+        simplex_pivots=report.counter("milp.simplex.pivots") if report else 0,
+        bb_nodes=report.counter("milp.bb.nodes") if report else 0,
     )
 
 

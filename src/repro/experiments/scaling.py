@@ -10,8 +10,7 @@ laser power) tracks between them.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.design import XRingDesign
 from repro.core.heuristic_ring import construct_ring_tour_heuristic
@@ -19,6 +18,7 @@ from repro.core.ring import construct_ring_tour
 from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
 from repro.experiments.common import RingRouterRow, evaluate_design
 from repro.network import Network
+from repro.obs import MetricsRegistry, ObsContext, get_obs, use_obs
 from repro.network.placement import extended_placement, psion_placement
 from repro.photonics.parameters import (
     NIKDAST_CROSSTALK,
@@ -30,7 +30,11 @@ from repro.photonics.parameters import (
 
 @dataclass(frozen=True)
 class ScalingRow:
-    """One (size, method) measurement."""
+    """One (size, method) measurement.
+
+    ``solver_stats`` carries the run's solver counters (simplex pivots,
+    branch-and-bound nodes, ...) from the metrics snapshot.
+    """
 
     num_nodes: int
     method: str
@@ -38,6 +42,7 @@ class ScalingRow:
     tour_time_s: float
     total_time_s: float
     row: RingRouterRow
+    solver_stats: dict[str, int] = field(default_factory=dict)
 
 
 def _network(num_nodes: int) -> Network:
@@ -66,25 +71,37 @@ def run_scaling(
         for method in methods:
             if method == "milp" and num_nodes > milp_limit:
                 continue
-            started = time.perf_counter()
-            if method == "milp":
-                tour = construct_ring_tour(list(network.positions))
-            else:
-                tour = construct_ring_tour_heuristic(list(network.positions))
-            tour_time = time.perf_counter() - started
-
+            # Step 1 runs outside the synthesizer (the tour is shared),
+            # so it gets its own span and feeds the same per-row
+            # registry the synthesizer will use.
+            registry = MetricsRegistry()
+            tracer = get_obs().tracer
+            with tracer.span(
+                "scaling.tour", nodes=num_nodes, method=method
+            ) as tour_span, use_obs(ObsContext(tracer=tracer, metrics=registry)):
+                if method == "milp":
+                    tour = construct_ring_tour(list(network.positions))
+                else:
+                    tour = construct_ring_tour_heuristic(list(network.positions))
             design: XRingDesign = XRingSynthesizer(
-                network, SynthesisOptions(wl_budget=num_nodes, loss=loss)
+                network,
+                SynthesisOptions(wl_budget=num_nodes, loss=loss),
+                metrics=registry,
             ).run(tour=tour)
-            total_time = time.perf_counter() - started
+            solver_stats = {
+                name: int(value)
+                for name, value in registry.snapshot()["counters"].items()
+                if name.startswith("milp.")
+            }
             rows.append(
                 ScalingRow(
                     num_nodes=num_nodes,
                     method=method,
                     tour_length_mm=tour.length_mm,
-                    tour_time_s=tour_time,
-                    total_time_s=total_time,
+                    tour_time_s=tour_span.duration_s,
+                    total_time_s=tour_span.duration_s + design.synthesis_time_s,
                     row=evaluate_design(design, loss, xtalk),
+                    solver_stats=solver_stats,
                 )
             )
     return rows
@@ -95,6 +112,7 @@ def format_scaling(rows: list[ScalingRow]) -> str:
     header = (
         f"{'N':>4}{'method':>11}{'ring(mm)':>10}{'t_tour(s)':>11}"
         f"{'t_total(s)':>11}{'il_w':>7}{'P(W)':>9}{'#s':>5}"
+        f"{'pivots':>9}{'bb_nodes':>9}"
     )
     lines = [header, "-" * len(header)]
     for item in rows:
@@ -102,5 +120,7 @@ def format_scaling(rows: list[ScalingRow]) -> str:
             f"{item.num_nodes:>4}{item.method:>11}{item.tour_length_mm:>10.1f}"
             f"{item.tour_time_s:>11.2f}{item.total_time_s:>11.2f}"
             f"{item.row.il_w:>7.2f}{item.row.power_w:>9.3f}{item.row.noisy:>5}"
+            f"{item.solver_stats.get('milp.simplex.pivots', 0):>9}"
+            f"{item.solver_stats.get('milp.bb.nodes', 0):>9}"
         )
     return "\n".join(lines)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.milp.model import Model, Sense, Solution, SolveStatus
 from repro.milp.simplex import LPStatus, solve_lp
+from repro.obs import get_obs
 from repro.robustness.deadline import Deadline
 
 _INT_TOL = 1e-6
@@ -101,6 +102,8 @@ def solve_with_branch_bound(
     incumbent_obj = math.inf
     incumbent_x: np.ndarray | None = None
     nodes = 0
+    fathomed = 0
+    incumbent_updates = 0
     exhausted = True
     timed_out = False
 
@@ -116,6 +119,7 @@ def solve_with_branch_bound(
             break
         if bound >= incumbent_obj - 1e-9:
             # Fathomed by bound; counts as a processed node.
+            fathomed += 1
             continue
 
         branch_var = _most_fractional(x, integer_idx)
@@ -128,6 +132,7 @@ def solve_with_branch_bound(
             if obj < incumbent_obj - 1e-9:
                 incumbent_obj = obj
                 incumbent_x = x_int
+                incumbent_updates += 1
             continue
 
         floor_val = math.floor(x[branch_var] + _INT_TOL)
@@ -154,6 +159,15 @@ def solve_with_branch_bound(
                 )
         if timed_out:
             break
+
+    metrics = get_obs().metrics
+    metrics.counter("milp.bb.nodes").inc(nodes)
+    metrics.counter("milp.bb.fathomed").inc(fathomed)
+    metrics.counter("milp.bb.incumbent_updates").inc(incumbent_updates)
+    if incumbent_x is not None:
+        metrics.gauge("milp.bb.incumbent_objective").set(
+            incumbent_obj + model.objective.constant
+        )
 
     if incumbent_x is None:
         if timed_out:

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.milp.expression import LinExpr, Var, lin_sum
+from repro.obs import get_obs
 from repro.robustness.deadline import Deadline
 from repro.robustness.errors import StageFailure
 
@@ -242,6 +243,20 @@ class Model:
                 backend = "scipy"
             except ImportError:  # pragma: no cover - scipy is installed here
                 backend = "branch_bound"
+        obs = get_obs()
+        with obs.tracer.span(
+            "milp.solve",
+            model=self.name,
+            backend=backend,
+            vars=self.num_vars,
+            constraints=self.num_constraints,
+        ) as span:
+            solution = self._dispatch(backend, options)
+            span.set_attribute("status", solution.status.value)
+        obs.metrics.counter(f"milp.solves.{solution.status.value}").inc()
+        return solution
+
+    def _dispatch(self, backend: str, options: dict) -> Solution:
         if backend == "scipy":
             from repro.milp.scipy_backend import solve_with_scipy
 

@@ -7,7 +7,23 @@ import math
 import numpy as np
 
 from repro.milp.model import Model, Sense, Solution, SolveStatus
+from repro.obs import get_obs
 from repro.robustness.deadline import Deadline
+
+
+def _record_highs_stats(result) -> None:
+    """Fold HiGHS search statistics into the ambient metrics registry.
+
+    scipy's OptimizeResult exposes ``mip_node_count``/``mip_gap`` for
+    MILP solves; absent fields (pure LPs, older scipy) are skipped.
+    """
+    metrics = get_obs().metrics
+    nodes = getattr(result, "mip_node_count", None)
+    if nodes is not None:
+        metrics.counter("milp.bb.nodes").inc(int(nodes))
+    gap = getattr(result, "mip_gap", None)
+    if gap is not None and np.isfinite(gap):
+        metrics.gauge("milp.bb.gap").set(float(gap))
 
 
 def solve_with_scipy(
@@ -72,6 +88,7 @@ def solve_with_scipy(
         bounds=Bounds(lb, ub),
         options=options,
     )
+    _record_highs_stats(result)
 
     if result.status == 0 and result.x is not None:
         values = [float(x) for x in result.x]

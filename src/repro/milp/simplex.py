@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import get_obs
 from repro.robustness.deadline import Deadline
 
 _TOL = 1e-9
@@ -72,40 +73,46 @@ def _run_simplex(
     """
     m, width = tableau.shape
     n = width - 1
+    # Pivots are tallied locally and flushed to the metrics registry
+    # once per phase — one registry call regardless of pivot count, so
+    # instrumentation cost is independent of problem hardness.
     pivots = 0
-    while True:
-        pivots += 1
-        if (
-            deadline is not None
-            and pivots % _DEADLINE_STRIDE == 0
-            and deadline.expired()
-        ):
-            return LPStatus.TIMEOUT
-        # Reduced costs: c_j - c_B' * B^-1 A_j.
-        cb = cost[basis]
-        reduced = cost[:n] - cb @ tableau[:, :n]
-        entering = -1
-        for j in range(n):
-            if reduced[j] < -_TOL:
-                entering = j
-                break
-        if entering < 0:
-            return LPStatus.OPTIMAL
-        ratios_row = -1
-        best_ratio = math.inf
-        for r in range(m):
-            a = tableau[r, entering]
-            if a > _TOL:
-                ratio = tableau[r, n] / a
-                if ratio < best_ratio - _TOL or (
-                    abs(ratio - best_ratio) <= _TOL
-                    and (ratios_row < 0 or basis[r] < basis[ratios_row])
-                ):
-                    best_ratio = ratio
-                    ratios_row = r
-        if ratios_row < 0:
-            return LPStatus.UNBOUNDED
-        _pivot(tableau, basis, ratios_row, entering)
+    try:
+        while True:
+            pivots += 1
+            if (
+                deadline is not None
+                and pivots % _DEADLINE_STRIDE == 0
+                and deadline.expired()
+            ):
+                return LPStatus.TIMEOUT
+            # Reduced costs: c_j - c_B' * B^-1 A_j.
+            cb = cost[basis]
+            reduced = cost[:n] - cb @ tableau[:, :n]
+            entering = -1
+            for j in range(n):
+                if reduced[j] < -_TOL:
+                    entering = j
+                    break
+            if entering < 0:
+                return LPStatus.OPTIMAL
+            ratios_row = -1
+            best_ratio = math.inf
+            for r in range(m):
+                a = tableau[r, entering]
+                if a > _TOL:
+                    ratio = tableau[r, n] / a
+                    if ratio < best_ratio - _TOL or (
+                        abs(ratio - best_ratio) <= _TOL
+                        and (ratios_row < 0 or basis[r] < basis[ratios_row])
+                    ):
+                        best_ratio = ratio
+                        ratios_row = r
+            if ratios_row < 0:
+                return LPStatus.UNBOUNDED
+            _pivot(tableau, basis, ratios_row, entering)
+    finally:
+        get_obs().metrics.counter("milp.simplex.pivots").inc(pivots)
 
 
 def solve_lp(
@@ -124,6 +131,7 @@ def solve_lp(
     ``deadline`` expiry aborts either simplex phase with TIMEOUT.
     """
     n = len(c)
+    get_obs().metrics.counter("milp.simplex.lp_solves").inc()
     if np.any(~np.isfinite(lb)):
         raise ValueError("simplex backend requires finite lower bounds")
     if np.any(ub < lb - _TOL):

@@ -1,0 +1,62 @@
+"""Zero-dependency observability: tracing, metrics, run artifacts.
+
+The ``repro.obs`` layer sits below everything else (even
+:mod:`repro.robustness` may import it) and records what the synthesis
+flow actually did:
+
+- :mod:`repro.obs.trace` — :class:`Tracer` with nested, thread-safe
+  spans and JSONL / Chrome ``trace_event`` export (open the latter in
+  ``about:tracing`` or Perfetto);
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms, fed by the solver hot loops
+  (simplex pivots, B&B nodes, shortcut gain evaluations, ...);
+- :mod:`repro.obs.context` — the ambient :class:`ObsContext`
+  (:func:`get_obs` / :func:`use_obs`) that threads tracer+metrics
+  through deep call stacks without signature churn;
+- :mod:`repro.obs.artifacts` — :class:`RunArtifacts`, the per-run
+  ``trace.jsonl`` / ``trace.json`` / ``metrics.json`` / ``report.json``
+  bundle behind the CLI's ``--trace-dir``;
+- :mod:`repro.obs.logsetup` — the ``repro`` stdlib-logging hierarchy
+  behind ``--log-level``.
+
+Everything is no-op-cheap when disabled: the default ambient context
+pairs :data:`NULL_TRACER` with :data:`NULL_METRICS`, both guarded by a
+single ``enabled`` attribute.
+"""
+
+from repro.obs.artifacts import RunArtifacts
+from repro.obs.context import NULL_OBS, ObsContext, get_obs, use_obs
+from repro.obs.logsetup import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, walk_tree
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "walk_tree",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "ObsContext",
+    "NULL_OBS",
+    "get_obs",
+    "use_obs",
+    "RunArtifacts",
+    "configure_logging",
+    "get_logger",
+    "LOG_LEVELS",
+]

@@ -1,0 +1,73 @@
+"""Structured run artifacts: one directory per synthesis run.
+
+:class:`RunArtifacts` drops the full observability record of a run
+into a directory:
+
+- ``trace.jsonl`` — one closed span per line (greppable);
+- ``trace.json`` — the same spans in Chrome ``trace_event`` format,
+  loadable directly in ``about:tracing`` or https://ui.perfetto.dev;
+- ``metrics.json`` — the metrics-registry snapshot (counters, gauges,
+  histograms with percentiles);
+- ``report.json`` — the :class:`~repro.robustness.report.SynthesisReport`
+  provenance dump, when a report is supplied.
+
+The CLI wires this behind ``--trace-dir``; experiment harnesses can
+reuse it to version solver statistics next to their tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
+
+
+class RunArtifacts:
+    """Writes the per-run artifact bundle into ``directory``."""
+
+    TRACE_JSONL = "trace.jsonl"
+    TRACE_CHROME = "trace.json"
+    METRICS = "metrics.json"
+    REPORT = "report.json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def write(
+        self,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        report: Any = None,
+    ) -> list[Path]:
+        """Write every supplied artifact; returns the paths written.
+
+        ``report`` is anything with a ``to_dict()`` (normally a
+        :class:`~repro.robustness.report.SynthesisReport`).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        if tracer is not None:
+            jsonl = self.directory / self.TRACE_JSONL
+            jsonl.write_text(tracer.to_jsonl(), encoding="utf-8")
+            written.append(jsonl)
+            chrome = self.directory / self.TRACE_CHROME
+            chrome.write_text(
+                json.dumps(tracer.to_chrome()) + "\n", encoding="utf-8"
+            )
+            written.append(chrome)
+        if metrics is not None:
+            path = self.directory / self.METRICS
+            path.write_text(metrics.to_json(), encoding="utf-8")
+            written.append(path)
+        if report is not None:
+            path = self.directory / self.REPORT
+            payload = report.to_dict() if hasattr(report, "to_dict") else report
+            path.write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+            written.append(path)
+        return written

@@ -1,0 +1,294 @@
+"""Counters, gauges and fixed-bucket histograms for solver statistics.
+
+A :class:`MetricsRegistry` hands out named instruments:
+
+- :class:`Counter` — monotonically increasing int (Python ints never
+  overflow, so merges across runs are exact);
+- :class:`Gauge` — last-written float (deadline consumption, incumbent
+  objective);
+- :class:`Histogram` — fixed bucket edges with counts, sum and min/max,
+  plus percentile estimates interpolated from the cumulative bucket
+  counts.
+
+All instruments are thread-safe.  Hot loops are expected to accumulate
+into a local int and call ``inc(total)`` once per solve rather than
+per iteration — one registry operation per solve keeps the overhead
+unmeasurable whether metrics are on or off.
+
+``MetricsRegistry.merge`` folds one registry into another (counters
+and histograms add, gauges take the incoming value); the synthesizer
+uses it to roll per-run registries up into a CLI- or experiment-level
+registry without double-locking the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any, Iterable
+
+#: Default histogram bucket upper edges (counts, depths, occupancies).
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A last-value-wins float metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``buckets`` are the finite upper edges; an implicit +inf bucket
+    catches the overflow.  ``counts[i]`` counts observations with
+    ``value <= buckets[i]`` (and ``counts[-1]`` the overflow).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError(f"histogram {name}: needs at least one bucket edge")
+        if any(math.isinf(b) or math.isnan(b) for b in edges):
+            raise ValueError(f"histogram {name}: edges must be finite")
+        self.name = name
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        idx = len(self.buckets)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                idx = i
+                break
+        with self._lock:
+            self.counts[idx] += 1
+            self.total += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0-100) from bucket counts.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the observed min/max; overflow-bucket hits report ``max``.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.total == 0:
+            return math.nan
+        rank = q / 100.0 * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            lower = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                if i >= len(self.buckets):  # overflow bucket
+                    return self.max
+                hi = self.buckets[i]
+                lo = self.buckets[i - 1] if i > 0 else min(self.min, hi)
+                fraction = (rank - lower) / count if count else 0.0
+                value = lo + (hi - lo) * fraction
+                return max(self.min, min(value, self.max))
+        return self.max
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": None if self.total == 0 else self.min,
+            "max": None if self.total == 0 else self.max,
+            "mean": None if self.total == 0 else self.mean,
+            "p50": None if self.total == 0 else self.percentile(50),
+            "p90": None if self.total == 0 else self.percentile(90),
+            "p99": None if self.total == 0 else self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instrument factory + snapshot/merge container."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (first caller fixes edges)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    # -- aggregation ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry.
+
+        Counters and histograms add (exact — unbounded Python ints);
+        gauges take the incoming value.  Histograms with mismatched
+        edges fall back to re-observing the incoming mean per count,
+        so totals stay right even if the shape coarsens.
+        """
+        if not getattr(other, "enabled", False):
+            return
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, theirs in other._histograms.items():
+            mine = self.histogram(name, theirs.buckets)
+            if mine.buckets == theirs.buckets:
+                with mine._lock:
+                    for i, count in enumerate(theirs.counts):
+                        mine.counts[i] += count
+                    mine.total += theirs.total
+                    mine.sum += theirs.sum
+                    mine.min = min(mine.min, theirs.min)
+                    mine.max = max(mine.max, theirs.max)
+            elif theirs.total:
+                for _ in range(theirs.total):
+                    mine.observe(theirs.mean)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every instrument."""
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            gauges = {name: g.value for name, g in self._gauges.items()}
+            histograms = {
+                name: h.to_dict() for name, h in self._histograms.items()
+            }
+        return {
+            "counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items())),
+        }
+
+    def to_json(self) -> str:
+        """Pretty-printed snapshot (the ``metrics.json`` artifact)."""
+        return json.dumps(self.snapshot(), indent=2) + "\n"
+
+
+class _NullInstrument:
+    """Counter/gauge/histogram that ignores every write."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    total = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics(MetricsRegistry):
+    """The disabled registry: all instruments are shared no-ops."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # no locks, no dicts
+        pass
+
+    def counter(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> Any:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS) -> Any:
+        return _NULL_INSTRUMENT
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Shared no-op registry (stateless, safe to reuse everywhere).
+NULL_METRICS = NullMetrics()

@@ -30,7 +30,10 @@ class StageRecord:
 
     ``fallback`` names the degraded path taken (empty when the primary
     succeeded); ``error`` keeps the stringified exception that forced
-    it; ``attempts`` counts primary + retries.
+    it; ``attempts`` counts primary + retries.  ``span_id`` joins the
+    record against the run's ``trace.jsonl`` when tracing was on
+    (``None`` otherwise), so a degradation event can be located inside
+    the span tree.
     """
 
     name: str
@@ -39,6 +42,7 @@ class StageRecord:
     attempts: int = 1
     fallback: str = ""
     error: str = ""
+    span_id: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -48,6 +52,7 @@ class StageRecord:
             "attempts": self.attempts,
             "fallback": self.fallback,
             "error": self.error,
+            "span_id": self.span_id,
         }
 
 
@@ -62,6 +67,9 @@ class SynthesisReport:
     total_elapsed_s: float = 0.0
     #: Residual rule violations (stringified); empty for a clean design.
     violations: list[str] = field(default_factory=list)
+    #: Metrics snapshot of the run (``MetricsRegistry.snapshot()``):
+    #: solver counters, gauges, and histograms keyed by metric name.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     def record(self, record: StageRecord) -> StageRecord:
         """Append a stage record (returned for further mutation)."""
@@ -87,6 +95,18 @@ class SynthesisReport:
             f"{s.name}:{s.fallback}" for s in self.stages if s.fallback
         )
 
+    @property
+    def stage_elapsed_s(self) -> dict[str, float]:
+        """Per-stage wall-clock, summed over retries of the same stage."""
+        elapsed: dict[str, float] = {}
+        for record in self.stages:
+            elapsed[record.name] = elapsed.get(record.name, 0.0) + record.elapsed_s
+        return elapsed
+
+    def counter(self, name: str) -> int:
+        """A solver counter from the metrics snapshot (0 if absent)."""
+        return int(self.metrics.get("counters", {}).get(name, 0))
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready dump (what experiments persist)."""
         return {
@@ -95,9 +115,11 @@ class SynthesisReport:
             "degraded": self.degraded,
             "retries": self.retries,
             "total_elapsed_s": self.total_elapsed_s,
+            "stage_elapsed_s": self.stage_elapsed_s,
             "fallbacks": list(self.fallbacks),
             "violations": list(self.violations),
             "stages": [s.to_dict() for s in self.stages],
+            "metrics": self.metrics,
         }
 
     def summary(self) -> str:

@@ -1,0 +1,411 @@
+"""Tests for the observability layer (repro.obs) and its wiring.
+
+Covers the tracer (nesting, thread-safety, Chrome export round-trip),
+the metrics registry (bucket edges, overflow-free counter merges), the
+ambient context, run artifacts, logging setup, the synthesizer
+integration (span tree over all four stages, solver counters in the
+report), and the null-tracer overhead regression bound.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import threading
+import time
+
+import pytest
+
+from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    LOG_LEVELS,
+    NULL_METRICS,
+    NULL_TRACER,
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    ObsContext,
+    RunArtifacts,
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_obs,
+    use_obs,
+    walk_tree,
+)
+
+
+def _network(num_nodes: int = 8) -> Network:
+    points, die = psion_placement(num_nodes)
+    return Network.from_positions(points, die=die)
+
+
+# -- tracer ------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_assigns_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+        ids = [s.span_id for s in tracer.finished_spans()]
+        assert len(ids) == len(set(ids)) == 4
+
+    def test_walk_tree_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        depths = {span.name: depth for depth, span in walk_tree(tracer.finished_spans())}
+        assert depths == {"a": 0, "b": 1, "c": 2}
+
+    def test_span_measures_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3) as span:
+            time.sleep(0.01)
+            span.set_attribute("result", "ok")
+        assert span.duration_s >= 0.01
+        assert span.attributes == {"size": 3, "result": "ok"}
+
+    def test_exception_is_recorded_and_span_closed(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracer.finished_spans()
+        assert "nope" in span.attributes["error"]
+        assert span.end_s is not None
+
+    def test_thread_safety_independent_subtrees(self):
+        tracer = Tracer()
+        errors: list[Exception] = []
+
+        def worker(tag: str) -> None:
+            try:
+                for _ in range(50):
+                    with tracer.span(f"outer-{tag}") as outer:
+                        with tracer.span(f"inner-{tag}") as inner:
+                            assert inner.parent_id == outer.span_id
+                        assert outer.parent_id is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(str(i),)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        spans = tracer.finished_spans()
+        assert len(spans) == 4 * 50 * 2
+        ids = [s.span_id for s in spans]
+        assert len(ids) == len(set(ids))
+        # Each inner span's parent lives on the same thread.
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert by_id[span.parent_id].thread_id == span.thread_id
+
+    def test_chrome_export_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("stage", k=1):
+            with tracer.span("sub"):
+                pass
+        payload = json.loads(json.dumps(tracer.to_chrome()))
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert [e["name"] for e in events] == ["sub", "stage"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        stage = events[1]
+        assert stage["args"]["k"] == 1
+        assert events[0]["args"]["parent_id"] == stage["args"]["span_id"]
+
+    def test_jsonl_export_one_object_per_line(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        lines = tracer.to_jsonl().strip().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_null_tracer_is_cheap_but_times(self):
+        span_cm = NULL_TRACER.span("anything", attr=1)
+        with span_cm as span:
+            time.sleep(0.005)
+        assert span.duration_s >= 0.005
+        assert NULL_TRACER.finished_spans() == []
+        assert NULL_TRACER.to_chrome() == {"traceEvents": [], "displayTimeUnit": "ms"}
+        assert not NullTracer.enabled
+
+
+# -- metrics -----------------------------------------------------------------
+class TestMetrics:
+    def test_histogram_bucket_edges(self):
+        hist = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 4.0, 10.0, 11.0, 1e9):
+            hist.observe(value)
+        # value <= edge lands in that bucket; beyond the last edge is
+        # the implicit overflow bucket.
+        assert hist.counts == [2, 1, 1, 2]
+        assert hist.total == 6
+        assert hist.min == 0.5 and hist.max == 1e9
+        data = hist.to_dict()
+        assert data["buckets"] == [1.0, 5.0, 10.0]
+        assert data["p50"] <= data["p90"] <= data["p99"]
+
+    def test_histogram_percentiles_bounded_by_observations(self):
+        hist = Histogram("h", buckets=DEFAULT_BUCKETS)
+        for value in (3, 3, 4, 7, 9):
+            hist.observe(value)
+        for q in (0, 25, 50, 90, 99, 100):
+            assert 3 <= hist.percentile(q) <= 9
+        assert math.isnan(Histogram("empty").percentile(50))
+
+    def test_counter_merge_is_overflow_free(self):
+        # Values far beyond 64-bit range must merge exactly.
+        big = 2**70
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(big)
+        b.counter("n").inc(big)
+        b.counter("n").inc(3)
+        a.merge(b)
+        assert a.counter("n").value == 2 * big + 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("n").inc(-1)
+
+    def test_merge_semantics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(2.0)
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        a.merge(b)
+        assert a.gauge("g").value == 2.0  # last write wins
+        assert a.histogram("h").counts == [1, 1, 0]
+        assert a.histogram("h").total == 2
+
+    def test_merge_mismatched_buckets_keeps_totals(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(10.0, 20.0)).observe(12.0)
+        b.histogram("h").observe(18.0)
+        a.merge(b)
+        assert a.histogram("h").total == 3
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 0.5}
+        assert snap["histograms"]["h"]["total"] == 1
+        json.loads(reg.to_json())  # valid JSON
+
+    def test_null_metrics_ignores_everything(self):
+        NULL_METRICS.counter("c").inc(5)
+        NULL_METRICS.gauge("g").set(1.0)
+        NULL_METRICS.histogram("h").observe(2.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert not NULL_METRICS.enabled
+
+
+# -- ambient context ---------------------------------------------------------
+class TestContext:
+    def test_default_is_null(self):
+        ctx = get_obs()
+        assert not ctx.tracer.enabled
+        assert not ctx.metrics.enabled
+
+    def test_use_obs_nests_and_restores(self):
+        outer = ObsContext(tracer=Tracer(), metrics=MetricsRegistry())
+        inner = ObsContext(tracer=Tracer(), metrics=MetricsRegistry())
+        with use_obs(outer):
+            assert get_obs() is outer
+            with use_obs(inner):
+                assert get_obs() is inner
+            assert get_obs() is outer
+        assert not get_obs().tracer.enabled
+
+
+# -- artifacts + logging -----------------------------------------------------
+class TestArtifactsAndLogging:
+    def test_run_artifacts_writes_bundle(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        paths = RunArtifacts(tmp_path / "run").write(tracer=tracer, metrics=reg)
+        names = sorted(p.name for p in paths)
+        assert names == ["metrics.json", "trace.json", "trace.jsonl"]
+        chrome = json.loads((tmp_path / "run" / "trace.json").read_text())
+        assert chrome["traceEvents"][0]["name"] == "x"
+        metrics = json.loads((tmp_path / "run" / "metrics.json").read_text())
+        assert metrics["counters"] == {"c": 1}
+
+    def test_run_artifacts_writes_report(self, tmp_path):
+        design = XRingSynthesizer(_network(), SynthesisOptions()).run()
+        (path,) = RunArtifacts(tmp_path).write(report=design.report)
+        payload = json.loads(path.read_text())
+        assert [s["name"] for s in payload["stages"]] == [
+            "ring", "shortcuts", "mapping", "pdn", "validate",
+        ]
+        assert "metrics" in payload and "stage_elapsed_s" in payload
+
+    def test_configure_logging_idempotent_and_validating(self):
+        root = configure_logging("INFO")
+        handlers = list(root.handlers)
+        assert configure_logging("DEBUG").handlers == handlers
+        assert root.level == logging.DEBUG
+        with pytest.raises(ValueError):
+            configure_logging("NOISY")
+        assert "WARNING" in LOG_LEVELS
+        configure_logging("WARNING")
+
+    def test_get_logger_hierarchy(self):
+        assert get_logger("synthesizer").name == "repro.synthesizer"
+
+
+# -- synthesizer integration -------------------------------------------------
+class TestSynthesizerIntegration:
+    def test_span_tree_covers_all_four_stages(self):
+        tracer = Tracer()
+        design = XRingSynthesizer(
+            _network(), SynthesisOptions(), tracer=tracer
+        ).run()
+        spans = tracer.finished_spans()
+        names = {s.name for s in spans}
+        assert {
+            "synthesize",
+            "stage.ring",
+            "stage.shortcuts",
+            "stage.mapping",
+            "stage.pdn",
+            "stage.validate",
+        } <= names
+        root = next(s for s in spans if s.name == "synthesize")
+        stage_spans = [s for s in spans if s.name.startswith("stage.")]
+        assert all(s.parent_id == root.span_id for s in stage_spans)
+        assert design.synthesis_time_s == pytest.approx(root.duration_s)
+        # Stage records reference their spans.
+        by_id = {s.span_id: s for s in spans}
+        for record in design.report.stages:
+            assert by_id[record.span_id].name == f"stage.{record.name}"
+
+    def test_report_carries_solver_counters(self):
+        design = XRingSynthesizer(
+            _network(), SynthesisOptions(milp_backend="branch_bound")
+        ).run()
+        report = design.report
+        assert report.counter("milp.simplex.pivots") > 0
+        assert report.counter("milp.bb.nodes") > 0
+        assert report.metrics["gauges"]["deadline.ring.elapsed_s"] > 0
+        assert set(report.stage_elapsed_s) == {
+            "ring", "shortcuts", "mapping", "pdn", "validate",
+        }
+
+    def test_per_run_registry_merges_into_ambient(self):
+        ambient = MetricsRegistry()
+        with use_obs(ObsContext(tracer=NULL_TRACER, metrics=ambient)):
+            for _ in range(2):
+                XRingSynthesizer(
+                    _network(), SynthesisOptions(milp_backend="branch_bound")
+                ).run()
+        assert ambient.counter("milp.solves.optimal").value >= 2
+
+    def test_degradation_logs_warning_with_span_id(self, caplog):
+        from repro.robustness import FaultPlan
+
+        plan = FaultPlan().error("shortcuts", "injected")
+        # configure_logging turns off propagation (own stderr handler);
+        # caplog listens on the root logger, so re-enable it here.
+        repro_logger = logging.getLogger("repro")
+        old_propagate = repro_logger.propagate
+        repro_logger.propagate = True
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.synthesizer"):
+                design = XRingSynthesizer(
+                    _network(), SynthesisOptions(), fault_plan=plan
+                ).run()
+        finally:
+            repro_logger.propagate = old_propagate
+        assert design.report.stage("shortcuts").fallback == "no_shortcuts"
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("shortcut" in m and "span_id" in m for m in messages)
+
+    def test_null_tracer_overhead_under_five_percent(self):
+        # min-of-reps timing of the identical workload with tracing off
+        # (ambient null) and on; the bound has a small absolute slack
+        # so scheduler noise on a ~100 ms workload cannot flake it.
+        network = _network()
+        options = SynthesisOptions(milp_backend="branch_bound")
+
+        def once(tracer) -> float:
+            start = time.perf_counter()
+            XRingSynthesizer(network, options, tracer=tracer).run()
+            return time.perf_counter() - start
+
+        once(NULL_TRACER)  # warm caches before timing
+        disabled = min(once(NULL_TRACER) for _ in range(3))
+        enabled = min(once(Tracer()) for _ in range(3))
+        assert abs(enabled - disabled) <= 0.05 * disabled + 0.010
+
+
+# -- CLI wiring --------------------------------------------------------------
+class TestCliArtifacts:
+    def test_synth_trace_dir_produces_loadable_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "run"
+        code = main(
+            [
+                "synth",
+                "--nodes",
+                "8",
+                "--milp-backend",
+                "branch_bound",
+                "--trace-dir",
+                str(out),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        chrome = json.loads((out / "trace.json").read_text())
+        names = {e["name"] for e in chrome["traceEvents"]}
+        assert {
+            "synthesize",
+            "stage.ring",
+            "stage.shortcuts",
+            "stage.mapping",
+            "stage.pdn",
+        } <= names
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["counters"]["milp.simplex.pivots"] > 0
+        assert metrics["counters"]["milp.bb.nodes"] > 0
+        report = json.loads((out / "report.json").read_text())
+        assert report["stages"][0]["span_id"] is not None
+        assert (out / "trace.jsonl").read_text().strip()
