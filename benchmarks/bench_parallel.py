@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Batch-engine benchmark: emits ``BENCH_parallel.json``.
+
+Measures the three perf levers of :mod:`repro.parallel` on the scaling
+study and the ablation sweep:
+
+- **parallel fan-out** — the scaling study cold with ``workers=1`` vs
+  ``workers=N`` (honest on a 1-CPU container: the JSON records
+  ``cpu_count`` so a <1 "speedup" there is self-explaining);
+- **warm synthesis cache** — the same study re-run with tour caching
+  enabled after a priming pass, so Step-1 solves are served from the
+  cache;
+- **conflict-dict reuse** — the ablation sweep's conflicts-section
+  hit rate (four variants on one floorplan → one build, three hits).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick
+
+The output JSON is the perf baseline future PRs diff against: wall
+clock per phase, per-stage breakdown of a representative run, speedups
+vs ``workers=1``, and full cache statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.experiments.ablations import run_shortcut_ablation
+from repro.experiments.scaling import run_scaling
+from repro.parallel import clear_caches, get_cache
+
+QUICK_SIZES = (8, 16)
+FULL_SIZES = (8, 16, 32)
+METHODS = ("milp", "heuristic")
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def bench_scaling(sizes: tuple[int, ...], workers: int) -> dict:
+    """Cold sequential vs parallel vs warm-cache runs of the study."""
+    cache = get_cache()
+
+    clear_caches()
+    rows, t_cold = _timed(run_scaling, sizes=sizes, methods=METHODS, workers=1)
+
+    clear_caches()
+    _, t_parallel = _timed(
+        run_scaling, sizes=sizes, methods=METHODS, workers=workers
+    )
+
+    # Warm-cache pass: prime with result caching on, then measure the
+    # re-run that serves every Step-1 tour and Step-2 shortcut plan
+    # (and conflict dict) warm.
+    clear_caches()
+    was_enabled = cache.result_caching
+    cache.enable_result_caching(True)
+    try:
+        run_scaling(sizes=sizes, methods=METHODS, workers=1)
+        _, t_warm = _timed(
+            run_scaling, sizes=sizes, methods=METHODS, workers=1
+        )
+        warm_stats = cache.stats()
+    finally:
+        cache.enable_result_caching(was_enabled)
+
+    return {
+        "sizes": list(sizes),
+        "methods": list(METHODS),
+        "workers": workers,
+        "wall_clock_s": {
+            "cold_workers1": round(t_cold, 4),
+            f"parallel_workers{workers}": round(t_parallel, 4),
+            "warm_cache_workers1": round(t_warm, 4),
+        },
+        "speedup_parallel": round(t_cold / t_parallel, 3),
+        "speedup_warm_cache": round(t_cold / t_warm, 3),
+        "warm_cache_stats": warm_stats,
+        "rows": [
+            {
+                "num_nodes": r.num_nodes,
+                "method": r.method,
+                "tour_time_s": round(r.tour_time_s, 4),
+                "total_time_s": round(r.total_time_s, 4),
+            }
+            for r in rows
+        ],
+    }
+
+
+def bench_ablation(num_nodes: int) -> dict:
+    """Conflict-cache behaviour across one ablation sweep."""
+    clear_caches()
+    rows, elapsed = _timed(run_shortcut_ablation, num_nodes=num_nodes)
+    stats = get_cache().stats()
+    return {
+        "num_nodes": num_nodes,
+        "variants": [r.variant for r in rows],
+        "wall_clock_s": round(elapsed, 4),
+        "cache_stats": stats,
+        "conflicts_hit_rate": stats["conflicts"]["hit_rate"],
+    }
+
+
+def bench_stages(num_nodes: int) -> dict:
+    """Per-stage wall clock of one representative cold synthesis."""
+    from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+    from repro.network import Network
+    from repro.network.placement import psion_placement
+
+    clear_caches()
+    points, die = psion_placement(num_nodes)
+    network = Network.from_positions(points, die=die)
+    synth = XRingSynthesizer(network, SynthesisOptions(wl_budget=num_nodes))
+    design, elapsed = _timed(synth.run)
+    return {
+        "num_nodes": num_nodes,
+        "total_s": round(elapsed, 4),
+        "stage_elapsed_s": {
+            stage: round(seconds, 4)
+            for stage, seconds in design.report.stage_elapsed_s.items()
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scaling sizes (8, 16) instead of (8, 16, 32)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(2, min(4, os.cpu_count() or 1)),
+        help="worker count for the parallel phase (default: 2..4 by CPU)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_parallel.json",
+        help="output path (default: BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    payload = {
+        "benchmark": "repro.parallel batch engine",
+        "quick": args.quick,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "scaling": bench_scaling(sizes, args.workers),
+        "ablation_sweep": bench_ablation(num_nodes=16),
+        "stages": bench_stages(num_nodes=16),
+    }
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    scaling = payload["scaling"]
+    clocks = scaling["wall_clock_s"]
+    print(f"wrote {args.out}")
+    print(
+        f"  scaling: cold={clocks['cold_workers1']}s"
+        f" parallel(x{scaling['workers']})="
+        f"{clocks['parallel_workers%d' % scaling['workers']]}s"
+        f" warm={clocks['warm_cache_workers1']}s"
+        f" | speedup parallel={scaling['speedup_parallel']}x"
+        f" warm-cache={scaling['speedup_warm_cache']}x"
+    )
+    ablation = payload["ablation_sweep"]
+    print(
+        f"  ablation: {ablation['wall_clock_s']}s,"
+        f" conflicts hit rate={ablation['conflicts_hit_rate']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

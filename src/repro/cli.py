@@ -7,7 +7,12 @@ Subcommands:
 - ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 - ``ablation`` — the shortcut/opening feature matrix;
 - ``sweep`` — power/SNR versus the wavelength budget;
-- ``scale`` — the MILP-vs-heuristic scaling study beyond 32 nodes.
+- ``scale`` — the MILP-vs-heuristic scaling study beyond 32 nodes;
+- ``batch`` — run a JSON case file through the batch-synthesis engine.
+
+Every experiment subcommand takes ``--workers N`` to fan synthesis out
+over a process pool (results are input-ordered and identical to
+``--workers 1``).
 """
 
 from __future__ import annotations
@@ -125,7 +130,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     for size in args.sizes:
         budgets = [size] if args.quick else None
         print(f"\n== Table I, {size}-node network ==")
-        print(format_table1(run_table1(size, budgets=budgets)))
+        print(
+            format_table1(run_table1(size, budgets=budgets, workers=args.workers))
+        )
     return 0
 
 
@@ -135,7 +142,13 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     budgets = (
         {size: [size, size + size // 2] for size in args.sizes} if args.quick else None
     )
-    print(format_table2(run_table2(sizes=tuple(args.sizes), budgets=budgets)))
+    print(
+        format_table2(
+            run_table2(
+                sizes=tuple(args.sizes), budgets=budgets, workers=args.workers
+            )
+        )
+    )
     return 0
 
 
@@ -143,7 +156,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments import format_table3, run_table3
 
     budgets = [14, 16] if args.quick else None
-    print(format_table3(run_table3(budgets=budgets)))
+    print(format_table3(run_table3(budgets=budgets, workers=args.workers)))
     return 0
 
 
@@ -151,7 +164,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments import run_shortcut_ablation
     from repro.experiments.ablations import format_ablation
 
-    print(format_ablation(run_shortcut_ablation(args.nodes)))
+    print(format_ablation(run_shortcut_ablation(args.nodes, workers=args.workers)))
     return 0
 
 
@@ -159,7 +172,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     from repro.experiments import format_scaling, run_scaling
 
     rows = run_scaling(
-        sizes=tuple(args.sizes), milp_limit=args.milp_limit
+        sizes=tuple(args.sizes), milp_limit=args.milp_limit, workers=args.workers
     )
     print(format_scaling(rows))
     return 0
@@ -169,10 +182,75 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import run_wavelength_sweep
     from repro.viz import bar_chart
 
-    rows = run_wavelength_sweep(args.nodes, kind=args.router)
+    rows = run_wavelength_sweep(
+        args.nodes, kind=args.router, workers=args.workers
+    )
     print(f"laser power vs #wl ({args.router}, {args.nodes} nodes)")
     print(bar_chart([(f"#wl={b}", row.power_w) for b, row in rows], unit=" W"))
     return 0
+
+
+def _batch_options(spec: dict, index: int) -> SynthesisOptions:
+    """Translate one JSON case spec into :class:`SynthesisOptions`."""
+    return SynthesisOptions(
+        wl_budget=spec.get("wl"),
+        ring_method=spec.get("ring_method", "milp"),
+        enable_shortcuts=spec.get("shortcuts", True),
+        enable_openings=spec.get("openings", True),
+        pdn_mode="internal" if spec.get("pdn", True) else None,
+        milp_backend=spec.get("milp_backend", "auto"),
+        deadline_s=spec.get("deadline"),
+        label=spec.get("label", f"case{index}"),
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run a JSON-described list of synthesis cases through the pool.
+
+    The case file is either a list of case objects or
+    ``{"cases": [...]}``; each case takes ``nodes`` (or ``placement``,
+    a JSON placement file as for ``synth``) plus the option fields of
+    :func:`_batch_options`.  Failures are collected per case; the exit
+    code is the number of failed cases (0 = all ok).
+    """
+    import json
+
+    from repro.parallel import BatchCase, BatchSynthesizer
+
+    with open(args.cases, encoding="utf-8") as handle:
+        data = json.load(handle)
+    specs = data["cases"] if isinstance(data, dict) else data
+    cases = []
+    for index, spec in enumerate(specs):
+        options = _batch_options(spec, index)
+        cases.append(
+            BatchCase(
+                network=_make_network(
+                    int(spec.get("nodes", 16)), spec.get("placement", "")
+                ),
+                options=options,
+                label=options.label,
+            )
+        )
+    report = BatchSynthesizer(workers=args.workers, on_error="collect").run(cases)
+    for result in report.results:
+        status = "ok" if result.ok else f"FAILED ({result.error})"
+        print(f"[{result.index:>3}] {result.label:<28}{result.elapsed_s:>8.2f}s  {status}")
+    print(
+        f"{len(report.results)} cases, {len(report.errors)} failed, "
+        f"workers={report.workers}, wall {report.total_elapsed_s:.2f}s"
+    )
+    if args.out:
+        payload = report.to_dict()
+        payload["designs"] = [
+            design.to_dict() if design is not None else None
+            for design in report.designs
+        ]
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"batch report written: {args.out}")
+    return min(len(report.errors), 125)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the solver-metrics snapshot as JSON on exit",
+    )
+
+    # Batch-engine flag shared by every experiment subcommand.
+    pool = argparse.ArgumentParser(add_help=False)
+    pool.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for batch synthesis (1 = in-process); "
+        "results are identical and input-ordered at any setting",
     )
 
     synth = sub.add_parser(
@@ -245,41 +333,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     synth.set_defaults(func=_cmd_synth)
 
-    table1 = sub.add_parser("table1", help="regenerate Table I", parents=[obs])
+    table1 = sub.add_parser(
+        "table1", help="regenerate Table I", parents=[obs, pool]
+    )
     table1.add_argument("--sizes", type=int, nargs="+", default=[8, 16])
     table1.add_argument("--quick", action="store_true", help="single #wl setting")
     table1.set_defaults(func=_cmd_table1)
 
-    table2 = sub.add_parser("table2", help="regenerate Table II", parents=[obs])
+    table2 = sub.add_parser(
+        "table2", help="regenerate Table II", parents=[obs, pool]
+    )
     table2.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32])
     table2.add_argument("--quick", action="store_true")
     table2.set_defaults(func=_cmd_table2)
 
-    table3 = sub.add_parser("table3", help="regenerate Table III", parents=[obs])
+    table3 = sub.add_parser(
+        "table3", help="regenerate Table III", parents=[obs, pool]
+    )
     table3.add_argument("--quick", action="store_true")
     table3.set_defaults(func=_cmd_table3)
 
     ablation = sub.add_parser(
-        "ablation", help="shortcut/opening feature matrix", parents=[obs]
+        "ablation", help="shortcut/opening feature matrix", parents=[obs, pool]
     )
     ablation.add_argument("--nodes", type=int, default=16)
     ablation.set_defaults(func=_cmd_ablation)
 
     scale = sub.add_parser(
-        "scale", help="scaling study (MILP vs heuristic)", parents=[obs]
+        "scale", help="scaling study (MILP vs heuristic)", parents=[obs, pool]
     )
     scale.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32, 64])
     scale.add_argument("--milp-limit", type=int, default=32)
     scale.set_defaults(func=_cmd_scale)
 
     sweep = sub.add_parser(
-        "sweep", help="power vs wavelength budget", parents=[obs]
+        "sweep", help="power vs wavelength budget", parents=[obs, pool]
     )
     sweep.add_argument("--nodes", type=int, default=16)
     sweep.add_argument(
         "--router", choices=["xring", "ornoc", "oring"], default="xring"
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a JSON case file through the batch-synthesis engine",
+        parents=[obs, pool],
+    )
+    batch.add_argument(
+        "cases",
+        type=str,
+        help="JSON file: a list of case objects (or {'cases': [...]}) "
+        "with 'nodes'/'placement' plus synthesis option fields",
+    )
+    batch.add_argument(
+        "--out",
+        type=str,
+        default="",
+        help="write the batch report (per-case status + structural "
+        "design dumps + merged metrics) as JSON here",
+    )
+    batch.set_defaults(func=_cmd_batch)
     return parser
 
 

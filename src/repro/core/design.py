@@ -252,6 +252,40 @@ class XRingDesign:
             return 0.0
         return self.pdn.feeds.get(key, 0.0)
 
+    # -- structural dump -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Timing-free structural summary of the design.
+
+        The dict is deterministic for identical synthesis inputs —
+        ``synthesis_time_s`` (the one wall-clock field of
+        :func:`repro.io.design_report`) is stripped and every
+        collection is emitted in sorted order — which is what the
+        differential tests (parallel vs sequential) and the golden
+        regression fixtures compare.
+        """
+        from repro.io import design_report
+
+        report = design_report(self)
+        report.pop("synthesis_time_s", None)
+        report["assignments"] = [
+            {
+                "src": src,
+                "dst": dst,
+                "rid": a.rid,
+                "wavelength": a.wavelength,
+                "direction": a.direction.value,
+            }
+            for (src, dst), a in sorted(self.mapping.assignments.items())
+        ]
+        report["shortcut_wavelengths"] = [
+            [src, dst, wl]
+            for (src, dst), wl in sorted(
+                self.mapping.shortcut_wavelengths.items()
+            )
+        ]
+        report["used_wavelengths"] = sorted(self.mapping.used_wavelengths)
+        return report
+
     # -- convenience metrics -------------------------------------------------
     @property
     def ring_count(self) -> int:

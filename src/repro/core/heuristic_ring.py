@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import itertools
 
-from repro.core.ring import RingTour, _choose_realizations
+from repro.core.ring import (
+    RingTour,
+    _choose_realizations,
+    copy_tour,
+    validate_ring_points,
+)
 from repro.geometry import Point, edges_conflict
 from repro.milp import SolveError
 from repro.obs import get_obs
-from repro.robustness.errors import InputError
 
 
 def _tour_length(order: list[int], points: list[Point]) -> float:
@@ -74,10 +78,27 @@ def _two_opt(order: list[int], points: list[Point], max_rounds: int = 20) -> lis
 
 
 def _conflicting_edge_pairs(
-    order: list[int], points: list[Point]
+    order: list[int],
+    points: list[Point],
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None = None,
 ) -> list[tuple[int, int]]:
-    """Indices (k1, k2) of tour edges that are geometrically conflicting."""
+    """Indices (k1, k2) of tour edges that are geometrically conflicting.
+
+    With a precomputed ``conflicts`` dict (undirected ``(i, j)``,
+    ``i < j`` — see :func:`repro.geometry.build_edge_conflicts`) this
+    is pure dict lookups; otherwise each pair goes through the memoized
+    :func:`~repro.geometry.edges_conflict` predicate.
+    """
     n = len(order)
+    if conflicts is not None:
+        pairs = [
+            tuple(sorted((order[k], order[(k + 1) % n]))) for k in range(n)
+        ]
+        return [
+            (k1, k2)
+            for k1, k2 in itertools.combinations(range(n), 2)
+            if pairs[k2] in conflicts.get(pairs[k1], ())
+        ]
     edges = [
         (points[order[k]], points[order[(k + 1) % n]]) for k in range(n)
     ]
@@ -89,7 +110,10 @@ def _conflicting_edge_pairs(
 
 
 def _repair_conflicts(
-    order: list[int], points: list[Point], max_repairs: int = 200
+    order: list[int],
+    points: list[Point],
+    max_repairs: int = 200,
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None = None,
 ) -> list[int]:
     """Remove conflicting edge pairs with targeted 2-opt reversals.
 
@@ -101,17 +125,19 @@ def _repair_conflicts(
     n = len(order)
     repairs = get_obs().metrics.counter("ring.heuristic.conflict_repairs")
     for _ in range(max_repairs):
-        conflicts = _conflicting_edge_pairs(order, points)
-        if not conflicts:
+        conflicting = _conflicting_edge_pairs(order, points, conflicts)
+        if not conflicting:
             return order
         repairs.inc()
         best: tuple[float, list[int]] | None = None
-        for k1, k2 in conflicts:
+        for k1, k2 in conflicting:
             i, j = min(k1, k2), max(k1, k2)
             if i == 0 and j == n - 1:
                 continue
             candidate = order[: i + 1] + order[i + 1 : j + 1][::-1] + order[j + 1 :]
-            if len(_conflicting_edge_pairs(candidate, points)) < len(conflicts):
+            if len(
+                _conflicting_edge_pairs(candidate, points, conflicts)
+            ) < len(conflicting):
                 cost = _tour_length(candidate, points)
                 if best is None or cost < best[0]:
                     best = (cost, candidate)
@@ -121,28 +147,40 @@ def _repair_conflicts(
     raise SolveError("conflict repair exceeded the move budget")
 
 
-def construct_ring_tour_heuristic(points: list[Point]) -> RingTour:
+def construct_ring_tour_heuristic(
+    points: list[Point],
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None = None,
+) -> RingTour:
     """Nearest-neighbour + 2-opt + conflict-repair ring construction.
 
     Same output type and invariants as the exact
     :func:`~repro.core.ring.construct_ring_tour`; tours are typically
     within a few percent of the MILP optimum and build in milliseconds
     even at hundreds of nodes.
+
+    ``conflicts`` optionally reuses an already-built conflict-pair dict
+    (e.g. from the MILP attempt this call is degrading from) — the
+    repair loop then works by dict lookup.  When omitted, conflict
+    checks go through the memoized pairwise predicate instead of
+    building the full O(E²) dict, which is the point of the heuristic
+    at large N.  Results are served from / stored into the
+    process-global tour cache.
     """
     n = len(points)
-    if n < 3:
-        raise InputError("a ring router needs at least 3 nodes", stage="ring")
-    for a, b in itertools.combinations(range(n), 2):
-        if points[a].almost_equals(points[b]):
-            raise InputError(
-                f"nodes {a} and {b} share a position", stage="ring"
-            )
+    validate_ring_points(points)
+
+    from repro.parallel.cache import get_cache
+
+    cache = get_cache()
+    cached = cache.tour_get("heuristic", points)
+    if cached is not None:
+        return copy_tour(cached)
 
     obs = get_obs()
     with obs.tracer.span("ring.heuristic", nodes=n):
         order = _nearest_neighbour(points)
         order = _two_opt(order, points)
-        order = _repair_conflicts(order, points)
+        order = _repair_conflicts(order, points, conflicts=conflicts)
         paths, crossing_count = _choose_realizations(order, points)
 
     node_position: dict[int, float] = {}
@@ -150,7 +188,7 @@ def construct_ring_tour_heuristic(points: list[Point]) -> RingTour:
     for k, node in enumerate(order):
         node_position[node] = travelled
         travelled += paths[k].length
-    return RingTour(
+    tour = RingTour(
         order=tuple(order),
         edge_paths=tuple(paths),
         points=tuple(points),
@@ -158,3 +196,5 @@ def construct_ring_tour_heuristic(points: list[Point]) -> RingTour:
         node_position_mm=node_position,
         crossing_count=crossing_count,
     )
+    cache.tour_put("heuristic", points, copy_tour(tour))
+    return tour

@@ -22,6 +22,7 @@ completely crossing-free is solved exactly as a 2-SAT instance.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -29,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.geometry import (
     Point,
     RectilinearPath,
+    build_edge_conflicts,
     edge_realizations,
     edges_conflict,
     paths_cross,
@@ -111,28 +113,23 @@ class RingTour:
         return None
 
 
-def _build_edge_conflicts(
-    points: list[Point],
-) -> dict[tuple[int, int], set[tuple[int, int]]]:
-    """Geometric conflicts between undirected node pairs.
+#: The conflict-pair construction lives in :mod:`repro.geometry` now so
+#: both ring constructors and the synthesis cache share one
+#: implementation; the old private name stays importable.
+_build_edge_conflicts = build_edge_conflicts
 
-    Keys and members are undirected pairs ``(i, j)`` with ``i < j``;
-    conflicts are direction-independent because both directions of a
-    pair share the same geometry.
+
+def copy_tour(tour: RingTour) -> RingTour:
+    """An independent copy of a tour (fresh ``node_position_mm`` dict).
+
+    Everything else on :class:`RingTour` is immutable; the position
+    dict is the one field that in-place corruption (fault injection,
+    careless callers) could alter, so cached tours are always handed
+    out through this copy.
     """
-    n = len(points)
-    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    conflicts: dict[tuple[int, int], set[tuple[int, int]]] = {
-        pair: set() for pair in pairs
-    }
-    for idx, pair_a in enumerate(pairs):
-        ea = (points[pair_a[0]], points[pair_a[1]])
-        for pair_b in pairs[idx + 1 :]:
-            eb = (points[pair_b[0]], points[pair_b[1]])
-            if edges_conflict(ea, eb):
-                conflicts[pair_a].add(pair_b)
-                conflicts[pair_b].add(pair_a)
-    return conflicts
+    return dataclasses.replace(
+        tour, node_position_mm=dict(tour.node_position_mm)
+    )
 
 
 def _extract_cycles(selected: set[tuple[int, int]], n: int) -> list[list[int]]:
@@ -401,11 +398,30 @@ def _boolean_options(opts):
     return [(True, opts[0]), (False, opts[1])]
 
 
+def validate_ring_points(points: list[Point]) -> None:
+    """Reject inputs no ring construction can handle (typed).
+
+    Shared by both constructors and by callers that precompute
+    geometry (conflict dicts) before invoking them, so bad input
+    always surfaces as :class:`~repro.robustness.errors.InputError`
+    rather than a geometry-layer ``ValueError``.
+    """
+    n = len(points)
+    if n < 3:
+        raise InputError("a ring router needs at least 3 nodes", stage="ring")
+    for a, b in itertools.combinations(range(n), 2):
+        if points[a].almost_equals(points[b]):
+            raise InputError(
+                f"nodes {a} and {b} share a position", stage="ring"
+            )
+
+
 def construct_ring_tour(
     points: list[Point],
     backend: str = "auto",
     time_limit: float | None = None,
     deadline: Deadline | None = None,
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None = None,
 ) -> RingTour:
     """Synthesize the minimum-length crossing-free ring tour.
 
@@ -418,20 +434,36 @@ def construct_ring_tour(
     :class:`~repro.robustness.errors.StageFailure` when the relaxed
     model is infeasible (e.g. duplicate node positions making every
     drawing illegal).
+
+    ``conflicts`` optionally pre-supplies the conflict-pair dict (the
+    O(E²) dominant build cost) so retries after degradation do not pay
+    it twice; when omitted it comes from the process-global
+    :class:`~repro.parallel.cache.SynthesisCache`.  Unconstrained calls
+    (no ``time_limit``/``deadline``) also consult the tour cache —
+    budgeted calls never do, so timeout semantics stay observable, and
+    timed-out incumbents are never stored.
     """
     n = len(points)
-    if n < 3:
-        raise InputError("a ring router needs at least 3 nodes", stage="ring")
-    for a, b in itertools.combinations(range(n), 2):
-        if points[a].almost_equals(points[b]):
-            raise InputError(
-                f"nodes {a} and {b} share a position", stage="ring"
-            )
+    validate_ring_points(points)
+
+    from repro.parallel.cache import get_cache
 
     obs = get_obs()
+    cache = get_cache()
+    cacheable = time_limit is None and deadline is None
+    if cacheable:
+        cached = cache.tour_get("milp", points, extra=(backend,))
+        if cached is not None:
+            return copy_tour(cached)
+
     with obs.tracer.span("ring.build_model", nodes=n) as build_span:
-        conflicts = _build_edge_conflicts(points)
-        model = _build_ring_model(points, conflicts)
+        if conflicts is None:
+            conflicts = cache.conflicts_for(
+                points, lambda: build_edge_conflicts(points)
+            )
+        model = cache.model_for(
+            points, lambda: _build_ring_model(points, conflicts)
+        )
         conflict_constraints = sum(
             1 for con in model.constraints if con.name.startswith("conflict_")
         )
@@ -512,7 +544,7 @@ def construct_ring_tour(
     for k, node in enumerate(order):
         node_position[node] = travelled
         travelled += paths[k].length
-    return RingTour(
+    tour = RingTour(
         order=tuple(order),
         edge_paths=tuple(paths),
         points=tuple(points),
@@ -521,6 +553,9 @@ def construct_ring_tour(
         crossing_count=crossing_count,
         timed_out=timed_out,
     )
+    if cacheable and not timed_out:
+        cache.tour_put("milp", points, copy_tour(tour), extra=(backend,))
+    return tour
 
 
 def _build_ring_model(

@@ -101,6 +101,17 @@ class ShortcutPlan:
         return pairs
 
 
+def copy_plan(plan: ShortcutPlan) -> ShortcutPlan:
+    """A defensively copied plan, safe to hand to callers.
+
+    The synthesis cache serves plans to fault-injected runs whose
+    corruptions replace list/dict entries in place; fresh containers
+    keep the cached original pristine (the :class:`Shortcut` and
+    :class:`ShortcutLeg` elements themselves are frozen).
+    """
+    return ShortcutPlan(shortcuts=list(plan.shortcuts), served=dict(plan.served))
+
+
 def _distance_along(path: RectilinearPath, point: Point) -> float:
     """Distance from the path start to a point lying on the path."""
     travelled = 0.0

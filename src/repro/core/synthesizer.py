@@ -265,15 +265,21 @@ class XRingSynthesizer:
                 span.set_attribute("status", record.status)
                 return provided
             points = list(self.network.positions)
+            # Built once per floorplan (cached) and threaded through
+            # every retry below — degradation must not pay the O(E²)
+            # conflict build twice.
+            conflicts = None
             try:
                 self.fault_plan.apply_before("ring", deadline)
                 deadline.check("ring")
                 if opts.ring_method == "milp":
+                    conflicts = self._ring_conflicts(points)
                     tour = construct_ring_tour(
                         points,
                         backend=opts.milp_backend,
                         time_limit=opts.milp_time_limit,
                         deadline=deadline,
+                        conflicts=conflicts,
                     )
                     if tour.timed_out:
                         # In-budget incumbent: usable, but flagged.
@@ -289,7 +295,7 @@ class XRingSynthesizer:
             except SynthesisError as exc:
                 if self._reraise(exc):
                     raise
-                tour = construct_ring_tour_heuristic(points)
+                tour = construct_ring_tour_heuristic(points, conflicts=conflicts)
                 record.status = STATUS_FALLBACK
                 record.fallback = "heuristic_ring"
                 record.error = str(exc)
@@ -314,7 +320,7 @@ class XRingSynthesizer:
                     "the heuristic (span_id=%s)",
                     record.span_id,
                 )
-                tour = construct_ring_tour_heuristic(points)
+                tour = construct_ring_tour_heuristic(points, conflicts=conflicts)
                 if not self._tour_ok(tour):
                     record.status = STATUS_FAILED
                     raise ValidationFailure(
@@ -324,6 +330,18 @@ class XRingSynthesizer:
             span.set_attribute("status", record.status)
         record.elapsed_s = deadline.stage_elapsed_s["ring"]
         return tour
+
+    @staticmethod
+    def _ring_conflicts(points):
+        """The floorplan's conflict-pair dict, via the synthesis cache."""
+        from repro.core.ring import validate_ring_points
+        from repro.geometry import build_edge_conflicts
+        from repro.parallel.cache import get_cache
+
+        validate_ring_points(points)
+        return get_cache().conflicts_for(
+            points, lambda: build_edge_conflicts(points)
+        )
 
     def _tour_ok(self, tour: RingTour) -> bool:
         """The post-ring gate: the "tour" design rule on a stub design."""
@@ -348,13 +366,7 @@ class XRingSynthesizer:
             try:
                 self.fault_plan.apply_before("shortcuts", deadline)
                 deadline.check("shortcuts")
-                plan = select_shortcuts(
-                    tour,
-                    enabled=opts.enable_shortcuts,
-                    loss=opts.loss,
-                    selection=opts.shortcut_selection,
-                    demands=self.network.demands(),
-                )
+                plan = self._select_shortcuts_cached(tour, span)
             except SynthesisError as exc:
                 if self._reraise(exc):
                     raise
@@ -373,6 +385,37 @@ class XRingSynthesizer:
             span.set_attribute("status", record.status)
             span.set_attribute("selected", len(plan.shortcuts))
         record.elapsed_s = deadline.stage_elapsed_s["shortcuts"]
+        return plan
+
+    def _select_shortcuts_cached(self, tour: RingTour, span) -> ShortcutPlan:
+        """Step 2, memoized on its input content when result caching is
+        opted in (off by default; see
+        :meth:`repro.parallel.SynthesisCache.enable_result_caching`)."""
+        from repro.core.shortcuts import copy_plan
+        from repro.parallel.cache import canonical_points, get_cache
+
+        opts = self.options
+        cache = get_cache()
+        key = (
+            tour.order,
+            canonical_points(tour.points),
+            opts.enable_shortcuts,
+            opts.shortcut_selection,
+            opts.loss,
+            self.network.demands(),
+        )
+        cached = cache.plan_get(key)
+        if cached is not None:
+            span.set_attribute("cached", True)
+            return copy_plan(cached)
+        plan = select_shortcuts(
+            tour,
+            enabled=opts.enable_shortcuts,
+            loss=opts.loss,
+            selection=opts.shortcut_selection,
+            demands=self.network.demands(),
+        )
+        cache.plan_put(key, copy_plan(plan))
         return plan
 
     # -- stage 3: mapping ----------------------------------------------------

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.design import XRingDesign
-from repro.core.ring import RingTour, construct_ring_tour
-from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.core.ring import RingTour
+from repro.core.synthesizer import SynthesisOptions
 from repro.experiments.common import RingRouterRow, evaluate_design, sweep_ring_router
 from repro.network import Network
 from repro.network.placement import psion_placement
@@ -70,25 +69,52 @@ def _variant_options(
     raise ValueError(f"unknown ablation variant {variant!r}")
 
 
+VARIANTS = ("full", "no-shortcuts", "no-openings", "bare")
+
+
 def run_shortcut_ablation(
     num_nodes: int = 16,
     wl_budget: int | None = None,
     loss: LossParameters = ORING_LOSSES,
     xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
     tour: RingTour | None = None,
+    workers: int = 1,
 ) -> list[AblationRow]:
-    """Evaluate the four feature combinations on one network."""
+    """Evaluate the four feature combinations on one network.
+
+    Variants run through the batch engine.  When no ``tour`` is
+    passed, each variant constructs its own — served after the first
+    from the synthesis cache (result caching is enabled for the
+    duration of the sweep), so the floorplan's MILP solves once and
+    its conflict dict is a cache hit for every later variant.
+    """
+    from repro.parallel import BatchCase, BatchSynthesizer, get_cache
+
     positions, die = psion_placement(num_nodes)
     network = Network.from_positions(positions, die=die)
-    if tour is None:
-        tour = construct_ring_tour(list(network.positions))
     budget = wl_budget or num_nodes
-    rows = []
-    for variant in ("full", "no-shortcuts", "no-openings", "bare"):
-        options = _variant_options(variant, budget, loss)
-        design: XRingDesign = XRingSynthesizer(network, options).run(tour=tour)
-        rows.append(AblationRow(variant, evaluate_design(design, loss, xtalk)))
-    return rows
+    cases = [
+        BatchCase(
+            network=network,
+            options=_variant_options(variant, budget, loss),
+            label=f"ablation/{variant}",
+            tour=tour,
+        )
+        for variant in VARIANTS
+    ]
+    cache = get_cache()
+    was_enabled = cache.result_caching
+    cache.enable_result_caching(True)
+    try:
+        report = BatchSynthesizer(
+            workers=workers, share_tours=False, on_error="raise"
+        ).run(cases)
+    finally:
+        cache.enable_result_caching(was_enabled)
+    return [
+        AblationRow(variant, evaluate_design(design, loss, xtalk))
+        for variant, design in zip(VARIANTS, report.designs)
+    ]
 
 
 def run_wavelength_sweep(
@@ -97,12 +123,14 @@ def run_wavelength_sweep(
     budgets: list[int] | None = None,
     loss: LossParameters = ORING_LOSSES,
     xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
+    workers: int = 1,
 ) -> list[tuple[int, RingRouterRow]]:
     """Power/SNR vs #wl for one router kind on one network size."""
     positions, die = psion_placement(num_nodes)
     network = Network.from_positions(positions, die=die)
     return sweep_ring_router(
-        network, kind, budgets, loss=loss, xtalk=xtalk, pdn=True
+        network, kind, budgets, loss=loss, xtalk=xtalk, pdn=True,
+        workers=workers,
     )
 
 

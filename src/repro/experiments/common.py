@@ -17,7 +17,7 @@ from repro.baselines.ring.ornoc import ornoc_options
 from repro.baselines.ring.oring import oring_options
 from repro.core.design import XRingDesign
 from repro.core.ring import RingTour, construct_ring_tour
-from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.core.synthesizer import SynthesisOptions
 from repro.network import Network
 from repro.photonics.parameters import (
     NIKDAST_CROSSTALK,
@@ -123,23 +123,35 @@ def sweep_ring_router(
     loss: LossParameters = ORING_LOSSES,
     xtalk: CrosstalkParameters | None = NIKDAST_CROSSTALK,
     pdn: bool = True,
+    workers: int = 1,
 ) -> list[tuple[int, RingRouterRow]]:
     """Synthesize and evaluate one design per #wl budget.
 
     The Step-1 tour is constructed once and reused across the sweep
     (and may be shared between routers by passing ``tour``), matching
     the paper's methodology of comparing wavelength settings on a
-    fixed ring.
+    fixed ring.  Synthesis fans out over the batch engine
+    (``workers>1`` uses a process pool); evaluation stays in-process.
     """
+    from repro.parallel import BatchCase, BatchSynthesizer
+
     if tour is None:
         tour = construct_ring_tour(list(network.positions))
     budgets = budgets or default_budgets(network.size)
-    rows = []
-    for budget in budgets:
-        options = _router_options(kind, budget, loss, pdn)
-        design = XRingSynthesizer(network, options).run(tour=tour)
-        rows.append((budget, evaluate_design(design, loss, xtalk)))
-    return rows
+    cases = [
+        BatchCase(
+            network=network,
+            options=_router_options(kind, budget, loss, pdn),
+            label=f"{kind}/wl{budget}",
+            tour=tour,
+        )
+        for budget in budgets
+    ]
+    report = BatchSynthesizer(workers=workers, on_error="raise").run(cases)
+    return [
+        (budget, evaluate_design(design, loss, xtalk))
+        for budget, design in zip(budgets, report.designs)
+    ]
 
 
 def best_setting(

@@ -12,13 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.design import XRingDesign
-from repro.core.heuristic_ring import construct_ring_tour_heuristic
-from repro.core.ring import construct_ring_tour
-from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.core.synthesizer import SynthesisOptions
 from repro.experiments.common import RingRouterRow, evaluate_design
 from repro.network import Network
-from repro.obs import MetricsRegistry, ObsContext, get_obs, use_obs
 from repro.network.placement import extended_placement, psion_placement
 from repro.photonics.parameters import (
     NIKDAST_CROSSTALK,
@@ -59,51 +55,60 @@ def run_scaling(
     milp_limit: int = 32,
     loss: LossParameters = ORING_LOSSES,
     xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
+    workers: int = 1,
 ) -> list[ScalingRow]:
     """Measure synthesis time and quality per size and method.
 
     The MILP is skipped above ``milp_limit`` nodes (its conflict-set
-    construction grows quartically with N).
+    construction grows quartically with N).  Every (size, method) cell
+    is one batch case — ``workers>1`` runs cells in parallel — and
+    Step 1 now runs *inside* the synthesizer (``ring_method`` selects
+    the algorithm), so the tour time is the ring stage's elapsed time
+    from the run's own :class:`~repro.robustness.report.SynthesisReport`.
     """
+    from repro.parallel import BatchCase, BatchSynthesizer
+
+    cells: list[tuple[int, str]] = [
+        (num_nodes, method)
+        for num_nodes in sizes
+        for method in methods
+        if not (method == "milp" and num_nodes > milp_limit)
+    ]
+    cases = [
+        BatchCase(
+            network=_network(num_nodes),
+            options=SynthesisOptions(
+                wl_budget=num_nodes,
+                loss=loss,
+                ring_method=method,
+                label=f"scaling/{num_nodes}/{method}",
+            ),
+        )
+        for num_nodes, method in cells
+    ]
+    report = BatchSynthesizer(
+        workers=workers, share_tours=False, on_error="raise"
+    ).run(cases)
+
     rows: list[ScalingRow] = []
-    for num_nodes in sizes:
-        network = _network(num_nodes)
-        for method in methods:
-            if method == "milp" and num_nodes > milp_limit:
-                continue
-            # Step 1 runs outside the synthesizer (the tour is shared),
-            # so it gets its own span and feeds the same per-row
-            # registry the synthesizer will use.
-            registry = MetricsRegistry()
-            tracer = get_obs().tracer
-            with tracer.span(
-                "scaling.tour", nodes=num_nodes, method=method
-            ) as tour_span, use_obs(ObsContext(tracer=tracer, metrics=registry)):
-                if method == "milp":
-                    tour = construct_ring_tour(list(network.positions))
-                else:
-                    tour = construct_ring_tour_heuristic(list(network.positions))
-            design: XRingDesign = XRingSynthesizer(
-                network,
-                SynthesisOptions(wl_budget=num_nodes, loss=loss),
-                metrics=registry,
-            ).run(tour=tour)
-            solver_stats = {
-                name: int(value)
-                for name, value in registry.snapshot()["counters"].items()
-                if name.startswith("milp.")
-            }
-            rows.append(
-                ScalingRow(
-                    num_nodes=num_nodes,
-                    method=method,
-                    tour_length_mm=tour.length_mm,
-                    tour_time_s=tour_span.duration_s,
-                    total_time_s=tour_span.duration_s + design.synthesis_time_s,
-                    row=evaluate_design(design, loss, xtalk),
-                    solver_stats=solver_stats,
-                )
+    for (num_nodes, method), design in zip(cells, report.designs):
+        run_report = design.report
+        solver_stats = {
+            name: int(value)
+            for name, value in run_report.metrics["counters"].items()
+            if name.startswith("milp.")
+        }
+        rows.append(
+            ScalingRow(
+                num_nodes=num_nodes,
+                method=method,
+                tour_length_mm=design.tour.length_mm,
+                tour_time_s=run_report.stage_elapsed_s["ring"],
+                total_time_s=design.synthesis_time_s,
+                row=evaluate_design(design, loss, xtalk),
+                solver_stats=solver_stats,
             )
+        )
     return rows
 
 

@@ -73,12 +73,14 @@ def run_table1(
     num_nodes: int,
     loss: LossParameters = PROTON_LOSSES,
     budgets: list[int] | None = None,
+    workers: int = 1,
 ) -> list[Table1Row]:
     """Regenerate one half of Table I (``num_nodes`` in {8, 16}).
 
     Ring routers are evaluated without PDNs ("for a fair comparison,
     we do not perform PDN design", Sec. IV-A) and swept over #wl for
-    minimum worst-case insertion loss.
+    minimum worst-case insertion loss.  ``workers`` fans each sweep
+    out over the batch engine.
     """
     positions, die = proton_placement(num_nodes)
     network = Network.from_positions(positions, die=die)
@@ -94,6 +96,7 @@ def run_table1(
             loss=loss,
             xtalk=None,
             pdn=False,
+            workers=workers,
         )
         rows.append(_ring_row(kind.capitalize(), best_setting(sweep, "il")))
     return rows

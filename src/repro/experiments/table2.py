@@ -44,8 +44,13 @@ def run_table2(
     loss: LossParameters = ORING_LOSSES,
     xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
     budgets: dict[int, list[int]] | None = None,
+    workers: int = 1,
 ) -> list[Table2Block]:
-    """Regenerate Table II for the requested network sizes."""
+    """Regenerate Table II for the requested network sizes.
+
+    ``workers`` fans each per-router #wl sweep out over the batch
+    engine (see :mod:`repro.parallel`).
+    """
     blocks: list[Table2Block] = []
     for num_nodes in sizes:
         positions, die = psion_placement(num_nodes)
@@ -61,6 +66,7 @@ def run_table2(
                 loss=loss,
                 xtalk=xtalk,
                 pdn=True,
+                workers=workers,
             )
             for kind in ("ornoc", "xring")
         }

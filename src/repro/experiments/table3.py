@@ -37,14 +37,26 @@ def run_table3(
     loss: LossParameters = ORING_LOSSES,
     xtalk: CrosstalkParameters = NIKDAST_CROSSTALK,
     budgets: list[int] | None = None,
+    workers: int = 1,
 ) -> list[Table3Block]:
-    """Regenerate Table III (16-node, ORing node positions)."""
+    """Regenerate Table III (16-node, ORing node positions).
+
+    ``workers`` fans each per-router #wl sweep out over the batch
+    engine (see :mod:`repro.parallel`).
+    """
     positions, die = oring_placement()
     network = Network.from_positions(positions, die=die)
     tour = construct_ring_tour(list(network.positions))
     sweeps = {
         kind: sweep_ring_router(
-            network, kind, budgets, tour=tour, loss=loss, xtalk=xtalk, pdn=True
+            network,
+            kind,
+            budgets,
+            tour=tour,
+            loss=loss,
+            xtalk=xtalk,
+            pdn=True,
+            workers=workers,
         )
         for kind in ("oring", "xring")
     }

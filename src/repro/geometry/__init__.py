@@ -29,6 +29,9 @@ from repro.geometry.segment import (
 )
 from repro.geometry.path import RectilinearPath, distance_along, l_route, l_routes
 from repro.geometry.crossing import (
+    build_edge_conflicts,
+    clear_conflict_memo,
+    conflict_memo_stats,
     count_crossings,
     crossing_points,
     edge_realizations,
@@ -55,6 +58,9 @@ __all__ = [
     "crossing_points",
     "edges_conflict",
     "edge_realizations",
+    "build_edge_conflicts",
+    "conflict_memo_stats",
+    "clear_conflict_memo",
     "BBox",
     "RectilinearPolygon",
 ]

@@ -116,6 +116,59 @@ def _shared_terminals(e1: tuple[Point, Point], e2: tuple[Point, Point]) -> list[
     return shared
 
 
+#: Memo for :func:`edges_conflict`, keyed on canonicalized endpoint
+#: coordinates.  The predicate is pure geometry, so results are safe to
+#: share across tours, synthesis runs, and floorplans that reuse node
+#: positions.  Bounded: the table is wiped when it outgrows the cap
+#: (conflict checking is cheap enough that a rare cold restart is
+#: preferable to an unbounded dict in long sweeps).
+_CONFLICT_MEMO: dict[tuple, bool] = {}
+_CONFLICT_MEMO_CAP = 1_000_000
+_memo_hits = 0
+_memo_misses = 0
+
+
+def _edge_key(e: tuple[Point, Point]) -> tuple:
+    a = (e[0].x, e[0].y)
+    b = (e[1].x, e[1].y)
+    return (a, b) if a <= b else (b, a)
+
+
+def _conflict_key(e1: tuple[Point, Point], e2: tuple[Point, Point]) -> tuple:
+    k1, k2 = _edge_key(e1), _edge_key(e2)
+    return (k1, k2) if k1 <= k2 else (k2, k1)
+
+
+def conflict_memo_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the ``edges_conflict`` memo."""
+    return {
+        "hits": _memo_hits,
+        "misses": _memo_misses,
+        "size": len(_CONFLICT_MEMO),
+    }
+
+
+def clear_conflict_memo() -> None:
+    """Empty the ``edges_conflict`` memo and reset its counters."""
+    global _memo_hits, _memo_misses
+    _CONFLICT_MEMO.clear()
+    _memo_hits = 0
+    _memo_misses = 0
+
+
+def _edges_conflict_uncached(
+    e1: tuple[Point, Point], e2: tuple[Point, Point]
+) -> bool:
+    shared = _shared_terminals(e1, e2)
+    if len(shared) >= 2:
+        return False
+    for r1 in edge_realizations(*e1):
+        for r2 in edge_realizations(*e2):
+            if not paths_cross(r1, r2, ignore=shared):
+                return False
+    return True
+
+
 def edges_conflict(e1: tuple[Point, Point], e2: tuple[Point, Point]) -> bool:
     """True if two node-pair edges are *conflicting* (Sec. III-A).
 
@@ -125,15 +178,51 @@ def edges_conflict(e1: tuple[Point, Point], e2: tuple[Point, Point]) -> bool:
     that share both terminals (the two directions of the same node pair)
     are never reported as geometrically conflicting — the MILP handles
     that case with the dedicated 2-cycle constraint (2).
+
+    Results are memoized on the canonicalized endpoint coordinates
+    (order of edges and of endpoints within an edge does not matter);
+    see :func:`conflict_memo_stats` / :func:`clear_conflict_memo`.
     """
-    shared = _shared_terminals(e1, e2)
-    if len(shared) >= 2:
-        return False
-    for r1 in edge_realizations(*e1):
-        for r2 in edge_realizations(*e2):
-            if not paths_cross(r1, r2, ignore=shared):
-                return False
-    return True
+    global _memo_hits, _memo_misses
+    key = _conflict_key(e1, e2)
+    cached = _CONFLICT_MEMO.get(key)
+    if cached is not None:
+        _memo_hits += 1
+        return cached
+    _memo_misses += 1
+    result = _edges_conflict_uncached(e1, e2)
+    if len(_CONFLICT_MEMO) >= _CONFLICT_MEMO_CAP:
+        _CONFLICT_MEMO.clear()
+    _CONFLICT_MEMO[key] = result
+    return result
+
+
+def build_edge_conflicts(
+    points: Sequence[Point],
+) -> dict[tuple[int, int], set[tuple[int, int]]]:
+    """Geometric conflicts between all undirected node pairs.
+
+    Keys and members are undirected pairs ``(i, j)`` with ``i < j``;
+    conflicts are direction-independent because both directions of a
+    pair share the same geometry.  This is the O(E²) structure behind
+    the MILP's constraint (3) and the dominant model-build cost, which
+    is why :class:`repro.parallel.cache.SynthesisCache` memoizes whole
+    result dicts per floorplan.  Treat the returned mapping as
+    read-only when it may have come from a cache.
+    """
+    n = len(points)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] = {
+        pair: set() for pair in pairs
+    }
+    for idx, pair_a in enumerate(pairs):
+        ea = (points[pair_a[0]], points[pair_a[1]])
+        for pair_b in pairs[idx + 1 :]:
+            eb = (points[pair_b[0]], points[pair_b[1]])
+            if edges_conflict(ea, eb):
+                conflicts[pair_a].add(pair_b)
+                conflicts[pair_b].add(pair_a)
+    return conflicts
 
 
 def conflict_free_realizations(

@@ -226,6 +226,39 @@ class MetricsRegistry:
                 for _ in range(theirs.total):
                     mine.observe(theirs.mean)
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        The dict form is what crosses process boundaries (batch workers
+        return snapshots, not registries).  Semantics mirror
+        :meth:`merge`: counters and histograms add, gauges take the
+        incoming value.  Matching-edge histograms reconstruct exactly
+        from bucket counts; mismatched edges fall back to re-observing
+        the incoming mean per count.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            if not data.get("total"):
+                self.histogram(name, data.get("buckets", DEFAULT_BUCKETS))
+                continue
+            edges = tuple(float(b) for b in data["buckets"])
+            mine = self.histogram(name, edges)
+            if mine.buckets == edges:
+                with mine._lock:
+                    for i, count in enumerate(data["counts"]):
+                        mine.counts[i] += count
+                    mine.total += data["total"]
+                    mine.sum += data["sum"]
+                    mine.min = min(mine.min, data["min"])
+                    mine.max = max(mine.max, data["max"])
+            else:
+                mean = data["sum"] / data["total"]
+                for _ in range(data["total"]):
+                    mine.observe(mean)
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready dump of every instrument."""
         with self._lock:
@@ -284,6 +317,9 @@ class NullMetrics(MetricsRegistry):
         return _NULL_INSTRUMENT
 
     def merge(self, other: "MetricsRegistry") -> None:
+        pass
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         pass
 
     def snapshot(self) -> dict[str, Any]:

@@ -1,0 +1,44 @@
+"""Batch synthesis over process pools, plus content-keyed caching.
+
+Two cooperating pieces:
+
+- :mod:`repro.parallel.cache` — :class:`SynthesisCache`, the
+  process-global memo for conflict-pair dicts, built ring MILP models
+  and solved tours, keyed on canonical point tuples;
+- :mod:`repro.parallel.batch` — :class:`BatchSynthesizer`, which runs
+  many :class:`BatchCase` synthesis problems through a
+  :class:`concurrent.futures.ProcessPoolExecutor` (or inline for
+  ``workers=1``) with deterministic input-order results and merged
+  observability.
+
+The experiments (:mod:`repro.experiments`) and the CLI ``batch``
+subcommand / ``--workers`` flag are built on this package.
+"""
+
+from repro.parallel.batch import (
+    BatchCase,
+    BatchError,
+    BatchReport,
+    BatchResult,
+    BatchSynthesizer,
+)
+from repro.parallel.cache import (
+    DEFAULT_SECTION_CAPACITY,
+    SynthesisCache,
+    canonical_points,
+    clear_caches,
+    get_cache,
+)
+
+__all__ = [
+    "BatchCase",
+    "BatchError",
+    "BatchReport",
+    "BatchResult",
+    "BatchSynthesizer",
+    "SynthesisCache",
+    "DEFAULT_SECTION_CAPACITY",
+    "canonical_points",
+    "clear_caches",
+    "get_cache",
+]

@@ -1,0 +1,353 @@
+"""Process-pool batch synthesis with deterministic result ordering.
+
+:class:`BatchSynthesizer` fans independent synthesis cases out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and joins them back
+into input order, so a batch run is a drop-in replacement for a
+sequential loop: same designs, same order, merged observability.
+
+Design decisions:
+
+- **Determinism** — every case is tagged with its input index; results
+  are sorted by that index on join, so completion order (scheduling
+  noise) never leaks into outputs.  ``workers=1`` bypasses the pool
+  entirely and runs in-process through the *same* per-case code path,
+  which is what the differential tests compare against.
+- **Per-worker observability re-initialization** — each case gets a
+  fresh :class:`~repro.obs.MetricsRegistry` (and, when span collection
+  is requested, a fresh :class:`~repro.obs.Tracer`) installed as the
+  ambient :class:`~repro.obs.ObsContext` for the duration of the case.
+  Nothing is shared across processes at run time; snapshots travel
+  back over the result pickle.
+- **Merged artifacts on join** — the parent folds every case snapshot
+  into one :class:`~repro.obs.MetricsRegistry`
+  (:meth:`~repro.obs.MetricsRegistry.merge_snapshot`, exact for
+  counters and matching-bucket histograms) and concatenates span
+  records (each tagged with its case label).  The merged registry is
+  also folded into the ambient registry, so CLI ``--metrics`` /
+  ``--trace-dir`` keep working unchanged.
+- **Failure isolation** — a case that raises is captured as
+  ``BatchResult.error``; by default (``on_error="collect"``) the rest
+  of the batch completes.  ``on_error="raise"`` re-raises the first
+  (by input order) failure as :class:`BatchError` after the join.
+- **Tour sharing** — cases on the same floorplan with the same ring
+  construction settings can share Step-1 (the paper's methodology for
+  #wl sweeps).  With ``share_tours=True`` the parent constructs each
+  such tour once, warming the process-global
+  :class:`~repro.parallel.cache.SynthesisCache`, and attaches it to
+  the cases before fan-out.  Sharing is skipped for groups under a
+  time limit or deadline, whose timing semantics must stay in-worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.design import XRingDesign
+from repro.core.ring import RingTour
+from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.network import Network
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    ObsContext,
+    RunArtifacts,
+    Tracer,
+    get_logger,
+    get_obs,
+    use_obs,
+)
+from repro.parallel.cache import canonical_points, get_cache
+from repro.robustness.errors import ConfigurationError, SynthesisError
+
+_log = get_logger("parallel")
+
+
+class BatchError(SynthesisError):
+    """A batch case failed and ``on_error="raise"`` was requested."""
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("stage", "batch")
+        kwargs.setdefault("cause", "case_failure")
+        super().__init__(message, **kwargs)
+
+
+@dataclass(frozen=True)
+class BatchCase:
+    """One independent synthesis problem.
+
+    ``tour`` may pre-supply Step 1 (the experiments share the ring
+    between #wl settings, as the paper does); ``None`` lets the
+    synthesizer construct it, possibly via the tour cache.
+    """
+
+    network: Network
+    options: SynthesisOptions
+    label: str = ""
+    tour: RingTour | None = None
+
+    def named(self) -> str:
+        return self.label or self.options.label
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one case, in input order.
+
+    Exactly one of ``design`` / ``error`` is set.  ``metrics`` is the
+    case's own registry snapshot (the same dict that lands in
+    ``design.report.metrics`` for successful runs).
+    """
+
+    index: int
+    label: str
+    design: XRingDesign | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    metrics: dict[str, Any] = field(default_factory=dict)
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (structure lives in ``design.to_dict``)."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "ok": self.ok,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+            "worker_pid": self.worker_pid,
+        }
+
+
+@dataclass
+class BatchReport:
+    """The joined batch: ordered results plus merged observability."""
+
+    results: list[BatchResult]
+    workers: int
+    total_elapsed_s: float
+    metrics: MetricsRegistry
+    #: Per-span dicts from every traced case, each carrying a ``case``
+    #: attribute with the case label.
+    span_records: list[dict[str, Any]] = field(default_factory=list)
+    cache_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def designs(self) -> list[XRingDesign | None]:
+        """Designs in input order (``None`` for failed cases)."""
+        return [r.design for r in self.results]
+
+    @property
+    def errors(self) -> list[BatchResult]:
+        """The failed cases, in input order."""
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "total_elapsed_s": self.total_elapsed_s,
+            "cases": [r.to_dict() for r in self.results],
+            "cache": self.cache_stats,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def write_artifacts(self, directory) -> list:
+        """Write ``metrics.json`` (+ ``trace.jsonl`` when spans were
+        collected) into ``directory`` via :class:`~repro.obs.RunArtifacts`."""
+        import json
+        from pathlib import Path
+
+        paths = RunArtifacts(directory).write(metrics=self.metrics)
+        if self.span_records:
+            path = Path(directory) / "trace.jsonl"
+            path.write_text(
+                "".join(json.dumps(s) + "\n" for s in self.span_records),
+                encoding="utf-8",
+            )
+            paths.append(path)
+        return paths
+
+
+def _execute_case(
+    index: int, case: BatchCase, collect_spans: bool
+) -> BatchResult:
+    """Run one case under a fresh per-case observability context.
+
+    Top-level so the process pool can pickle it.  Every exception is
+    captured into the result — worker processes never die on a case.
+    """
+    start = time.perf_counter()
+    registry = MetricsRegistry()
+    tracer = Tracer() if collect_spans else NULL_TRACER
+    result = BatchResult(index=index, label=case.named(), worker_pid=os.getpid())
+    with use_obs(ObsContext(tracer=tracer, metrics=registry)):
+        try:
+            synthesizer = XRingSynthesizer(
+                case.network, case.options, tracer=tracer, metrics=registry
+            )
+            result.design = synthesizer.run(tour=case.tour)
+        except Exception as exc:  # isolated: reported, not propagated
+            result.error = f"{type(exc).__name__}: {exc}"
+    result.elapsed_s = time.perf_counter() - start
+    result.metrics = registry.snapshot()
+    if collect_spans:
+        result.metrics["spans"] = [
+            dict(span.to_dict(), case=result.label)
+            for span in tracer.finished_spans()
+        ]
+    return result
+
+
+class BatchSynthesizer:
+    """Runs many :class:`BatchCase` instances, possibly in parallel.
+
+    ``workers=1`` (the default) runs in-process; ``workers>1`` uses a
+    process pool.  Either way results come back in input order and the
+    designs are identical — parallelism is an implementation detail,
+    never a semantic one.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        on_error: str = "collect",
+        share_tours: bool = True,
+        collect_spans: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}",
+                context={"workers": workers},
+            )
+        if on_error not in ("collect", "raise"):
+            raise ConfigurationError(
+                f"unknown on_error policy {on_error!r}; "
+                "allowed: 'collect', 'raise'",
+                context={"on_error": on_error},
+            )
+        self.workers = workers
+        self.on_error = on_error
+        self.share_tours = share_tours
+        self.collect_spans = collect_spans
+
+    # -- tour sharing --------------------------------------------------------
+    @staticmethod
+    def _tour_group_key(case: BatchCase):
+        """Cases with equal keys may share one Step-1 construction.
+
+        ``None`` marks a case that must construct in-worker: it either
+        already has a tour, or runs under a time limit / deadline whose
+        budget accounting would be distorted by parent-side work.
+        """
+        opts = case.options
+        if case.tour is not None:
+            return None
+        if opts.milp_time_limit is not None or opts.deadline_s is not None:
+            return None
+        return (
+            canonical_points(case.network.positions),
+            opts.ring_method,
+            opts.milp_backend,
+        )
+
+    def _share_step1(self, cases: list[BatchCase]) -> list[BatchCase]:
+        """Construct each shared tour once and attach it to its group."""
+        from repro.core.heuristic_ring import construct_ring_tour_heuristic
+        from repro.core.ring import construct_ring_tour
+
+        groups: dict[Any, list[int]] = {}
+        for idx, case in enumerate(cases):
+            key = self._tour_group_key(case)
+            if key is not None:
+                groups.setdefault(key, []).append(idx)
+        shared = list(cases)
+        for key, indices in groups.items():
+            if len(indices) < 2:
+                continue
+            case = cases[indices[0]]
+            points = list(case.network.positions)
+            if case.options.ring_method == "milp":
+                tour = construct_ring_tour(
+                    points, backend=case.options.milp_backend
+                )
+            else:
+                tour = construct_ring_tour_heuristic(points)
+            for idx in indices:
+                shared[idx] = dataclasses.replace(cases[idx], tour=tour)
+        return shared
+
+    # -- execution -----------------------------------------------------------
+    def run(self, cases) -> BatchReport:
+        """Synthesize every case; results come back in input order."""
+        cases = list(cases)
+        start = time.perf_counter()
+        if self.share_tours:
+            cases = self._share_step1(cases)
+
+        if self.workers == 1 or len(cases) <= 1:
+            outcomes = [
+                _execute_case(idx, case, self.collect_spans)
+                for idx, case in enumerate(cases)
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(_execute_case, idx, case, self.collect_spans)
+                    for idx, case in enumerate(cases)
+                ]
+                outcomes = [f.result() for f in futures]
+        outcomes.sort(key=lambda r: r.index)
+
+        merged = MetricsRegistry()
+        span_records: list[dict[str, Any]] = []
+        for outcome in outcomes:
+            span_records.extend(outcome.metrics.pop("spans", []))
+            merged.merge_snapshot(outcome.metrics)
+        merged.counter("batch.cases").inc(len(outcomes))
+        merged.counter("batch.failures").inc(
+            sum(1 for o in outcomes if not o.ok)
+        )
+        merged.gauge("batch.workers").set(self.workers)
+
+        ambient = get_obs().metrics
+        if ambient.enabled:
+            ambient.merge(merged)
+
+        report = BatchReport(
+            results=outcomes,
+            workers=self.workers,
+            total_elapsed_s=time.perf_counter() - start,
+            metrics=merged,
+            span_records=span_records,
+            cache_stats=get_cache().stats(),
+        )
+        for failed in report.errors:
+            _log.warning(
+                "batch case %d (%s) failed: %s",
+                failed.index,
+                failed.label,
+                failed.error,
+            )
+        if self.on_error == "raise" and report.errors:
+            first = report.errors[0]
+            raise BatchError(
+                f"case {first.index} ({first.label}) failed: {first.error}",
+                context={
+                    "failures": len(report.errors),
+                    "cases": len(outcomes),
+                },
+            )
+        return report

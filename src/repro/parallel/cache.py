@@ -1,0 +1,262 @@
+"""Content-keyed memoization for synthesis-space sweeps.
+
+Every experiment in this repository re-synthesizes routers on a small
+set of floorplans (the paper's placements, ablation variants, #wl
+sweeps).  The expensive artifacts along the way are pure functions of
+the node positions:
+
+- the O(E²) conflict-pair dict behind MILP constraint (3)
+  (:func:`repro.geometry.build_edge_conflicts`);
+- the built Step-1 ring :class:`~repro.milp.Model` itself;
+- the solved :class:`~repro.core.ring.RingTour` (per construction
+  method and backend).
+
+:class:`SynthesisCache` memoizes all three, keyed on the *canonical
+point tuple* — the ``((x, y), ...)`` coordinates in node-index order —
+plus a per-section extra key (method, backend).  The cache is
+process-global (:func:`get_cache`), thread-safe, and LRU-bounded.
+Worker processes forked by the batch engine inherit the parent's warm
+cache copy-on-write; spawned workers start cold.  Either way results
+are unchanged — a cache miss just rebuilds deterministically.
+
+Hit/miss counters are exported through :mod:`repro.obs`: every lookup
+increments ``cache.<section>.hits`` / ``cache.<section>.misses`` on
+the ambient :class:`~repro.obs.MetricsRegistry`, so per-run registries
+(and therefore ``SynthesisReport.metrics``) carry the cache behaviour
+of their run.  :meth:`SynthesisCache.stats` aggregates independently
+of any registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.geometry.crossing import conflict_memo_stats
+from repro.obs import get_obs
+
+#: Per-section LRU bound.  Keys are whole floorplans, so even large
+#: property-based sweeps stay far below this.
+DEFAULT_SECTION_CAPACITY = 256
+
+
+def canonical_points(points: Sequence) -> tuple[tuple[float, float], ...]:
+    """The content key of a floorplan: ``(x, y)`` pairs in node order.
+
+    Node identity is positional everywhere in this code base (node i is
+    ``points[i]``), so the key preserves order rather than sorting.
+    """
+    return tuple((float(p.x), float(p.y)) for p in points)
+
+
+class _Section:
+    """One named LRU store with hit/miss accounting."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._store: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def _count(self, hit: bool) -> None:
+        metrics = get_obs().metrics
+        if hit:
+            self.hits += 1
+            metrics.counter(f"cache.{self.name}.hits").inc()
+        else:
+            self.misses += 1
+            metrics.counter(f"cache.{self.name}.misses").inc()
+
+    def get(self, key: Any) -> Any:
+        """The cached value or ``None`` (counts a hit/miss)."""
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                value = self._store[key]
+                hit = True
+            else:
+                value = None
+                hit = False
+        self._count(hit)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+
+    def get_or_build(self, key: Any, builder: Callable[[], Any]) -> Any:
+        """Return the cached value, building (and storing) on a miss.
+
+        The builder runs outside the section lock — conflict builds
+        take hundreds of milliseconds and must not serialize unrelated
+        lookups.  Two threads racing the same cold key both build; the
+        second store wins, which is harmless because builders are
+        deterministic pure functions of the key.
+        """
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                value = self._store[key]
+                self._count(True)
+                return value
+        self._count(False)
+        value = builder()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._store),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+class SynthesisCache:
+    """The memo sections used by the Step-1/Step-2 construction flow.
+
+    Sections and their keys:
+
+    - ``conflicts`` — ``canonical_points`` → conflict-pair dict
+      (shared, read-only by convention);
+    - ``models`` — ``canonical_points`` → built ring MILP model;
+    - ``tours`` — ``(method, canonical_points, extra)`` → clean
+      :class:`~repro.core.ring.RingTour` (never a timed-out incumbent;
+      callers skip this section entirely when a time limit or deadline
+      is active so timeout semantics stay observable);
+    - ``plans`` — Step-2 input content → selected
+      :class:`~repro.core.shortcuts.ShortcutPlan` (served as a
+      defensive copy; see ``copy_plan``).
+
+    ``conflicts``/``models`` are always on — reusing them changes no
+    observable behaviour, the solve still runs.  ``tours``/``plans``
+    skip whole stages and are therefore opt-in
+    (:meth:`enable_result_caching`).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SECTION_CAPACITY) -> None:
+        self.conflicts = _Section("conflicts", capacity)
+        self.models = _Section("models", capacity)
+        self.tours = _Section("tours", capacity)
+        self.plans = _Section("plans", capacity)
+        #: Result memoization (tours and shortcut plans) is opt-in:
+        #: serving a finished stage result skips the whole span/solve,
+        #: which changes observable solver counters for repeat runs —
+        #: sweeps and benchmarks opt in via
+        #: :meth:`enable_result_caching`; library defaults stay
+        #: faithful.
+        self.result_caching = False
+
+    def enable_result_caching(self, enabled: bool = True) -> None:
+        """Turn the ``tours``/``plans`` sections on or off (off by
+        default)."""
+        self.result_caching = enabled
+
+    # -- conflicts -----------------------------------------------------------
+    def conflicts_for(
+        self, points: Sequence, builder: Callable[[], dict]
+    ) -> dict:
+        """The conflict-pair dict of a floorplan (built once)."""
+        return self.conflicts.get_or_build(canonical_points(points), builder)
+
+    # -- ring MILP models ----------------------------------------------------
+    def model_for(self, points: Sequence, builder: Callable[[], Any]) -> Any:
+        """The built Step-1 model of a floorplan (built once)."""
+        return self.models.get_or_build(canonical_points(points), builder)
+
+    # -- solved tours --------------------------------------------------------
+    def tour_get(self, method: str, points: Sequence, extra: tuple = ()) -> Any:
+        """A cached clean tour, or ``None``.
+
+        Always ``None`` (without touching the hit/miss counters) while
+        result caching is disabled.
+        """
+        if not self.result_caching:
+            return None
+        return self.tours.get((method, canonical_points(points), extra))
+
+    def tour_put(
+        self, method: str, points: Sequence, tour: Any, extra: tuple = ()
+    ) -> None:
+        """Store a clean tour for reuse (no-op while disabled)."""
+        if not self.result_caching:
+            return
+        self.tours.put((method, canonical_points(points), extra), tour)
+
+    # -- shortcut plans ------------------------------------------------------
+    def plan_get(self, key: Any) -> Any:
+        """A cached shortcut plan, or ``None``.
+
+        Always ``None`` (without touching the hit/miss counters) while
+        result caching is disabled.  The key is the Step-2 input
+        content (tour order and geometry, selection options, demands);
+        the caller builds it, because only the synthesizer knows which
+        of its options feed the stage.
+        """
+        if not self.result_caching:
+            return None
+        return self.plans.get(key)
+
+    def plan_put(self, key: Any, plan: Any) -> None:
+        """Store a shortcut plan for reuse (no-op while disabled)."""
+        if not self.result_caching:
+            return
+        self.plans.put(key, plan)
+
+    # -- maintenance ---------------------------------------------------------
+    def clear(self) -> None:
+        """Empty every section and reset its counters."""
+        self.conflicts.clear()
+        self.models.clear()
+        self.tours.clear()
+        self.plans.clear()
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-section hit/miss/size/hit-rate counters.
+
+        Includes the fine-grained ``edges_conflict`` memo of
+        :mod:`repro.geometry.crossing` under ``"edges_conflict_memo"``
+        so one call captures the whole caching picture.
+        """
+        return {
+            "conflicts": self.conflicts.stats(),
+            "models": self.models.stats(),
+            "tours": self.tours.stats(),
+            "plans": self.plans.stats(),
+            "edges_conflict_memo": dict(conflict_memo_stats()),
+        }
+
+
+_CACHE = SynthesisCache()
+
+
+def get_cache() -> SynthesisCache:
+    """The process-global synthesis cache."""
+    return _CACHE
+
+
+def clear_caches() -> None:
+    """Reset the global cache and the ``edges_conflict`` memo.
+
+    Benchmarks call this between cold/warm phases; tests call it to
+    isolate hit-rate assertions.
+    """
+    from repro.geometry.crossing import clear_conflict_memo
+
+    _CACHE.clear()
+    clear_conflict_memo()

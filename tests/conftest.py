@@ -13,6 +13,25 @@ from repro.network import Network
 from repro.network.placement import psion_placement
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate tests/golden/*.json from the current synthesis "
+            "output instead of comparing against it (use after an "
+            "intentional behaviour change, then review the fixture diff)"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when ``--update-golden`` was passed."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def network8() -> Network:
     """The 8-node Table II network."""

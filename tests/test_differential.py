@@ -1,0 +1,126 @@
+"""Differential tests: two implementations of the same contract agree.
+
+Two axes are compared:
+
+- **Exact vs heuristic Step 1** — on small floorplans (N <= 6, where
+  the MILP is fast and provably optimal) the heuristic tour must stay
+  within a fixed optimality bound, and the MILP must never be worse
+  than the heuristic (it is exact: anything the heuristic finds is a
+  feasible incumbent).
+- **Parallel vs sequential batch execution** — the process-pool path
+  must be an implementation detail: ``workers=4`` produces designs
+  whose structural dumps are byte-identical to the in-process
+  ``workers=1`` path on the same cases.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.heuristic_ring import construct_ring_tour_heuristic
+from repro.core.ring import construct_ring_tour
+from repro.core.synthesizer import SynthesisOptions
+from repro.geometry import Point
+from repro.network import Network
+from repro.network.placement import psion_placement
+from repro.parallel import BatchCase, BatchSynthesizer, clear_caches
+
+#: Heuristic optimality bound on tiny instances.  The benchmark suite
+#: tracks 15% at the paper's sizes; on 4-6 node lattice floorplans the
+#: granularity is coarser — one extra lattice hop after conflict
+#: repair is already +20% — so the bound here is a lattice step wider.
+HEURISTIC_BOUND = 1.25
+
+_EPS = 1e-9
+
+
+def _tiny_floorplans(count: int = 10, seed: int = 424242) -> list[list[Point]]:
+    rng = random.Random(seed)
+    plans = []
+    for _ in range(count):
+        n = rng.randint(4, 6)
+        cells = rng.sample(
+            [(c, r) for c in range(4) for r in range(4)], n
+        )
+        plans.append([Point(c * 0.4, r * 0.4) for c, r in cells])
+    return plans
+
+
+@pytest.mark.parametrize("case", range(10))
+def test_milp_never_worse_than_heuristic(case):
+    points = _tiny_floorplans()[case]
+    exact = construct_ring_tour(points)
+    heuristic = construct_ring_tour_heuristic(points)
+    assert not exact.timed_out
+    assert exact.length_mm <= heuristic.length_mm + _EPS
+    assert heuristic.length_mm <= HEURISTIC_BOUND * exact.length_mm + _EPS
+
+
+def _batch_cases() -> list[BatchCase]:
+    """A representative slice of the experiment workload.
+
+    Two floorplans, both ring methods, feature ablations and a #wl
+    sweep — enough option diversity that any worker-dependent state
+    would show up in the structural dumps.
+    """
+    cases = []
+    for num_nodes in (8, 16):
+        points, die = psion_placement(num_nodes)
+        network = Network.from_positions(points, die=die)
+        cases.extend(
+            [
+                BatchCase(
+                    network=network,
+                    options=SynthesisOptions(label=f"xring{num_nodes}"),
+                ),
+                BatchCase(
+                    network=network,
+                    options=SynthesisOptions(
+                        wl_budget=num_nodes // 2,
+                        ring_method="heuristic",
+                        label=f"xring{num_nodes}/half-budget",
+                    ),
+                ),
+                BatchCase(
+                    network=network,
+                    options=SynthesisOptions(
+                        enable_shortcuts=False,
+                        pdn_mode="external",
+                        enable_openings=False,
+                        label=f"xring{num_nodes}/bare",
+                    ),
+                ),
+            ]
+        )
+    return cases
+
+
+def _dumps(report) -> list[str]:
+    assert report.ok, [r.error for r in report.errors]
+    return [
+        json.dumps(design.to_dict(), sort_keys=True)
+        for design in report.designs
+    ]
+
+
+def test_parallel_batch_matches_sequential():
+    clear_caches()
+    sequential = _dumps(BatchSynthesizer(workers=1).run(_batch_cases()))
+    clear_caches()
+    parallel = _dumps(BatchSynthesizer(workers=4).run(_batch_cases()))
+    assert parallel == sequential
+
+
+def test_parallel_batch_matches_sequential_without_tour_sharing():
+    clear_caches()
+    sequential = _dumps(
+        BatchSynthesizer(workers=1, share_tours=False).run(_batch_cases())
+    )
+    clear_caches()
+    parallel = _dumps(
+        BatchSynthesizer(workers=4, share_tours=False).run(_batch_cases())
+    )
+    assert parallel == sequential

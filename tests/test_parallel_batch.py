@@ -1,0 +1,225 @@
+"""Unit tests for the batch engine and the synthesis cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.shortcuts import ShortcutPlan, copy_plan
+from repro.core.synthesizer import SynthesisOptions
+from repro.geometry import Point, build_edge_conflicts
+from repro.network import Network
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    BatchCase,
+    BatchError,
+    BatchSynthesizer,
+    SynthesisCache,
+    canonical_points,
+    clear_caches,
+    get_cache,
+)
+from repro.robustness.errors import ConfigurationError
+
+
+def _heuristic_case(network: Network, label: str, **options) -> BatchCase:
+    options.setdefault("ring_method", "heuristic")
+    return BatchCase(
+        network=network,
+        options=SynthesisOptions(label=label, **options),
+        label=label,
+    )
+
+
+@pytest.fixture
+def fresh_cache():
+    clear_caches()
+    yield get_cache()
+    clear_caches()
+
+
+class TestBatchSynthesizer:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            BatchSynthesizer(workers=0)
+        with pytest.raises(ConfigurationError):
+            BatchSynthesizer(on_error="ignore")
+
+    def test_results_in_input_order(self, network8, network16):
+        cases = [
+            _heuristic_case(network16, "big"),
+            _heuristic_case(network8, "small"),
+            _heuristic_case(network8, "small/half", wl_budget=4),
+        ]
+        report = BatchSynthesizer(workers=2).run(cases)
+        assert [r.label for r in report.results] == [
+            "big",
+            "small",
+            "small/half",
+        ]
+        assert [r.index for r in report.results] == [0, 1, 2]
+        assert report.ok
+        assert all(d is not None for d in report.designs)
+
+    def test_failed_case_is_collected_not_fatal(self, network8):
+        duplicated = [Point(0.0, 0.0)] * 4
+        bad = BatchCase(
+            network=Network.from_positions(duplicated),
+            options=SynthesisOptions(ring_method="heuristic"),
+            label="bad",
+        )
+        report = BatchSynthesizer(workers=1).run(
+            [_heuristic_case(network8, "good"), bad]
+        )
+        assert not report.ok
+        assert [r.label for r in report.errors] == ["bad"]
+        assert "InputError" in report.errors[0].error
+        assert report.results[0].ok
+        assert report.metrics.snapshot()["counters"]["batch.failures"] == 1
+
+    def test_on_error_raise_names_first_failure(self, network8):
+        duplicated = [Point(0.0, 0.0)] * 4
+        bad = BatchCase(
+            network=Network.from_positions(duplicated),
+            options=SynthesisOptions(ring_method="heuristic"),
+            label="bad",
+        )
+        with pytest.raises(BatchError, match="bad"):
+            BatchSynthesizer(workers=1, on_error="raise").run([bad])
+
+    def test_merged_metrics_accumulate_across_cases(self, network8):
+        cases = [
+            _heuristic_case(network8, f"case{i}") for i in range(3)
+        ]
+        report = BatchSynthesizer(workers=1).run(cases)
+        counters = report.metrics.snapshot()["counters"]
+        assert counters["batch.cases"] == 3
+        assert counters["batch.failures"] == 0
+        # Each case ran its own registry; the merge folds them, so
+        # per-case counters appear with a batch-wide total.
+        per_case = report.results[0].metrics["counters"]
+        for name, value in per_case.items():
+            assert counters[name] >= value
+
+    def test_tour_sharing_constructs_step1_once(self, network8):
+        cases = [
+            _heuristic_case(network8, "sweep/4", wl_budget=4),
+            _heuristic_case(network8, "sweep/8", wl_budget=8),
+        ]
+        report = BatchSynthesizer(workers=1, share_tours=True).run(cases)
+        assert report.ok
+        first, second = report.designs
+        assert first.tour.order == second.tour.order
+        # The shared tour is attached before fan-out, so both runs
+        # record Step 1 as provided rather than constructed.
+        for design in report.designs:
+            assert design.report.stage("ring").status == "provided"
+
+    def test_spans_carry_case_labels(self, network8):
+        report = BatchSynthesizer(workers=1, collect_spans=True).run(
+            [_heuristic_case(network8, "traced")]
+        )
+        assert report.span_records
+        assert {s["case"] for s in report.span_records} == {"traced"}
+        assert {"synthesize"} <= {s["name"] for s in report.span_records}
+
+
+class TestMergeSnapshot:
+    def test_counters_gauges_histograms_merge_exactly(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(3)
+        source.gauge("g").set(7.5)
+        source.histogram("h").observe(0.02)
+        source.histogram("h").observe(5.0)
+
+        target = MetricsRegistry()
+        target.counter("c").inc(1)
+        target.merge_snapshot(source.snapshot())
+
+        snap = target.snapshot()
+        assert snap["counters"]["c"] == 4
+        assert snap["gauges"]["g"] == 7.5
+        assert snap["histograms"]["h"]["total"] == 2
+        assert snap["histograms"]["h"]["sum"] == pytest.approx(5.02)
+        assert snap["histograms"]["h"]["min"] == pytest.approx(0.02)
+        assert snap["histograms"]["h"]["max"] == pytest.approx(5.0)
+
+    def test_empty_histogram_merges_as_empty(self):
+        source = MetricsRegistry()
+        source.histogram("h")
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot()["histograms"]["h"]["total"] == 0
+
+
+class TestSynthesisCache:
+    POINTS = [
+        Point(0.0, 0.0),
+        Point(0.4, 0.0),
+        Point(0.4, 0.4),
+        Point(0.0, 0.4),
+    ]
+
+    def test_canonical_points_preserves_order(self):
+        key = canonical_points(self.POINTS)
+        assert key == ((0.0, 0.0), (0.4, 0.0), (0.4, 0.4), (0.0, 0.4))
+
+    def test_conflicts_built_once_per_floorplan(self, fresh_cache):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return build_edge_conflicts(self.POINTS)
+
+        first = fresh_cache.conflicts_for(self.POINTS, build)
+        second = fresh_cache.conflicts_for(self.POINTS, build)
+        assert first is second
+        assert len(calls) == 1
+        stats = fresh_cache.stats()["conflicts"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_result_caching_is_opt_in(self, fresh_cache):
+        fresh_cache.tour_put("heuristic", self.POINTS, "tour")
+        fresh_cache.plan_put("key", ShortcutPlan())
+        assert fresh_cache.tour_get("heuristic", self.POINTS) is None
+        assert fresh_cache.plan_get("key") is None
+        # Disabled lookups must not pollute the counters.
+        assert fresh_cache.stats()["tours"]["misses"] == 0
+        assert fresh_cache.stats()["plans"]["misses"] == 0
+
+        fresh_cache.enable_result_caching(True)
+        try:
+            fresh_cache.tour_put("heuristic", self.POINTS, "tour")
+            assert fresh_cache.tour_get("heuristic", self.POINTS) == "tour"
+        finally:
+            fresh_cache.enable_result_caching(False)
+
+    def test_copy_plan_shields_cached_original(self):
+        plan = ShortcutPlan(shortcuts=[], served={})
+        clone = copy_plan(plan)
+        clone.shortcuts.append("corrupted")
+        clone.served[(0, 1)] = ()
+        assert plan.shortcuts == []
+        assert plan.served == {}
+
+    def test_lru_eviction_respects_capacity(self):
+        cache = SynthesisCache(capacity=2)
+        for i in range(3):
+            cache.conflicts.put(i, i)
+        assert cache.conflicts.stats()["size"] == 2
+        assert cache.conflicts.get(0) is None  # evicted
+        assert cache.conflicts.get(2) == 2
+
+    def test_clear_caches_resets_counters(self, fresh_cache):
+        fresh_cache.conflicts_for(
+            self.POINTS, lambda: build_edge_conflicts(self.POINTS)
+        )
+        clear_caches()
+        stats = get_cache().stats()["conflicts"]
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "hit_rate": 0.0,
+        }
