@@ -33,6 +33,7 @@ import time
 
 from repro.experiments.ablations import run_shortcut_ablation
 from repro.experiments.scaling import run_scaling
+from repro.obs import atomic_write_text
 from repro.parallel import clear_caches, get_cache
 
 QUICK_SIZES = (8, 16)
@@ -166,9 +167,9 @@ def main(argv: list[str] | None = None) -> int:
         "stages": bench_stages(num_nodes=16),
     }
 
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic write: a killed benchmark never leaves a truncated
+    # baseline for later runs to diff against.
+    atomic_write_text(args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     scaling = payload["scaling"]
     clocks = scaling["wall_clock_s"]

@@ -21,11 +21,14 @@ from repro.core import SynthesisOptions, XRingDesign, XRingSynthesizer, synthesi
 from repro.network import Network
 from repro.network.placement import extended_placement, psion_placement
 from repro.robustness import (
+    CaseTimeout,
+    CircuitOpen,
     ConfigurationError,
     Deadline,
     FaultPlan,
     SynthesisError,
     SynthesisReport,
+    WorkerCrash,
 )
 
 __version__ = "1.0.0"
@@ -41,6 +44,9 @@ __all__ = [
     "FaultPlan",
     "SynthesisError",
     "ConfigurationError",
+    "WorkerCrash",
+    "CaseTimeout",
+    "CircuitOpen",
     "SynthesisReport",
     "__version__",
 ]

@@ -210,12 +210,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     The case file is either a list of case objects or
     ``{"cases": [...]}``; each case takes ``nodes`` (or ``placement``,
     a JSON placement file as for ``synth``) plus the option fields of
-    :func:`_batch_options`.  Failures are collected per case; the exit
-    code is the number of failed cases (0 = all ok).
+    :func:`_batch_options`.  Failures are retried per ``--retries``
+    and collected per case; the exit code is the number of failed
+    cases (0 = all ok, 130 = interrupted).
+
+    ``--journal`` checkpoints every finished case; Ctrl-C / SIGTERM
+    cancels pending work, flushes the journal and the partial report,
+    and exits 130 with a resume hint.  ``--resume <journal>`` skips
+    the checkpointed cases and completes the rest.
     """
     import json
+    import signal
+    import threading
 
-    from repro.parallel import BatchCase, BatchSynthesizer
+    from repro.obs import atomic_write_text
+    from repro.parallel import BatchCase, BatchSynthesizer, SupervisorConfig
 
     with open(args.cases, encoding="utf-8") as handle:
         data = json.load(handle)
@@ -232,24 +241,91 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 label=options.label,
             )
         )
-    report = BatchSynthesizer(workers=args.workers, on_error="collect").run(cases)
+    journal_path = args.resume or args.journal
+    config = SupervisorConfig(
+        max_attempts=max(1, args.retries + 1),
+        case_timeout_s=args.case_timeout,
+    )
+    synthesizer = BatchSynthesizer(
+        workers=args.workers, on_error="collect", config=config
+    )
+
+    def _sigterm(signum, frame):  # graceful: same path as Ctrl-C
+        raise KeyboardInterrupt
+
+    previous_handler = None
+    if threading.current_thread() is threading.main_thread():
+        previous_handler = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        try:
+            report = synthesizer.run(cases, journal=journal_path)
+        except KeyboardInterrupt:
+            # Interrupted outside the supervisor loop (case loading,
+            # tour sharing): nothing partial to print beyond the hint.
+            print("xring batch: interrupted", file=sys.stderr)
+            if journal_path:
+                print(
+                    f"resume with: xring batch {args.cases} "
+                    f"--resume {journal_path}",
+                    file=sys.stderr,
+                )
+            return 130
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
+
     for result in report.results:
-        status = "ok" if result.ok else f"FAILED ({result.error})"
+        if result.ok:
+            status = "ok"
+        elif result.interrupted:
+            status = "INTERRUPTED"
+        else:
+            status = f"FAILED ({result.error})"
+        if result.attempts > 1:
+            status += f" [attempts={result.attempts}]"
         print(f"[{result.index:>3}] {result.label:<28}{result.elapsed_s:>8.2f}s  {status}")
+    supervisor = report.supervisor
     print(
         f"{len(report.results)} cases, {len(report.errors)} failed, "
+        f"{len(report.quarantined)} quarantined, "
+        f"{supervisor.get('resumed', 0)} resumed, "
         f"workers={report.workers}, wall {report.total_elapsed_s:.2f}s"
     )
+    if supervisor.get("retries") or supervisor.get("worker_restarts"):
+        print(
+            f"supervisor: {supervisor.get('retries', 0)} retries, "
+            f"{supervisor.get('worker_restarts', 0)} worker restarts, "
+            f"{supervisor.get('timeouts', 0)} timeouts, "
+            f"{supervisor.get('crashes', 0)} crashes"
+        )
+    if report.circuit_opened:
+        print(
+            "circuit breaker tripped: recent cases failed systemically; "
+            "pending cases were skipped",
+            file=sys.stderr,
+        )
     if args.out:
         payload = report.to_dict()
         payload["designs"] = [
             design.to_dict() if design is not None else None
             for design in report.designs
         ]
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
         print(f"batch report written: {args.out}")
+    if report.interrupted:
+        print("xring batch: interrupted before completion", file=sys.stderr)
+        if journal_path:
+            print(
+                f"resume with: xring batch {args.cases} --resume {journal_path}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "hint: pass --journal <path> next time to make interrupted "
+                "runs resumable",
+                file=sys.stderr,
+            )
+        return 130
     return min(len(report.errors), 125)
 
 
@@ -392,6 +468,34 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="write the batch report (per-case status + structural "
         "design dumps + merged metrics) as JSON here",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry attempts per failed case beyond the first "
+        "(exponential backoff with seeded jitter; 0 disables retries)",
+    )
+    batch.add_argument(
+        "--case-timeout",
+        type=float,
+        default=None,
+        help="per-case wall-clock budget in seconds; a hung worker is "
+        "killed and respawned, the case is retried",
+    )
+    batch.add_argument(
+        "--journal",
+        type=str,
+        default="",
+        help="checkpoint every finished case into this JSONL journal "
+        "(atomic writes), making interrupted runs resumable",
+    )
+    batch.add_argument(
+        "--resume",
+        type=str,
+        default="",
+        help="resume from a checkpoint journal: restore finished cases "
+        "verbatim and run only the remainder (implies --journal <path>)",
     )
     batch.set_defaults(func=_cmd_batch)
     return parser

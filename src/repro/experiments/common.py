@@ -124,6 +124,8 @@ def sweep_ring_router(
     xtalk: CrosstalkParameters | None = NIKDAST_CROSSTALK,
     pdn: bool = True,
     workers: int = 1,
+    retries: int = 0,
+    case_timeout_s: float | None = None,
 ) -> list[tuple[int, RingRouterRow]]:
     """Synthesize and evaluate one design per #wl budget.
 
@@ -131,9 +133,13 @@ def sweep_ring_router(
     (and may be shared between routers by passing ``tour``), matching
     the paper's methodology of comparing wavelength settings on a
     fixed ring.  Synthesis fans out over the batch engine
-    (``workers>1`` uses a process pool); evaluation stays in-process.
+    (``workers>1`` uses a supervised process pool); evaluation stays
+    in-process.  ``retries``/``case_timeout_s`` opt the sweep into the
+    supervisor's retry and watchdog policy — off by default, so a
+    deterministic solver failure still fails the experiment fast
+    rather than burning a retry budget.
     """
-    from repro.parallel import BatchCase, BatchSynthesizer
+    from repro.parallel import BatchCase, BatchSynthesizer, SupervisorConfig
 
     if tour is None:
         tour = construct_ring_tour(list(network.positions))
@@ -147,7 +153,12 @@ def sweep_ring_router(
         )
         for budget in budgets
     ]
-    report = BatchSynthesizer(workers=workers, on_error="raise").run(cases)
+    config = SupervisorConfig(
+        max_attempts=max(1, retries + 1), case_timeout_s=case_timeout_s
+    )
+    report = BatchSynthesizer(
+        workers=workers, on_error="raise", config=config
+    ).run(cases)
     return [
         (budget, evaluate_design(design, loss, xtalk))
         for budget, design in zip(budgets, report.designs)

@@ -24,7 +24,7 @@ pairs :data:`NULL_TRACER` with :data:`NULL_METRICS`, both guarded by a
 single ``enabled`` attribute.
 """
 
-from repro.obs.artifacts import RunArtifacts
+from repro.obs.artifacts import RunArtifacts, atomic_write_text
 from repro.obs.context import NULL_OBS, ObsContext, get_obs, use_obs
 from repro.obs.logsetup import LOG_LEVELS, configure_logging, get_logger
 from repro.obs.metrics import (
@@ -56,6 +56,7 @@ __all__ = [
     "get_obs",
     "use_obs",
     "RunArtifacts",
+    "atomic_write_text",
     "configure_logging",
     "get_logger",
     "LOG_LEVELS",

@@ -13,16 +13,40 @@ into a directory:
 
 The CLI wires this behind ``--trace-dir``; experiment harnesses can
 reuse it to version solver statistics next to their tables.
+
+Every artifact is written through :func:`atomic_write_text`
+(tmp file + ``os.replace``), so a run killed mid-write never leaves a
+truncated JSON behind — the reader sees either the previous complete
+file or the new complete file, nothing in between.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullTracer, Tracer
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp + ``os.replace``).
+
+    The temp file lives next to the target (same filesystem, so the
+    replace is atomic) and is fsynced before the rename; a crash at
+    any point leaves either the old file or the new one, never a
+    truncated mix.  Returns the target path.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
 
 
 class RunArtifacts:
@@ -51,23 +75,27 @@ class RunArtifacts:
         self.directory.mkdir(parents=True, exist_ok=True)
         written: list[Path] = []
         if tracer is not None:
-            jsonl = self.directory / self.TRACE_JSONL
-            jsonl.write_text(tracer.to_jsonl(), encoding="utf-8")
-            written.append(jsonl)
-            chrome = self.directory / self.TRACE_CHROME
-            chrome.write_text(
-                json.dumps(tracer.to_chrome()) + "\n", encoding="utf-8"
+            written.append(
+                atomic_write_text(
+                    self.directory / self.TRACE_JSONL, tracer.to_jsonl()
+                )
             )
-            written.append(chrome)
+            written.append(
+                atomic_write_text(
+                    self.directory / self.TRACE_CHROME,
+                    json.dumps(tracer.to_chrome()) + "\n",
+                )
+            )
         if metrics is not None:
-            path = self.directory / self.METRICS
-            path.write_text(metrics.to_json(), encoding="utf-8")
-            written.append(path)
-        if report is not None:
-            path = self.directory / self.REPORT
-            payload = report.to_dict() if hasattr(report, "to_dict") else report
-            path.write_text(
-                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            written.append(
+                atomic_write_text(self.directory / self.METRICS, metrics.to_json())
             )
-            written.append(path)
+        if report is not None:
+            payload = report.to_dict() if hasattr(report, "to_dict") else report
+            written.append(
+                atomic_write_text(
+                    self.directory / self.REPORT,
+                    json.dumps(payload, indent=2) + "\n",
+                )
+            )
         return written

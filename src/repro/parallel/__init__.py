@@ -1,15 +1,22 @@
-"""Batch synthesis over process pools, plus content-keyed caching.
+"""Fault-tolerant batch synthesis over process pools, plus caching.
 
-Two cooperating pieces:
+Four cooperating pieces:
 
 - :mod:`repro.parallel.cache` — :class:`SynthesisCache`, the
   process-global memo for conflict-pair dicts, built ring MILP models
   and solved tours, keyed on canonical point tuples;
+- :mod:`repro.parallel.supervisor` — :class:`WorkerSupervisor`, the
+  self-healing worker pool: per-case watchdog timeouts (hung workers
+  are killed and respawned), retry with exponential backoff + seeded
+  jitter, poison-case quarantine, and a circuit breaker — policy in
+  :class:`SupervisorConfig`, events in :class:`SupervisorStats`;
+- :mod:`repro.parallel.journal` — :class:`BatchJournal`, the
+  crash-safe append-only checkpoint (atomic tmp+``os.replace``
+  writes) behind ``xring batch --resume``;
 - :mod:`repro.parallel.batch` — :class:`BatchSynthesizer`, which runs
-  many :class:`BatchCase` synthesis problems through a
-  :class:`concurrent.futures.ProcessPoolExecutor` (or inline for
-  ``workers=1``) with deterministic input-order results and merged
-  observability.
+  many :class:`BatchCase` synthesis problems through the supervisor
+  (or inline for ``workers=1``) with deterministic input-order
+  results and merged observability.
 
 The experiments (:mod:`repro.experiments`) and the CLI ``batch``
 subcommand / ``--workers`` flag are built on this package.
@@ -29,6 +36,19 @@ from repro.parallel.cache import (
     clear_caches,
     get_cache,
 )
+from repro.parallel.journal import (
+    BatchJournal,
+    batch_fingerprint,
+    case_key,
+    result_digest,
+)
+from repro.parallel.supervisor import (
+    AttemptRecord,
+    CircuitBreaker,
+    SupervisorConfig,
+    SupervisorStats,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "BatchCase",
@@ -36,6 +56,15 @@ __all__ = [
     "BatchReport",
     "BatchResult",
     "BatchSynthesizer",
+    "BatchJournal",
+    "batch_fingerprint",
+    "case_key",
+    "result_digest",
+    "AttemptRecord",
+    "CircuitBreaker",
+    "SupervisorConfig",
+    "SupervisorStats",
+    "WorkerSupervisor",
     "SynthesisCache",
     "DEFAULT_SECTION_CAPACITY",
     "canonical_points",

@@ -1,17 +1,32 @@
-"""Process-pool batch synthesis with deterministic result ordering.
+"""Fault-tolerant batch synthesis with deterministic result ordering.
 
 :class:`BatchSynthesizer` fans independent synthesis cases out over a
-:class:`concurrent.futures.ProcessPoolExecutor` and joins them back
-into input order, so a batch run is a drop-in replacement for a
-sequential loop: same designs, same order, merged observability.
+supervised worker pool (:class:`~repro.parallel.supervisor.WorkerSupervisor`)
+and joins them back into input order, so a batch run is a drop-in
+replacement for a sequential loop: same designs, same order, merged
+observability — now surviving hung solvers, crashed workers, and
+mid-run kills.
 
 Design decisions:
 
 - **Determinism** — every case is tagged with its input index; results
   are sorted by that index on join, so completion order (scheduling
   noise) never leaks into outputs.  ``workers=1`` bypasses the pool
-  entirely and runs in-process through the *same* per-case code path,
-  which is what the differential tests compare against.
+  entirely and runs in-process through the *same* per-case code path
+  and the *same* retry state machine, which is what the differential
+  and chaos tests compare against.
+- **Supervision** — per-case wall-clock timeouts (hung workers are
+  killed and respawned, not waited on), retry with exponential
+  backoff + seeded jitter, poison-case quarantine
+  (:attr:`BatchReport.quarantined` carries the full failure history
+  instead of aborting the run), and a circuit breaker that fails fast
+  when recent cases fail systemically.  Policy lives in
+  :class:`~repro.parallel.supervisor.SupervisorConfig`.
+- **Crash-safe checkpointing** — pass ``journal=`` (a path or
+  :class:`~repro.parallel.journal.BatchJournal`) and every finished
+  case is checkpointed atomically; a killed batch resumes from the
+  journal, restoring finished results verbatim and recomputing only
+  unfinished cases (CLI: ``xring batch --resume``).
 - **Per-worker observability re-initialization** — each case gets a
   fresh :class:`~repro.obs.MetricsRegistry` (and, when span collection
   is requested, a fresh :class:`~repro.obs.Tracer`) installed as the
@@ -19,50 +34,61 @@ Design decisions:
   Nothing is shared across processes at run time; snapshots travel
   back over the result pickle.
 - **Merged artifacts on join** — the parent folds every case snapshot
-  into one :class:`~repro.obs.MetricsRegistry`
-  (:meth:`~repro.obs.MetricsRegistry.merge_snapshot`, exact for
-  counters and matching-bucket histograms) and concatenates span
-  records (each tagged with its case label).  The merged registry is
-  also folded into the ambient registry, so CLI ``--metrics`` /
-  ``--trace-dir`` keep working unchanged.
-- **Failure isolation** — a case that raises is captured as
-  ``BatchResult.error``; by default (``on_error="collect"``) the rest
-  of the batch completes.  ``on_error="raise"`` re-raises the first
-  (by input order) failure as :class:`BatchError` after the join.
+  into one :class:`~repro.obs.MetricsRegistry` and concatenates span
+  records (each tagged with its case label), plus supervisor counters
+  (``batch.retries``, ``batch.worker_restarts``, ``batch.quarantined``,
+  ...) and per-attempt ``batch.attempt`` span records.
+- **Failure isolation** — a case that exhausts its attempt budget is
+  quarantined as ``BatchResult.error``; by default
+  (``on_error="collect"``) the rest of the batch completes.
+  ``on_error="raise"`` re-raises the first (by input order) failure as
+  :class:`BatchError` after the join.
 - **Tour sharing** — cases on the same floorplan with the same ring
   construction settings can share Step-1 (the paper's methodology for
-  #wl sweeps).  With ``share_tours=True`` the parent constructs each
-  such tour once, warming the process-global
-  :class:`~repro.parallel.cache.SynthesisCache`, and attaches it to
-  the cases before fan-out.  Sharing is skipped for groups under a
-  time limit or deadline, whose timing semantics must stay in-worker.
+  #wl sweeps), constructed once by the parent before fan-out.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
-from repro.core.design import XRingDesign
-from repro.core.ring import RingTour
-from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
-from repro.network import Network
 from repro.obs import (
-    NULL_TRACER,
     MetricsRegistry,
-    ObsContext,
     RunArtifacts,
-    Tracer,
+    atomic_write_text,
     get_logger,
     get_obs,
-    use_obs,
 )
 from repro.parallel.cache import canonical_points, get_cache
-from repro.robustness.errors import ConfigurationError, SynthesisError
+from repro.parallel.journal import BatchJournal, batch_fingerprint, case_key
+from repro.parallel.supervisor import (
+    BatchCase,
+    BatchResult,
+    SupervisorConfig,
+    SupervisorStats,
+    WorkerSupervisor,
+    _execute_case,
+)
+from repro.robustness.errors import (
+    CircuitOpen,
+    ConfigurationError,
+    SynthesisError,
+)
+from repro.robustness.faults import FaultPlan
+
+__all__ = [
+    "BatchCase",
+    "BatchError",
+    "BatchReport",
+    "BatchResult",
+    "BatchSynthesizer",
+]
 
 _log = get_logger("parallel")
 
@@ -76,57 +102,6 @@ class BatchError(SynthesisError):
         super().__init__(message, **kwargs)
 
 
-@dataclass(frozen=True)
-class BatchCase:
-    """One independent synthesis problem.
-
-    ``tour`` may pre-supply Step 1 (the experiments share the ring
-    between #wl settings, as the paper does); ``None`` lets the
-    synthesizer construct it, possibly via the tour cache.
-    """
-
-    network: Network
-    options: SynthesisOptions
-    label: str = ""
-    tour: RingTour | None = None
-
-    def named(self) -> str:
-        return self.label or self.options.label
-
-
-@dataclass
-class BatchResult:
-    """Outcome of one case, in input order.
-
-    Exactly one of ``design`` / ``error`` is set.  ``metrics`` is the
-    case's own registry snapshot (the same dict that lands in
-    ``design.report.metrics`` for successful runs).
-    """
-
-    index: int
-    label: str
-    design: XRingDesign | None = None
-    error: str | None = None
-    elapsed_s: float = 0.0
-    metrics: dict[str, Any] = field(default_factory=dict)
-    worker_pid: int = 0
-
-    @property
-    def ok(self) -> bool:
-        return self.error is None
-
-    def to_dict(self) -> dict[str, Any]:
-        """JSON-ready summary (structure lives in ``design.to_dict``)."""
-        return {
-            "index": self.index,
-            "label": self.label,
-            "ok": self.ok,
-            "error": self.error,
-            "elapsed_s": self.elapsed_s,
-            "worker_pid": self.worker_pid,
-        }
-
-
 @dataclass
 class BatchReport:
     """The joined batch: ordered results plus merged observability."""
@@ -136,12 +111,20 @@ class BatchReport:
     total_elapsed_s: float
     metrics: MetricsRegistry
     #: Per-span dicts from every traced case, each carrying a ``case``
-    #: attribute with the case label.
+    #: attribute with the case label (plus parent-side
+    #: ``batch.attempt`` records when supervision retried anything).
     span_records: list[dict[str, Any]] = field(default_factory=list)
     cache_stats: dict[str, Any] = field(default_factory=dict)
+    #: Supervisor event summary (retries, restarts, quarantine, ...).
+    supervisor: dict[str, Any] = field(default_factory=dict)
+    #: The run was interrupted (SIGINT/SIGTERM); unfinished cases are
+    #: marked ``interrupted`` and a journaled run can be resumed.
+    interrupted: bool = False
+    #: The circuit breaker tripped and pending cases were skipped.
+    circuit_opened: bool = False
 
     @property
-    def designs(self) -> list[XRingDesign | None]:
+    def designs(self) -> list[Any]:
         """Designs in input order (``None`` for failed cases)."""
         return [r.design for r in self.results]
 
@@ -151,6 +134,11 @@ class BatchReport:
         return [r for r in self.results if not r.ok]
 
     @property
+    def quarantined(self) -> list[BatchResult]:
+        """Cases that exhausted their attempt budget, in input order."""
+        return [r for r in self.results if r.quarantined]
+
+    @property
     def ok(self) -> bool:
         return not self.errors
 
@@ -158,6 +146,9 @@ class BatchReport:
         return {
             "workers": self.workers,
             "total_elapsed_s": self.total_elapsed_s,
+            "interrupted": self.interrupted,
+            "circuit_opened": self.circuit_opened,
+            "supervisor": dict(self.supervisor),
             "cases": [r.to_dict() for r in self.results],
             "cache": self.cache_stats,
             "metrics": self.metrics.snapshot(),
@@ -167,56 +158,31 @@ class BatchReport:
         """Write ``metrics.json`` (+ ``trace.jsonl`` when spans were
         collected) into ``directory`` via :class:`~repro.obs.RunArtifacts`."""
         import json
-        from pathlib import Path
 
         paths = RunArtifacts(directory).write(metrics=self.metrics)
         if self.span_records:
-            path = Path(directory) / "trace.jsonl"
-            path.write_text(
+            path = atomic_write_text(
+                Path(directory) / "trace.jsonl",
                 "".join(json.dumps(s) + "\n" for s in self.span_records),
-                encoding="utf-8",
             )
             paths.append(path)
         return paths
-
-
-def _execute_case(
-    index: int, case: BatchCase, collect_spans: bool
-) -> BatchResult:
-    """Run one case under a fresh per-case observability context.
-
-    Top-level so the process pool can pickle it.  Every exception is
-    captured into the result — worker processes never die on a case.
-    """
-    start = time.perf_counter()
-    registry = MetricsRegistry()
-    tracer = Tracer() if collect_spans else NULL_TRACER
-    result = BatchResult(index=index, label=case.named(), worker_pid=os.getpid())
-    with use_obs(ObsContext(tracer=tracer, metrics=registry)):
-        try:
-            synthesizer = XRingSynthesizer(
-                case.network, case.options, tracer=tracer, metrics=registry
-            )
-            result.design = synthesizer.run(tour=case.tour)
-        except Exception as exc:  # isolated: reported, not propagated
-            result.error = f"{type(exc).__name__}: {exc}"
-    result.elapsed_s = time.perf_counter() - start
-    result.metrics = registry.snapshot()
-    if collect_spans:
-        result.metrics["spans"] = [
-            dict(span.to_dict(), case=result.label)
-            for span in tracer.finished_spans()
-        ]
-    return result
 
 
 class BatchSynthesizer:
     """Runs many :class:`BatchCase` instances, possibly in parallel.
 
     ``workers=1`` (the default) runs in-process; ``workers>1`` uses a
-    process pool.  Either way results come back in input order and the
-    designs are identical — parallelism is an implementation detail,
-    never a semantic one.
+    supervised process pool.  Either way results come back in input
+    order and the designs are identical — parallelism *and* fault
+    recovery are implementation details, never semantic ones.
+
+    ``config`` sets the supervision policy (retries, per-case timeout,
+    backoff, circuit breaker); ``supervised=False`` selects the legacy
+    unsupervised ``ProcessPoolExecutor`` fast path (no retries, no
+    watchdog — but a broken pool still degrades to per-case failures
+    instead of losing the batch).  ``fault_plan`` injects worker-level
+    chaos faults (crash/hang/abort) for the chaos suite.
     """
 
     def __init__(
@@ -226,6 +192,9 @@ class BatchSynthesizer:
         on_error: str = "collect",
         share_tours: bool = True,
         collect_spans: bool = False,
+        config: SupervisorConfig | None = None,
+        supervised: bool = True,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -242,6 +211,9 @@ class BatchSynthesizer:
         self.on_error = on_error
         self.share_tours = share_tours
         self.collect_spans = collect_spans
+        self.config = config or SupervisorConfig()
+        self.supervised = supervised
+        self.fault_plan = fault_plan
 
     # -- tour sharing --------------------------------------------------------
     @staticmethod
@@ -290,36 +262,151 @@ class BatchSynthesizer:
         return shared
 
     # -- execution -----------------------------------------------------------
-    def run(self, cases) -> BatchReport:
-        """Synthesize every case; results come back in input order."""
+    def run(
+        self,
+        cases,
+        *,
+        journal: BatchJournal | str | Path | None = None,
+    ) -> BatchReport:
+        """Synthesize every case; results come back in input order.
+
+        With ``journal`` set, finished cases are checkpointed as the
+        batch progresses; re-running the same batch against the same
+        journal restores finished results verbatim and executes only
+        the remainder.
+        """
         cases = list(cases)
         start = time.perf_counter()
+
+        # Case keys are computed on the *input* cases (before tour
+        # sharing), so an interrupted run and its resume agree on them
+        # regardless of which tours had been attached when it died.
+        keys = [case_key(idx, case) for idx, case in enumerate(cases)]
+        journal_obj = self._open_journal(journal, keys)
+
+        restored: dict[int, BatchResult] = {}
+        if journal_obj is not None:
+            done = journal_obj.completed_keys()
+            for idx, key in enumerate(keys):
+                if key in done:
+                    result = journal_obj.restore(key)
+                    if result is not None:
+                        restored[idx] = result
+
         if self.share_tours:
             cases = self._share_step1(cases)
 
-        if self.workers == 1 or len(cases) <= 1:
-            outcomes = [
-                _execute_case(idx, case, self.collect_spans)
-                for idx, case in enumerate(cases)
-            ]
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(_execute_case, idx, case, self.collect_spans)
-                    for idx, case in enumerate(cases)
-                ]
-                outcomes = [f.result() for f in futures]
-        outcomes.sort(key=lambda r: r.index)
+        remaining = [
+            (idx, case)
+            for idx, case in enumerate(cases)
+            if idx not in restored
+        ]
 
+        stats = SupervisorStats()
+        if self.supervised:
+            supervisor = WorkerSupervisor(
+                self.workers,
+                self.config,
+                collect_spans=self.collect_spans,
+                fault_plan=self.fault_plan,
+            )
+            on_complete = None
+            if journal_obj is not None:
+                on_complete = lambda result: journal_obj.record(  # noqa: E731
+                    keys[result.index], result
+                )
+            outcomes = supervisor.run(remaining, on_complete=on_complete)
+            stats = supervisor.stats
+        else:
+            outcomes = self._run_unsupervised(remaining)
+            if journal_obj is not None:
+                for result in outcomes:
+                    journal_obj.record(keys[result.index], result)
+        stats.resumed = len(restored)
+
+        outcomes = list(restored.values()) + list(outcomes)
+        outcomes.sort(key=lambda r: r.index)
+        return self._join(outcomes, stats, start)
+
+    def _open_journal(
+        self, journal: BatchJournal | str | Path | None, keys: list[str]
+    ) -> BatchJournal | None:
+        if journal is None:
+            return None
+        if isinstance(journal, BatchJournal):
+            journal_obj = journal
+        else:
+            path = Path(journal)
+            journal_obj = (
+                BatchJournal.load(path) if path.exists() else BatchJournal(path)
+            )
+        journal_obj.begin(batch_fingerprint(keys), len(keys))
+        return journal_obj
+
+    def _run_unsupervised(
+        self, indexed_cases: list[tuple[int, BatchCase]]
+    ) -> list[BatchResult]:
+        """Legacy fast path: plain pool, no retries, no watchdog.
+
+        A :class:`BrokenProcessPool` (a worker OOM-killed or
+        segfaulted) degrades to per-case failures for the cases whose
+        futures broke — completed results are kept, the batch is never
+        lost to an unhandled crash.
+        """
+        if self.workers == 1 or len(indexed_cases) <= 1:
+            return [
+                _execute_case(idx, case, self.collect_spans)
+                for idx, case in indexed_cases
+            ]
+        outcomes: list[BatchResult] = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [
+                (idx, case, pool.submit(_execute_case, idx, case, self.collect_spans))
+                for idx, case in indexed_cases
+            ]
+            for idx, case, future in futures:
+                try:
+                    outcomes.append(future.result())
+                except BrokenProcessPool as exc:
+                    _log.warning(
+                        "process pool broke during case %d (%s): %s",
+                        idx,
+                        case.named(),
+                        exc,
+                    )
+                    outcomes.append(
+                        BatchResult(
+                            index=idx,
+                            label=case.named(),
+                            error=f"BrokenProcessPool: {exc} (worker died; "
+                            "re-run with supervised=True for retries)",
+                            error_type="BrokenProcessPool",
+                        )
+                    )
+        return outcomes
+
+    def _join(
+        self,
+        outcomes: list[BatchResult],
+        stats: SupervisorStats,
+        start: float,
+    ) -> BatchReport:
         merged = MetricsRegistry()
         span_records: list[dict[str, Any]] = []
         for outcome in outcomes:
             span_records.extend(outcome.metrics.pop("spans", []))
             merged.merge_snapshot(outcome.metrics)
+        span_records.extend(stats.span_records)
         merged.counter("batch.cases").inc(len(outcomes))
         merged.counter("batch.failures").inc(
             sum(1 for o in outcomes if not o.ok)
         )
+        merged.counter("batch.retries").inc(stats.retries)
+        merged.counter("batch.worker_restarts").inc(stats.worker_restarts)
+        merged.counter("batch.quarantined").inc(stats.quarantined)
+        merged.counter("batch.timeouts").inc(stats.timeouts)
+        merged.counter("batch.crashes").inc(stats.crashes)
+        merged.counter("batch.resumed").inc(stats.resumed)
         merged.gauge("batch.workers").set(self.workers)
 
         ambient = get_obs().metrics
@@ -333,16 +420,33 @@ class BatchSynthesizer:
             metrics=merged,
             span_records=span_records,
             cache_stats=get_cache().stats(),
+            supervisor=stats.to_dict(),
+            interrupted=stats.interrupted,
+            circuit_opened=stats.circuit_opened,
         )
         for failed in report.errors:
             _log.warning(
-                "batch case %d (%s) failed: %s",
+                "batch case %d (%s) failed after %d attempt(s): %s",
                 failed.index,
                 failed.label,
+                failed.attempts,
                 failed.error,
             )
+        if report.interrupted:
+            # An interrupted batch returns partial results; raising
+            # BatchError here would bury the resume hint.
+            return report
         if self.on_error == "raise" and report.errors:
             first = report.errors[0]
+            if report.circuit_opened:
+                raise CircuitOpen(
+                    f"batch circuit breaker tripped; first failure: case "
+                    f"{first.index} ({first.label}): {first.error}",
+                    context={
+                        "failures": len(report.errors),
+                        "cases": len(outcomes),
+                    },
+                )
             raise BatchError(
                 f"case {first.index} ({first.label}) failed: {first.error}",
                 context={

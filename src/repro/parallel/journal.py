@@ -1,0 +1,224 @@
+"""Crash-safe batch checkpointing: the append-only case journal.
+
+A :class:`BatchJournal` records every *finished* case of a batch run
+(success, quarantine, or circuit-open skip) as one JSONL entry keyed
+by a content hash of the case, plus a header line fingerprinting the
+whole batch.  ``xring batch --resume <journal>`` reloads the journal,
+verifies the fingerprint against the case file, restores the finished
+results verbatim, and re-enqueues only the cases that were in flight
+or pending when the previous run died.
+
+Entry payloads carry the full pickled
+:class:`~repro.parallel.supervisor.BatchResult` (design included), so
+a resumed report is built from exactly the objects the interrupted
+run computed — nothing is re-derived.  A ``digest`` (SHA-256 of the
+canonical design dump, or of the error string for failures) rides
+along for cheap integrity checks and cross-run diffing.
+
+Durability: the journal file is rewritten atomically (tmp +
+``os.replace`` + fsync) on every append, so a ``kill -9`` at any
+instant leaves either the previous complete journal or the new one —
+never a truncated line.  The loader additionally tolerates a torn
+tail line, for journals produced by foreign writers.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import zlib
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.obs import atomic_write_text, get_logger
+from repro.parallel.supervisor import BatchCase, BatchResult
+from repro.robustness.errors import ConfigurationError
+
+_log = get_logger("parallel.journal")
+
+JOURNAL_VERSION = 1
+
+
+def _canonical(value: Any) -> str:
+    """Deterministic JSON encoding (stable across runs and platforms)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def case_key(index: int, case: BatchCase) -> str:
+    """Content hash identifying one case across batch runs.
+
+    Covers the input position in the batch, the floorplan (positions,
+    traffic, die), and every synthesis option — anything that changes
+    the case's output changes its key, so a stale journal can never
+    satisfy a different batch.
+    """
+    payload = {
+        "index": index,
+        "label": case.named(),
+        "positions": [[node.position.x, node.position.y] for node in case.network.nodes],
+        "traffic": [list(pair) for pair in case.network.traffic],
+        "die": None
+        if case.network.die is None
+        else [
+            case.network.die.xmin,
+            case.network.die.ymin,
+            case.network.die.xmax,
+            case.network.die.ymax,
+        ],
+        "options": asdict(case.options),
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def batch_fingerprint(keys: list[str]) -> str:
+    """Hash of the ordered case-key list: identifies the whole batch."""
+    return hashlib.sha256(",".join(keys).encode("utf-8")).hexdigest()
+
+
+def result_digest(result: BatchResult) -> str:
+    """SHA-256 of the deterministic part of a result.
+
+    Successful cases hash the canonical structural design dump, so two
+    runs agreeing on the digest produced byte-identical designs;
+    failures hash the error string.
+    """
+    if result.design is not None:
+        payload = _canonical(result.design.to_dict())
+    else:
+        payload = result.error or ""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _encode_result(result: BatchResult) -> str:
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+    ).decode("ascii")
+
+
+def _decode_result(blob: str) -> BatchResult:
+    return pickle.loads(zlib.decompress(base64.b64decode(blob.encode("ascii"))))
+
+
+class BatchJournal:
+    """Append-only JSONL checkpoint of one batch run."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._header: dict[str, Any] | None = None
+        self._entries: dict[str, dict[str, Any]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "BatchJournal":
+        """Read an existing journal, tolerating a torn tail line."""
+        journal = cls(path)
+        if not journal.path.exists():
+            raise ConfigurationError(
+                f"journal {journal.path} does not exist",
+                context={"path": str(journal.path)},
+            )
+        lines = journal.path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    _log.warning(
+                        "journal %s: dropping torn tail line %d",
+                        journal.path,
+                        lineno,
+                    )
+                    continue
+                raise ConfigurationError(
+                    f"journal {journal.path} is corrupt at line {lineno}",
+                    context={"path": str(journal.path), "line": lineno},
+                )
+            if record.get("kind") == "header":
+                journal._header = record
+            elif record.get("kind") == "case":
+                journal._entries[record["key"]] = record
+        return journal
+
+    def begin(self, fingerprint: str, total_cases: int) -> None:
+        """Start (or verify) the journal for a batch.
+
+        A fresh journal writes its header; an existing one (resume)
+        must carry the same fingerprint — resuming a *different* batch
+        against this journal is an error, not silent corruption.
+        """
+        if self._header is not None:
+            recorded = self._header.get("fingerprint")
+            if recorded != fingerprint:
+                raise ConfigurationError(
+                    f"journal {self.path} belongs to a different batch "
+                    f"(fingerprint {recorded!r} != {fingerprint!r}); "
+                    "pass the original case file or start a new journal",
+                    context={"path": str(self.path)},
+                )
+            return
+        self._header = {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "fingerprint": fingerprint,
+            "cases": total_cases,
+        }
+        self._flush()
+
+    # -- recording / restoring -----------------------------------------------
+    def record(self, key: str, result: BatchResult) -> None:
+        """Checkpoint one finished case (idempotent per key)."""
+        if key in self._entries:
+            return
+        self._entries[key] = {
+            "kind": "case",
+            "key": key,
+            "index": result.index,
+            "label": result.label,
+            "ok": result.ok,
+            "error": result.error,
+            "attempts": result.attempts,
+            "quarantined": result.quarantined,
+            "digest": result_digest(result),
+            "payload": _encode_result(result),
+        }
+        self._flush()
+
+    def completed_keys(self) -> set[str]:
+        return set(self._entries)
+
+    def restore(self, key: str) -> BatchResult | None:
+        """Rebuild the finished result checkpointed under ``key``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        result = _decode_result(entry["payload"])
+        result.resumed = True
+        return result
+
+    def summary(self) -> dict[str, Any]:
+        """Header + completion counts (CLI status line)."""
+        header = dict(self._header or {})
+        header.pop("kind", None)
+        return {
+            **header,
+            "completed": len(self._entries),
+        }
+
+    # -- durability ----------------------------------------------------------
+    def _flush(self) -> None:
+        """Atomically rewrite the journal (tmp + ``os.replace``).
+
+        Entries are emitted in insertion order, header first, so the
+        on-disk file reads like the append log it logically is.
+        """
+        lines = []
+        if self._header is not None:
+            lines.append(json.dumps(self._header, sort_keys=True))
+        for entry in self._entries.values():
+            lines.append(json.dumps(entry, sort_keys=True))
+        atomic_write_text(self.path, "\n".join(lines) + "\n")

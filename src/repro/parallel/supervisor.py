@@ -1,0 +1,842 @@
+"""Supervised case execution for the batch engine.
+
+:class:`WorkerSupervisor` owns a small pool of worker *processes*
+(raw :mod:`multiprocessing`, not a ``ProcessPoolExecutor``, so a
+single member can be killed and respawned without breaking the pool)
+and drives every :class:`BatchCase` through a terminal state machine::
+
+    running -> done
+    running -> retrying (backoff) -> running
+    running -> quarantined            (attempt budget exhausted)
+    pending -> circuit-open           (breaker tripped, fail fast)
+
+Responsibilities, all parent-side:
+
+- **Watchdog** — a case that exceeds ``case_timeout_s`` gets its
+  worker SIGKILLed and respawned; the *case* is retried, the *batch*
+  keeps running.
+- **Crash isolation** — a worker that dies mid-case (segfault, OOM
+  kill, injected ``os._exit``) surfaces as a
+  :class:`~repro.robustness.errors.WorkerCrash` attempt failure, never
+  as a lost batch.
+- **Retry with backoff** — failed attempts are re-enqueued after
+  ``backoff_base_s * factor^(n-1)`` (capped) plus deterministic
+  seeded jitter, up to ``max_attempts``; attempts that exhaust the
+  budget land in quarantine with their full failure history.
+- **Circuit breaker** — a sliding window of recent attempt outcomes;
+  when the failure fraction crosses the threshold the breaker latches
+  open, pending cases fail fast with
+  :class:`~repro.robustness.errors.CircuitOpen`, and no further
+  retries are scheduled (a broken backend should not burn the whole
+  retry budget case by case).
+- **Fault injection** — worker-level faults from a
+  :class:`~repro.robustness.faults.FaultPlan` are popped here (parent
+  side, one-shot) and shipped with the task, so a retried case runs
+  clean and the chaos suite replays identically.
+
+``workers=1`` runs the same state machine in-process: retries,
+quarantine, and the breaker behave identically, and injected
+crash/abort faults are simulated as attempt failures (hang faults
+become timeout failures when they exceed the case budget).  The one
+divergence is preemption: an in-process case cannot be killed mid-run.
+
+Every attempt emits a ``batch.attempt`` span record (when span
+collection is on) and the aggregate lands in :class:`SupervisorStats`,
+which the batch layer folds into ``batch.*`` counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable
+
+from repro.core.design import XRingDesign
+from repro.core.ring import RingTour
+from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+from repro.network import Network
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    ObsContext,
+    Tracer,
+    get_logger,
+    use_obs,
+)
+from repro.robustness.errors import ConfigurationError, InputError
+from repro.robustness.faults import FaultPlan, WorkerFault, fire_worker_fault
+
+_log = get_logger("parallel.supervisor")
+
+#: Attempt-failure kinds (``AttemptRecord.kind``).
+FAIL_ERROR = "error"  # the case raised inside the worker
+FAIL_CRASH = "crash"  # the worker process died mid-case
+FAIL_TIMEOUT = "timeout"  # the watchdog killed a hung worker
+
+
+@dataclass(frozen=True)
+class BatchCase:
+    """One independent synthesis problem.
+
+    ``tour`` may pre-supply Step 1 (the experiments share the ring
+    between #wl settings, as the paper does); ``None`` lets the
+    synthesizer construct it, possibly via the tour cache.
+    """
+
+    network: Network
+    options: SynthesisOptions
+    label: str = ""
+    tour: RingTour | None = None
+
+    def named(self) -> str:
+        return self.label or self.options.label
+
+
+@dataclass
+class AttemptRecord:
+    """One failed attempt of a case (successes are implicit)."""
+
+    attempt: int
+    kind: str  # FAIL_ERROR | FAIL_CRASH | FAIL_TIMEOUT
+    error: str
+    elapsed_s: float = 0.0
+    worker_pid: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "error": self.error,
+            "elapsed_s": self.elapsed_s,
+            "worker_pid": self.worker_pid,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one case, in input order.
+
+    Exactly one of ``design`` / ``error`` is set.  ``metrics`` is the
+    case's own registry snapshot (the same dict that lands in
+    ``design.report.metrics`` for successful runs).  ``attempts`` and
+    ``failure_history`` record the supervisor's view: how many tries
+    the case took and what each failed attempt looked like.
+    """
+
+    index: int
+    label: str
+    design: XRingDesign | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    metrics: dict[str, Any] = field(default_factory=dict)
+    worker_pid: int = 0
+    attempts: int = 1
+    #: Failed attempts that preceded the terminal state (empty for a
+    #: first-try success).
+    failure_history: list[AttemptRecord] = field(default_factory=list)
+    #: The case failed its full attempt budget (or a non-retryable
+    #: error) and was parked instead of aborting the batch.
+    quarantined: bool = False
+    #: The batch was interrupted before this case finished; a resume
+    #: run re-enqueues it.
+    interrupted: bool = False
+    #: Exception type name of the terminal error ("" when ok).
+    error_type: str = ""
+    #: Internal: whether the terminal error is worth retrying
+    #: (input/configuration errors are deterministic, so they are not).
+    retryable: bool = True
+    #: Internal: restored from a checkpoint journal, not recomputed.
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (structure lives in ``design.to_dict``)."""
+        return {
+            "index": self.index,
+            "label": self.label,
+            "ok": self.ok,
+            "error": self.error,
+            "error_type": self.error_type,
+            "elapsed_s": self.elapsed_s,
+            "worker_pid": self.worker_pid,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+            "interrupted": self.interrupted,
+            "failure_history": [a.to_dict() for a in self.failure_history],
+        }
+
+
+def _execute_case(
+    index: int, case: BatchCase, collect_spans: bool
+) -> BatchResult:
+    """Run one case under a fresh per-case observability context.
+
+    Top-level so worker processes can import it under any start
+    method.  Every exception is captured into the result — workers
+    never die on a case (only injected faults and real crashes do).
+    """
+    start = time.perf_counter()
+    registry = MetricsRegistry()
+    tracer = Tracer() if collect_spans else NULL_TRACER
+    result = BatchResult(index=index, label=case.named(), worker_pid=os.getpid())
+    with use_obs(ObsContext(tracer=tracer, metrics=registry)):
+        try:
+            synthesizer = XRingSynthesizer(
+                case.network, case.options, tracer=tracer, metrics=registry
+            )
+            result.design = synthesizer.run(tour=case.tour)
+        except Exception as exc:  # isolated: reported, not propagated
+            result.error = f"{type(exc).__name__}: {exc}"
+            result.error_type = type(exc).__name__
+            result.retryable = not isinstance(
+                exc, (ConfigurationError, InputError)
+            )
+    result.elapsed_s = time.perf_counter() - start
+    result.metrics = registry.snapshot()
+    if collect_spans:
+        result.metrics["spans"] = [
+            dict(span.to_dict(), case=result.label)
+            for span in tracer.finished_spans()
+        ]
+    return result
+
+
+def _worker_main(conn) -> None:
+    """Worker-process loop: recv task, run case, send result.
+
+    A ``None`` task is the shutdown sentinel.  Injected worker faults
+    fire *before* the case body, exactly where a real crash/hang
+    interrupts useful work.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if item is None:
+            return
+        task_seq, index, case, collect_spans, fault = item
+        if fault is not None:
+            fire_worker_fault(fault)
+        result = _execute_case(index, case, collect_spans)
+        try:
+            conn.send((task_seq, result))
+        except (BrokenPipeError, OSError):
+            return
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry / watchdog / circuit-breaker policy of one batch run.
+
+    ``max_attempts=1`` disables retries; ``case_timeout_s=None``
+    disables the watchdog; ``breaker_threshold > 1`` disables the
+    breaker.  Backoff after the Nth failed attempt is
+    ``min(cap, base * factor^(N-1)) * (1 + jitter * U[0,1))`` with a
+    seeded RNG, so chaos tests replay identically.
+    """
+
+    max_attempts: int = 3
+    case_timeout_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+    backoff_jitter: float = 0.1
+    seed: int = 0
+    breaker_window: int = 16
+    breaker_threshold: float = 0.8
+    breaker_min_samples: int = 6
+    poll_interval_s: float = 0.05
+    #: Multiprocessing start method ("" = fork when available, else
+    #: spawn).  Workers are respawned under the same method.
+    mp_context: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}",
+                context={"max_attempts": self.max_attempts},
+            )
+        if self.case_timeout_s is not None and self.case_timeout_s <= 0:
+            raise ConfigurationError(
+                f"case_timeout_s must be positive, got {self.case_timeout_s}",
+                context={"case_timeout_s": self.case_timeout_s},
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigurationError(
+                "backoff budgets must be >= 0",
+                context={
+                    "backoff_base_s": self.backoff_base_s,
+                    "backoff_cap_s": self.backoff_cap_s,
+                },
+            )
+        if self.breaker_window < 1 or self.breaker_min_samples < 1:
+            raise ConfigurationError(
+                "breaker window and min samples must be >= 1",
+                context={
+                    "breaker_window": self.breaker_window,
+                    "breaker_min_samples": self.breaker_min_samples,
+                },
+            )
+
+    def backoff_s(self, failed_attempt: int, rng: random.Random) -> float:
+        """Delay before re-dispatching after the Nth failed attempt."""
+        base = self.backoff_base_s * (self.backoff_factor ** (failed_attempt - 1))
+        delay = min(self.backoff_cap_s, base)
+        return delay * (1.0 + self.backoff_jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker; latches once open."""
+
+    def __init__(
+        self, window: int, threshold: float, min_samples: int
+    ) -> None:
+        self._outcomes: deque[bool] = deque(maxlen=max(1, window))
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self._open = False
+
+    def record(self, ok: bool) -> None:
+        """Record one attempt outcome; may trip the breaker."""
+        if self._open:
+            return
+        self._outcomes.append(ok)
+        if len(self._outcomes) < self.min_samples:
+            return
+        failures = sum(1 for outcome in self._outcomes if not outcome)
+        if failures / len(self._outcomes) >= self.threshold:
+            self._open = True
+
+    @property
+    def open(self) -> bool:
+        return self._open
+
+
+@dataclass
+class SupervisorStats:
+    """Aggregate supervisor events of one batch run."""
+
+    retries: int = 0
+    worker_restarts: int = 0
+    quarantined: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    circuit_opened: bool = False
+    interrupted: bool = False
+    #: Cases restored from a checkpoint journal (set by the batch layer).
+    resumed: int = 0
+    #: Parent-side ``batch.attempt`` span records (span-collection on).
+    span_records: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "retries": self.retries,
+            "worker_restarts": self.worker_restarts,
+            "quarantined": self.quarantined,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "circuit_opened": self.circuit_opened,
+            "interrupted": self.interrupted,
+            "resumed": self.resumed,
+        }
+
+
+@dataclass
+class _Task:
+    """One case moving through the supervisor state machine."""
+
+    index: int
+    case: BatchCase
+    attempt: int = 1
+    history: list[AttemptRecord] = field(default_factory=list)
+    #: Monotonic time before which the task must not re-dispatch.
+    ready_s: float = 0.0
+
+    def label(self) -> str:
+        return self.case.named()
+
+
+class _Worker:
+    """Parent-side handle of one pool member."""
+
+    __slots__ = ("worker_id", "process", "conn", "task", "task_seq", "started_s")
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.task: _Task | None = None
+        self.task_seq = -1
+        self.started_s = 0.0
+
+
+class WorkerSupervisor:
+    """Drives tasks to terminal states over a self-healing worker pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        config: SupervisorConfig | None = None,
+        *,
+        collect_spans: bool = False,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}",
+                context={"workers": workers},
+            )
+        self.workers = workers
+        self.config = config or SupervisorConfig()
+        self.collect_spans = collect_spans
+        self.fault_plan = fault_plan
+        self.stats = SupervisorStats()
+        self._rng = random.Random(self.config.seed)
+        self._breaker = CircuitBreaker(
+            self.config.breaker_window,
+            self.config.breaker_threshold,
+            self.config.breaker_min_samples,
+        )
+        self._epoch = 0.0
+        self._task_seq = 0
+        self._span_seq = 0
+        self._results: dict[int, BatchResult] = {}
+        self._on_complete: Callable[[BatchResult], None] | None = None
+
+    # -- public entry --------------------------------------------------------
+    def run(
+        self,
+        indexed_cases: list[tuple[int, BatchCase]],
+        *,
+        on_complete: Callable[[BatchResult], None] | None = None,
+    ) -> list[BatchResult]:
+        """Run every (index, case) pair to a terminal state.
+
+        ``on_complete`` fires once per *finished* case (success or
+        quarantine or circuit-open) — the checkpoint-journal hook.
+        Interrupted cases never reach it, so a resume re-enqueues
+        them.  Results come back unordered; callers sort by index.
+        """
+        self._epoch = time.monotonic()
+        self._results = {}
+        self._on_complete = on_complete
+        tasks = [_Task(index, case) for index, case in indexed_cases]
+        if not tasks:
+            return []
+        pool_size = min(self.workers, len(tasks))
+        try:
+            if pool_size <= 1:
+                self._run_inline(tasks)
+            else:
+                self._run_pool(tasks, pool_size)
+        except KeyboardInterrupt:
+            self.stats.interrupted = True
+            self._mark_interrupted(tasks)
+        if self._breaker.open:
+            self.stats.circuit_opened = True
+        return list(self._results.values())
+
+    # -- shared state-machine helpers ----------------------------------------
+    def _take_fault(self, task: _Task) -> WorkerFault | None:
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.take_worker_fault(task.label(), task.attempt)
+
+    def _record_attempt_span(
+        self, task: _Task, outcome: str, elapsed_s: float, pid: int
+    ) -> None:
+        if not self.collect_spans:
+            return
+        self._span_seq += 1
+        self.stats.span_records.append(
+            {
+                "name": "batch.attempt",
+                # Negative ids: parent-side records, disjoint from any
+                # worker tracer's positive span ids.
+                "span_id": -self._span_seq,
+                "parent_id": None,
+                "thread_id": 0,
+                "start_s": max(0.0, time.monotonic() - self._epoch - elapsed_s),
+                "duration_s": elapsed_s,
+                "attributes": {
+                    "attempt": task.attempt,
+                    "outcome": outcome,
+                    "worker_pid": pid,
+                },
+                "case": task.label(),
+            }
+        )
+
+    def _finish(self, task: _Task, result: BatchResult) -> None:
+        """Move ``task`` to a terminal state and notify the journal."""
+        result.attempts = task.attempt
+        result.failure_history = list(task.history)
+        self._results[task.index] = result
+        if result.quarantined:
+            self.stats.quarantined += 1
+        if self._on_complete is not None and not result.interrupted:
+            self._on_complete(result)
+
+    def _succeed(self, task: _Task, result: BatchResult) -> None:
+        self._breaker.record(True)
+        self._record_attempt_span(task, "ok", result.elapsed_s, result.worker_pid)
+        self._finish(task, result)
+
+    def _fail_attempt(
+        self,
+        task: _Task,
+        kind: str,
+        error: str,
+        error_type: str,
+        *,
+        elapsed_s: float = 0.0,
+        worker_pid: int = 0,
+        retryable: bool = True,
+        metrics: dict[str, Any] | None = None,
+    ) -> bool:
+        """Record one failed attempt.
+
+        Returns True when the task was re-enqueued for another attempt
+        (caller schedules it), False when it reached quarantine.
+        """
+        task.history.append(
+            AttemptRecord(task.attempt, kind, error, elapsed_s, worker_pid)
+        )
+        self._breaker.record(False)
+        self._record_attempt_span(task, kind, elapsed_s, worker_pid)
+        if kind == FAIL_CRASH:
+            self.stats.crashes += 1
+        elif kind == FAIL_TIMEOUT:
+            self.stats.timeouts += 1
+        may_retry = (
+            retryable
+            and task.attempt < self.config.max_attempts
+            and not self._breaker.open
+        )
+        if may_retry:
+            delay = self.config.backoff_s(task.attempt, self._rng)
+            _log.warning(
+                "case %d (%s) attempt %d failed (%s): %s — retrying in %.3fs",
+                task.index,
+                task.label(),
+                task.attempt,
+                kind,
+                error,
+                delay,
+            )
+            self.stats.retries += 1
+            task.attempt += 1
+            task.ready_s = time.monotonic() + delay
+            return True
+        _log.warning(
+            "case %d (%s) quarantined after %d attempt(s): %s",
+            task.index,
+            task.label(),
+            task.attempt,
+            error,
+        )
+        self._finish(
+            task,
+            BatchResult(
+                index=task.index,
+                label=task.label(),
+                error=error,
+                error_type=error_type,
+                elapsed_s=elapsed_s,
+                worker_pid=worker_pid,
+                metrics=metrics or {},
+                quarantined=True,
+                retryable=retryable,
+            ),
+        )
+        return False
+
+    def _fail_circuit_open(self, task: _Task) -> None:
+        message = (
+            "CircuitOpen: batch circuit breaker is open "
+            "(recent cases fail systemically); case skipped"
+        )
+        self._finish(
+            task,
+            BatchResult(
+                index=task.index,
+                label=task.label(),
+                error=message,
+                error_type="CircuitOpen",
+            ),
+        )
+
+    def _mark_interrupted(self, tasks: list[_Task]) -> None:
+        for task in tasks:
+            if task.index in self._results:
+                continue
+            self._results[task.index] = BatchResult(
+                index=task.index,
+                label=task.label(),
+                error=(
+                    "Interrupted: batch stopped before this case "
+                    "finished (re-run with --resume to complete it)"
+                ),
+                error_type="Interrupted",
+                interrupted=True,
+                attempts=task.attempt,
+                failure_history=list(task.history),
+            )
+
+    def _handle_result(self, task: _Task, result: BatchResult) -> bool:
+        """Digest a completed :func:`_execute_case` result.
+
+        Returns True when the task must be re-enqueued.
+        """
+        if result.ok:
+            self._succeed(task, result)
+            return False
+        return self._fail_attempt(
+            task,
+            FAIL_ERROR,
+            result.error or "unknown error",
+            result.error_type,
+            elapsed_s=result.elapsed_s,
+            worker_pid=result.worker_pid,
+            retryable=result.retryable,
+            metrics=result.metrics,
+        )
+
+    # -- inline (workers == 1) -----------------------------------------------
+    def _run_inline(self, tasks: list[_Task]) -> None:
+        queue = deque(tasks)
+        while queue:
+            task = queue.popleft()
+            if self._breaker.open:
+                self._fail_circuit_open(task)
+                continue
+            now = time.monotonic()
+            if task.ready_s > now:
+                time.sleep(task.ready_s - now)
+            fault = self._take_fault(task)
+            if fault is not None and fault.kind in ("crash", "abort"):
+                # Simulated in-process: count the kill + respawn the
+                # pool path would have performed.
+                self.stats.worker_restarts += 1
+                if self._fail_attempt(
+                    task,
+                    FAIL_CRASH,
+                    "WorkerCrash: injected worker "
+                    f"{fault.kind} (simulated in-process)",
+                    "WorkerCrash",
+                    worker_pid=os.getpid(),
+                ):
+                    queue.appendleft(task)
+                continue
+            if fault is not None and fault.kind == "hang":
+                timeout = self.config.case_timeout_s
+                if timeout is not None and fault.seconds > timeout:
+                    self.stats.worker_restarts += 1
+                    if self._fail_attempt(
+                        task,
+                        FAIL_TIMEOUT,
+                        f"CaseTimeout: case exceeded {timeout}s "
+                        "(injected hang, simulated in-process)",
+                        "CaseTimeout",
+                        elapsed_s=timeout,
+                        worker_pid=os.getpid(),
+                    ):
+                        queue.appendleft(task)
+                    continue
+                time.sleep(fault.seconds)
+            result = _execute_case(task.index, task.case, self.collect_spans)
+            if self._handle_result(task, result):
+                queue.appendleft(task)
+
+    # -- process pool --------------------------------------------------------
+    def _context(self):
+        name = self.config.mp_context
+        if not name:
+            name = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        return mp.get_context(name)
+
+    def _spawn_worker(self, ctx, worker_id: int) -> _Worker:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()  # parent must not hold the child's end
+        return _Worker(worker_id, process, parent_conn)
+
+    def _respawn(self, ctx, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+        fresh = self._spawn_worker(ctx, worker.worker_id)
+        worker.process = fresh.process
+        worker.conn = fresh.conn
+        worker.task = None
+        worker.task_seq = -1
+        self.stats.worker_restarts += 1
+
+    def _dispatch(self, worker: _Worker, task: _Task) -> None:
+        fault = self._take_fault(task)
+        self._task_seq += 1
+        worker.conn.send(
+            (self._task_seq, task.index, task.case, self.collect_spans, fault)
+        )
+        worker.task = task
+        worker.task_seq = self._task_seq
+        worker.started_s = time.monotonic()
+
+    def _run_pool(self, tasks: list[_Task], pool_size: int) -> None:
+        ctx = self._context()
+        pending: deque[_Task] = deque(tasks)
+        workers = [self._spawn_worker(ctx, i) for i in range(pool_size)]
+        try:
+            while pending or any(w.task is not None for w in workers):
+                now = time.monotonic()
+
+                if self._breaker.open and pending:
+                    self.stats.circuit_opened = True
+                    while pending:
+                        self._fail_circuit_open(pending.popleft())
+
+                # Dispatch ready tasks onto idle (live) workers.
+                for worker in workers:
+                    if not pending:
+                        break
+                    if worker.task is not None:
+                        continue
+                    if not worker.process.is_alive():
+                        self._respawn(ctx, worker)
+                    ready = self._pop_ready(pending, now)
+                    if ready is None:
+                        break
+                    self._dispatch(worker, ready)
+
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    # Nothing in flight: sleep until the next retry is
+                    # ready (pure-backoff phase).
+                    next_ready = min(t.ready_s for t in pending)
+                    time.sleep(
+                        min(
+                            self.config.poll_interval_s,
+                            max(0.0, next_ready - time.monotonic()),
+                        )
+                    )
+                    continue
+
+                owners = {w.conn: w for w in busy}
+                for conn in _connection_wait(
+                    list(owners), timeout=self.config.poll_interval_s
+                ):
+                    worker = owners.get(conn)
+                    if worker is None or worker.conn is not conn:
+                        continue  # conn was replaced by a respawn
+                    self._drain_worker(ctx, worker, pending)
+
+                self._enforce_timeouts(ctx, workers, pending)
+        finally:
+            self._shutdown(workers)
+
+    @staticmethod
+    def _pop_ready(pending: deque[_Task], now: float) -> _Task | None:
+        """Earliest-index pending task whose backoff delay has elapsed."""
+        ready = [t for t in pending if t.ready_s <= now]
+        if not ready:
+            return None
+        task = min(ready, key=lambda t: t.index)
+        pending.remove(task)
+        return task
+
+    def _drain_worker(self, ctx, worker: _Worker, pending: deque[_Task]) -> None:
+        task = worker.task
+        try:
+            task_seq, result = worker.conn.recv()
+        except (EOFError, OSError):
+            # The worker died mid-case (crash fault, segfault, OOM).
+            dead = worker.process
+            pid = dead.pid or 0
+            self._respawn(ctx, worker)  # joins the dead process
+            exitcode = dead.exitcode
+            if task is None:
+                return
+            worker.task = None
+            if self._fail_attempt(
+                task,
+                FAIL_CRASH,
+                f"WorkerCrash: worker pid {pid} died with exit code "
+                f"{exitcode} during attempt {task.attempt}",
+                "WorkerCrash",
+                worker_pid=pid,
+            ):
+                pending.append(task)
+            return
+        if task is None or task_seq != worker.task_seq:
+            return  # stale result from a superseded dispatch
+        worker.task = None
+        if self._handle_result(task, result):
+            pending.append(task)
+
+    def _enforce_timeouts(
+        self, ctx, workers: list[_Worker], pending: deque[_Task]
+    ) -> None:
+        timeout = self.config.case_timeout_s
+        if timeout is None:
+            return
+        now = time.monotonic()
+        for worker in workers:
+            task = worker.task
+            if task is None or now - worker.started_s <= timeout:
+                continue
+            pid = worker.process.pid or 0
+            _log.warning(
+                "watchdog: killing worker pid %d — case %d (%s) exceeded "
+                "%.3fs on attempt %d",
+                pid,
+                task.index,
+                task.label(),
+                timeout,
+                task.attempt,
+            )
+            self._respawn(ctx, worker)
+            if self._fail_attempt(
+                task,
+                FAIL_TIMEOUT,
+                f"CaseTimeout: case exceeded {timeout}s wall clock on "
+                f"attempt {task.attempt} (worker pid {pid} killed)",
+                "CaseTimeout",
+                elapsed_s=now - worker.started_s,
+                worker_pid=pid,
+            ):
+                pending.append(task)
+
+    def _shutdown(self, workers: list[_Worker]) -> None:
+        for worker in workers:
+            try:
+                if worker.process.is_alive() and worker.task is None:
+                    worker.conn.send(None)
+                elif worker.process.is_alive():
+                    worker.process.kill()
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass

@@ -13,12 +13,16 @@ or :mod:`repro.milp` (those layers import *us*):
   residual violations) attached to every synthesized design;
 - :mod:`repro.robustness.faults` — :class:`FaultPlan`, deterministic
   fault injection (stalls, forced errors/infeasibility, artifact
-  corruption) used by the robustness test suite to prove that every
-  degraded path terminates within its deadline and still validates.
+  corruption, plus worker-level crash/hang/abort faults for the batch
+  supervisor) used by the robustness and chaos test suites to prove
+  that every degraded path terminates within its deadline and still
+  validates.
 """
 
 from repro.robustness.deadline import Deadline
 from repro.robustness.errors import (
+    CaseTimeout,
+    CircuitOpen,
     ConfigurationError,
     DeadlineExceeded,
     FaultInjected,
@@ -27,8 +31,17 @@ from repro.robustness.errors import (
     StageTimeout,
     SynthesisError,
     ValidationFailure,
+    WorkerCrash,
 )
-from repro.robustness.faults import CORRUPTIONS, FaultPlan, StageFault
+from repro.robustness.faults import (
+    CORRUPTIONS,
+    WORKER_CRASH_EXIT,
+    WORKER_FAULT_KINDS,
+    FaultPlan,
+    StageFault,
+    WorkerFault,
+    fire_worker_fault,
+)
 from repro.robustness.report import StageRecord, SynthesisReport
 
 __all__ = [
@@ -41,8 +54,15 @@ __all__ = [
     "DeadlineExceeded",
     "ValidationFailure",
     "FaultInjected",
+    "WorkerCrash",
+    "CaseTimeout",
+    "CircuitOpen",
     "FaultPlan",
     "StageFault",
+    "WorkerFault",
+    "WORKER_CRASH_EXIT",
+    "WORKER_FAULT_KINDS",
+    "fire_worker_fault",
     "CORRUPTIONS",
     "StageRecord",
     "SynthesisReport",

@@ -100,3 +100,41 @@ class FaultInjected(StageFailure):
     def __init__(self, message: str, **kwargs: Any) -> None:
         kwargs.setdefault("cause", "injected")
         super().__init__(message, **kwargs)
+
+
+class WorkerCrash(SynthesisError):
+    """A batch worker process died mid-case (crash, OOM kill, abort).
+
+    Raised parent-side by the supervisor; ``context`` carries the
+    worker pid and exit code when known.
+    """
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("stage", "batch")
+        kwargs.setdefault("cause", "worker_crash")
+        super().__init__(message, **kwargs)
+
+
+class CaseTimeout(StageTimeout):
+    """A batch case exceeded its per-case wall-clock budget.
+
+    The supervisor's watchdog killed (and respawned) the worker that
+    was running it; the case itself is retried per policy.
+    """
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("stage", "batch")
+        super().__init__(message, **kwargs)
+
+
+class CircuitOpen(SynthesisError):
+    """The batch circuit breaker tripped: recent cases fail systemically.
+
+    Remaining cases fail fast instead of burning the full retry budget
+    against what is most likely a broken backend or environment.
+    """
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        kwargs.setdefault("stage", "batch")
+        kwargs.setdefault("cause", "circuit_open")
+        super().__init__(message, **kwargs)

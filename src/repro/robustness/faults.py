@@ -38,6 +38,46 @@ class StageFault:
     message: str = ""
 
 
+#: Exit code a crash-faulted worker dies with (recognizable in logs).
+WORKER_CRASH_EXIT = 87
+
+#: Worker fault kinds understood by :func:`fire_worker_fault`.
+WORKER_FAULT_KINDS = ("crash", "hang", "abort")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scripted worker-process fault, keyed by case label + attempt.
+
+    ``crash`` hard-exits the worker (``os._exit``), ``abort`` SIGKILLs
+    it (an OOM-killer stand-in), ``hang`` sleeps ``seconds`` so the
+    supervisor's watchdog has something to kill.  The supervisor pops
+    the fault at dispatch time (one-shot, parent-side) and ships it to
+    the worker with the task, so a retry of the same case runs clean.
+    """
+
+    kind: str  # "crash" | "hang" | "abort"
+    case: str  # BatchCase label the fault targets
+    attempt: int = 1
+    seconds: float = 3600.0
+
+
+def fire_worker_fault(fault: WorkerFault) -> None:
+    """Execute ``fault`` inside the current (worker) process."""
+    import os
+    import signal
+    import time
+
+    if fault.kind == "crash":
+        os._exit(WORKER_CRASH_EXIT)
+    elif fault.kind == "abort":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault.kind == "hang":
+        time.sleep(fault.seconds)
+    else:  # pragma: no cover - builders validate kinds
+        raise ValueError(f"unknown worker fault kind {fault.kind!r}")
+
+
 def _corrupt_shift_position(tour: Any) -> Any:
     """Shift one node's ring coordinate, breaking the arc-sum invariant."""
     node = tour.order[-1]
@@ -88,6 +128,7 @@ class FaultPlan:
     """
 
     faults: list[StageFault] = field(default_factory=list)
+    worker_faults: list[WorkerFault] = field(default_factory=list)
 
     # -- builders ------------------------------------------------------------
     def stall(self, stage: str, seconds: float) -> "FaultPlan":
@@ -124,6 +165,23 @@ class FaultPlan:
         self.faults.append(StageFault(stage, "corrupt", corruption=corruption))
         return self
 
+    def worker_crash(self, case: str, attempt: int = 1) -> "FaultPlan":
+        """Hard-exit the worker running ``case`` on its Nth ``attempt``."""
+        self.worker_faults.append(WorkerFault("crash", case, attempt))
+        return self
+
+    def worker_abort(self, case: str, attempt: int = 1) -> "FaultPlan":
+        """SIGKILL the worker running ``case`` (OOM-killer stand-in)."""
+        self.worker_faults.append(WorkerFault("abort", case, attempt))
+        return self
+
+    def worker_hang(
+        self, case: str, seconds: float = 3600.0, attempt: int = 1
+    ) -> "FaultPlan":
+        """Make the worker running ``case`` sleep ``seconds`` mid-case."""
+        self.worker_faults.append(WorkerFault("hang", case, attempt, seconds))
+        return self
+
     # -- consumption ---------------------------------------------------------
     def _take(self, stage: str, kind: str) -> list[StageFault]:
         hits = [f for f in self.faults if f.stage == stage and f.kind == kind]
@@ -143,7 +201,20 @@ class FaultPlan:
             artifact = CORRUPTIONS[fault.corruption](artifact)
         return artifact
 
+    def take_worker_fault(self, case: str, attempt: int) -> WorkerFault | None:
+        """Pop the worker fault scheduled for (``case``, ``attempt``).
+
+        Consumed parent-side by the supervisor at dispatch time, so
+        the one-shot guarantee holds even though the fault itself
+        fires in a different process.
+        """
+        for fault in self.worker_faults:
+            if fault.case == case and fault.attempt == attempt:
+                self.worker_faults.remove(fault)
+                return fault
+        return None
+
     @property
     def exhausted(self) -> bool:
         """True once every scripted fault has fired."""
-        return not self.faults
+        return not self.faults and not self.worker_faults

@@ -97,10 +97,13 @@ def test_golden_design(name, update_golden):
     fixture = GOLDEN_DIR / f"{name}.json"
 
     if update_golden:
+        from repro.obs import atomic_write_text
+
         GOLDEN_DIR.mkdir(exist_ok=True)
-        fixture.write_text(
-            json.dumps(current, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        # Atomic: an interrupted --update-golden run never leaves a
+        # half-written fixture that silently fails future compares.
+        atomic_write_text(
+            fixture, json.dumps(current, indent=2, sort_keys=True) + "\n"
         )
         return
 
