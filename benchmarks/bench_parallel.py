@@ -5,8 +5,9 @@ Measures the three perf levers of :mod:`repro.parallel` on the scaling
 study and the ablation sweep:
 
 - **parallel fan-out** — the scaling study cold with ``workers=1`` vs
-  ``workers=N`` (honest on a 1-CPU container: the JSON records
-  ``cpu_count`` so a <1 "speedup" there is self-explaining);
+  ``workers=N`` (honest on a 1-CPU container: ``speedup_parallel`` is
+  ``null`` with an explanatory note there, because a pool cannot speed
+  up a single CPU — the ratio would only measure IPC overhead);
 - **warm synthesis cache** — the same study re-run with tour caching
   enabled after a priming pass, so Step-1 solves are served from the
   cache;
@@ -47,6 +48,27 @@ def _timed(fn, *args, **kwargs):
     return result, time.perf_counter() - start
 
 
+def parallel_speedup(
+    t_cold: float, t_parallel: float, cpu_count: int | None
+) -> tuple[float | None, str]:
+    """Honest parallel-speedup figure: ``(speedup, note)``.
+
+    On a single-CPU host a "parallel" pool only adds IPC overhead, so
+    the cold/parallel ratio measures the overhead, not a speedup —
+    report ``None`` with an explanatory note instead of a misleading
+    sub-1 figure.
+    """
+    if cpu_count is None or cpu_count <= 1:
+        return None, (
+            f"n/a (cpu_count={cpu_count}): parallel fan-out cannot speed "
+            "up a single-CPU host; the parallel phase measures pool "
+            "overhead only"
+        )
+    if t_parallel <= 0:
+        return None, "n/a (parallel phase too fast to time)"
+    return round(t_cold / t_parallel, 3), ""
+
+
 def bench_scaling(sizes: tuple[int, ...], workers: int) -> dict:
     """Cold sequential vs parallel vs warm-cache runs of the study."""
     cache = get_cache()
@@ -74,7 +96,10 @@ def bench_scaling(sizes: tuple[int, ...], workers: int) -> dict:
     finally:
         cache.enable_result_caching(was_enabled)
 
-    return {
+    speedup, speedup_note = parallel_speedup(t_cold, t_parallel, os.cpu_count())
+    if speedup is None:
+        print(f"bench_parallel: warning: speedup_parallel {speedup_note}", file=sys.stderr)
+    result = {
         "sizes": list(sizes),
         "methods": list(METHODS),
         "workers": workers,
@@ -83,7 +108,7 @@ def bench_scaling(sizes: tuple[int, ...], workers: int) -> dict:
             f"parallel_workers{workers}": round(t_parallel, 4),
             "warm_cache_workers1": round(t_warm, 4),
         },
-        "speedup_parallel": round(t_cold / t_parallel, 3),
+        "speedup_parallel": speedup,
         "speedup_warm_cache": round(t_cold / t_warm, 3),
         "warm_cache_stats": warm_stats,
         "rows": [
@@ -96,6 +121,9 @@ def bench_scaling(sizes: tuple[int, ...], workers: int) -> dict:
             for r in rows
         ],
     }
+    if speedup_note:
+        result["speedup_parallel_note"] = speedup_note
+    return result
 
 
 def bench_ablation(num_nodes: int) -> dict:
@@ -151,6 +179,12 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_parallel.json",
         help="output path (default: BENCH_parallel.json)",
     )
+    parser.add_argument(
+        "--history-dir",
+        default="",
+        help="append a kind='bench' run record to the ledger in this "
+        "directory (consumed by 'xring regress' / 'xring report')",
+    )
     args = parser.parse_args(argv)
 
     sizes = QUICK_SIZES if args.quick else FULL_SIZES
@@ -171,15 +205,45 @@ def main(argv: list[str] | None = None) -> int:
     # baseline for later runs to diff against.
     atomic_write_text(args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
+    if args.history_dir:
+        from repro.obs import RunLedger, RunRecord, stage_latency_from_elapsed
+
+        scaling = payload["scaling"]
+        clocks = scaling["wall_clock_s"]
+        record = RunRecord.build(
+            "bench",
+            "bench_parallel-quick" if args.quick else "bench_parallel",
+            wall_s=sum(clocks.values())
+            + payload["ablation_sweep"]["wall_clock_s"]
+            + payload["stages"]["total_s"],
+            stage_latency=stage_latency_from_elapsed(
+                payload["stages"]["stage_elapsed_s"]
+            ),
+            cache=payload["ablation_sweep"]["cache_stats"],
+            extra={
+                "phase_wall_clock_s": dict(clocks),
+                "speedup_parallel": scaling["speedup_parallel"],
+                "speedup_warm_cache": scaling["speedup_warm_cache"],
+                "conflicts_hit_rate": payload["ablation_sweep"][
+                    "conflicts_hit_rate"
+                ],
+            },
+        )
+        ledger = RunLedger(args.history_dir)
+        ledger.append(record)
+        print(f"history recorded: {record.run_id} -> {ledger.path}", file=sys.stderr)
+
     scaling = payload["scaling"]
     clocks = scaling["wall_clock_s"]
+    speedup = scaling["speedup_parallel"]
+    speedup_text = "n/a" if speedup is None else f"{speedup}x"
     print(f"wrote {args.out}")
     print(
         f"  scaling: cold={clocks['cold_workers1']}s"
         f" parallel(x{scaling['workers']})="
         f"{clocks['parallel_workers%d' % scaling['workers']]}s"
         f" warm={clocks['warm_cache_workers1']}s"
-        f" | speedup parallel={scaling['speedup_parallel']}x"
+        f" | speedup parallel={speedup_text}"
         f" warm-cache={scaling['speedup_warm_cache']}x"
     )
     ablation = payload["ablation_sweep"]

@@ -8,17 +8,25 @@ Subcommands:
 - ``ablation`` — the shortcut/opening feature matrix;
 - ``sweep`` — power/SNR versus the wavelength budget;
 - ``scale`` — the MILP-vs-heuristic scaling study beyond 32 nodes;
-- ``batch`` — run a JSON case file through the batch-synthesis engine.
+- ``batch`` — run a JSON case file through the batch-synthesis engine
+  (``--progress`` streams per-case JSONL events to stderr);
+- ``regress`` — compare recent ledger runs against a baseline and exit
+  nonzero on a perf/quality regression;
+- ``report`` — render ledger entries as a markdown/HTML report.
 
 Every experiment subcommand takes ``--workers N`` to fan synthesis out
 over a process pool (results are input-ordered and identical to
-``--workers 1``).
+``--workers 1``), and ``--history-dir DIR`` to append a run record to
+the cross-run ledger (``.xring_history/`` by convention).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 
 from repro.analysis import evaluate_circuit
 from repro.core import SynthesisOptions, XRingSynthesizer
@@ -31,12 +39,29 @@ from repro.obs import (
     MetricsRegistry,
     ObsContext,
     RunArtifacts,
+    RunLedger,
+    RunRecord,
     Tracer,
     configure_logging,
+    quality_from_evaluation,
+    to_openmetrics,
     use_obs,
 )
 from repro.photonics import NIKDAST_CROSSTALK, ORING_LOSSES
 from repro.robustness import SynthesisError
+
+#: ``command -> ledger kind`` for run-history recording (commands not
+#: listed — regress/report — never record themselves).
+_HISTORY_KINDS = {
+    "synth": "synth",
+    "batch": "batch",
+    "table1": "experiment",
+    "table2": "experiment",
+    "table3": "experiment",
+    "ablation": "experiment",
+    "sweep": "experiment",
+    "scale": "experiment",
+}
 
 
 def _make_network(num_nodes: int, placement_file: str = "") -> Network:
@@ -90,6 +115,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     evaluation = evaluate_circuit(
         circuit, ORING_LOSSES, NIKDAST_CROSSTALK, with_power=not args.no_pdn
     )
+    args._history = {
+        "label": f"synth-n{network.size}",
+        "options": options,
+        "quality": quality_from_evaluation(evaluation),
+        "wall_s": design.synthesis_time_s,
+    }
     snr = "-" if evaluation.snr_worst_db is None else f"{evaluation.snr_worst_db:.1f} dB"
     print(f"XRing synthesis for {network.size} nodes")
     print(f"  ring length      : {design.tour.length_mm:.1f} mm")
@@ -218,8 +249,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     cancels pending work, flushes the journal and the partial report,
     and exits 130 with a resume hint.  ``--resume <journal>`` skips
     the checkpointed cases and completes the rest.
+
+    ``--progress`` streams the live supervisor event feed (case
+    started / retried / quarantined / done, periodic heartbeats) to
+    stderr as one JSON object per line, for tailing long batches.
     """
-    import json
     import signal
     import threading
 
@@ -242,12 +276,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             )
         )
     journal_path = args.resume or args.journal
+    on_event = None
+    if args.progress:
+
+        def on_event(event: dict) -> None:
+            print(json.dumps(event, sort_keys=True), file=sys.stderr, flush=True)
+
     config = SupervisorConfig(
         max_attempts=max(1, args.retries + 1),
         case_timeout_s=args.case_timeout,
+        heartbeat_interval_s=1.0 if args.progress else 0.0,
     )
     synthesizer = BatchSynthesizer(
-        workers=args.workers, on_error="collect", config=config
+        workers=args.workers, on_error="collect", config=config, on_event=on_event
     )
 
     def _sigterm(signum, frame):  # graceful: same path as Ctrl-C
@@ -274,6 +315,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if previous_handler is not None:
             signal.signal(signal.SIGTERM, previous_handler)
 
+    args._history = {
+        "label": f"batch-{os.path.basename(args.cases)}",
+        "supervisor": report.supervisor,
+        "cache": report.cache_stats,
+        "wall_s": report.total_elapsed_s,
+        "extra": {
+            "cases": len(report.results),
+            "failures": len(report.errors),
+            "quarantined": len(report.quarantined),
+            "workers": report.workers,
+        },
+    }
     for result in report.results:
         if result.ok:
             status = "ok"
@@ -329,6 +382,150 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return min(len(report.errors), 125)
 
 
+def _load_baseline_file(path: str) -> list:
+    """Load baseline records from a standalone JSONL file.
+
+    The file holds one :class:`RunRecord` JSON object per line — the
+    shape a committed CI baseline (``benchmarks/perf_baseline.jsonl``)
+    uses, identical to ledger lines.
+    """
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                records.append(RunRecord.from_dict(json.loads(line)))
+    return records
+
+
+def _ledger_from_args(args: argparse.Namespace):
+    from repro.obs.history import LEDGER_DIRNAME
+
+    return RunLedger(args.history_dir or LEDGER_DIRNAME)
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    """Compare recent ledger runs against a baseline; exit 1 on regression.
+
+    Candidate = the ``--median-of`` most recent matching ledger
+    entries.  Baseline = ``--baseline <run-id>`` (prefix ok),
+    ``--baseline-file <jsonl>`` (a committed baseline), or — by
+    default — the ``--median-of`` entries immediately preceding the
+    candidate group.  Exit codes: 0 ok, 1 regression, 2 usage/data
+    error.
+    """
+    from repro.obs import (
+        RegressionThresholds,
+        atomic_write_text,
+        compare_runs,
+        render_markdown,
+    )
+
+    ledger = _ledger_from_args(args)
+    kind = args.kind or None
+    label = args.label or None
+    entries = ledger.entries(kind=kind, label=label)
+    k = max(1, args.median_of)
+    candidate = entries[-k:]
+    if not candidate:
+        print(f"xring regress: no matching runs in {ledger.path}", file=sys.stderr)
+        return 2
+    if args.baseline:
+        try:
+            record = ledger.get(args.baseline)
+        except ValueError as exc:
+            print(f"xring regress: {exc}", file=sys.stderr)
+            return 2
+        if record is None:
+            print(
+                f"xring regress: no run matching {args.baseline!r} in {ledger.path}",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = [record]
+    elif args.baseline_file:
+        try:
+            baseline = _load_baseline_file(args.baseline_file)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"xring regress: bad baseline file: {exc}", file=sys.stderr)
+            return 2
+    else:
+        baseline = entries[-2 * k : -k]
+    if not baseline:
+        print(
+            "xring regress: no baseline runs (need an earlier ledger entry, "
+            "--baseline or --baseline-file)",
+            file=sys.stderr,
+        )
+        return 2
+    thresholds = RegressionThresholds(
+        latency_rel=args.latency_rel,
+        min_latency_s=args.min_latency,
+        quality_abs=args.quality_abs,
+        counter_rel=args.counter_rel,
+    )
+    verdict = compare_runs(baseline, candidate, thresholds)
+    print(render_markdown(verdict), end="")
+    for warning in verdict.warnings:
+        print(f"xring regress: warning: {warning}", file=sys.stderr)
+    if args.out:
+        atomic_write_text(args.out, verdict.to_json())
+        print(f"verdict written: {args.out}", file=sys.stderr)
+    print(verdict.summary(), file=sys.stderr)
+    return 1 if verdict.regressed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render ledger entries as a markdown/HTML report.
+
+    Default: the trend over the last ``--last`` runs.  With
+    ``--compare BASE CAND`` (run ids, prefixes ok) the report leads
+    with a regression verdict between the two runs.
+    """
+    from repro.obs import (
+        atomic_write_text,
+        compare_runs,
+        render_html,
+        render_markdown,
+        render_trend_markdown,
+    )
+
+    ledger = _ledger_from_args(args)
+    kind = args.kind or None
+    label = args.label or None
+    records = ledger.last(args.last, kind=kind, label=label)
+    if not records:
+        print(f"xring report: no matching runs in {ledger.path}", file=sys.stderr)
+        return 2
+    verdict = None
+    if args.compare:
+        try:
+            sides = [ledger.get(run_id) for run_id in args.compare]
+        except ValueError as exc:
+            print(f"xring report: {exc}", file=sys.stderr)
+            return 2
+        missing = [rid for rid, rec in zip(args.compare, sides) if rec is None]
+        if missing:
+            print(
+                f"xring report: no run matching {missing[0]!r} in {ledger.path}",
+                file=sys.stderr,
+            )
+            return 2
+        verdict = compare_runs([sides[0]], [sides[1]])
+    if args.format == "html":
+        text = render_html(verdict=verdict, records=records)
+    else:
+        text = ""
+        if verdict is not None:
+            text += render_markdown(verdict) + "\n"
+        text += render_trend_markdown(records)
+    if args.out:
+        atomic_write_text(args.out, text)
+        print(f"report written: {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -355,7 +552,23 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--metrics",
         action="store_true",
-        help="print the solver-metrics snapshot as JSON on exit",
+        help="print the solver-metrics snapshot on exit (see --metrics-format)",
+    )
+    obs.add_argument(
+        "--metrics-format",
+        choices=["json", "openmetrics"],
+        default="json",
+        help="exposition format for --metrics: json (default) or the "
+        "OpenMetrics text format (Prometheus-scrapable)",
+    )
+    obs.add_argument(
+        "--history-dir",
+        type=str,
+        default="",
+        help="append a run record (env fingerprint, stage latency "
+        "percentiles, solver counters, design quality) to the ledger "
+        "in this directory (.xring_history by convention); consumed "
+        "by 'xring regress' and 'xring report'",
     )
 
     # Batch-engine flag shared by every experiment subcommand.
@@ -497,7 +710,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint journal: restore finished cases "
         "verbatim and run only the remainder (implies --journal <path>)",
     )
+    batch.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream live progress events (case start/retry/quarantine/"
+        "done + 1s heartbeats) to stderr as one JSON object per line",
+    )
     batch.set_defaults(func=_cmd_batch)
+
+    regress = sub.add_parser(
+        "regress",
+        help="compare recent ledger runs against a baseline; "
+        "exit 1 on a perf/quality regression",
+        parents=[obs],
+    )
+    regress.add_argument(
+        "--baseline",
+        type=str,
+        default="",
+        help="baseline run id from the ledger (unique prefix accepted); "
+        "default: the runs immediately preceding the candidate group",
+    )
+    regress.add_argument(
+        "--baseline-file",
+        type=str,
+        default="",
+        help="baseline records from a standalone JSONL file (one run "
+        "record per line, e.g. a committed CI baseline)",
+    )
+    regress.add_argument(
+        "--median-of",
+        type=int,
+        default=1,
+        help="compare the median over the K most recent runs on each "
+        "side (noise suppression; default 1)",
+    )
+    regress.add_argument("--kind", type=str, default="", help="filter runs by kind")
+    regress.add_argument("--label", type=str, default="", help="filter runs by label")
+    regress.add_argument(
+        "--latency-rel",
+        type=float,
+        default=0.25,
+        help="allowed relative slowdown before a latency metric "
+        "regresses (0.25 = +25%%)",
+    )
+    regress.add_argument(
+        "--min-latency",
+        type=float,
+        default=0.01,
+        help="absolute floor in seconds below which latency deltas "
+        "are treated as noise",
+    )
+    regress.add_argument(
+        "--quality-abs",
+        type=float,
+        default=0.05,
+        help="allowed absolute worsening of a design-quality metric",
+    )
+    regress.add_argument(
+        "--counter-rel",
+        type=float,
+        default=None,
+        help="flag solver-counter growth beyond this fraction "
+        "(default: counters are informational only)",
+    )
+    regress.add_argument(
+        "--out", type=str, default="", help="write the verdict JSON artifact here"
+    )
+    regress.set_defaults(func=_cmd_regress)
+
+    report = sub.add_parser(
+        "report",
+        help="render ledger entries as a markdown/HTML report",
+        parents=[obs],
+    )
+    report.add_argument(
+        "--last", type=int, default=10, help="how many recent runs to include"
+    )
+    report.add_argument("--kind", type=str, default="", help="filter runs by kind")
+    report.add_argument("--label", type=str, default="", help="filter runs by label")
+    report.add_argument(
+        "--compare",
+        type=str,
+        nargs=2,
+        metavar=("BASELINE", "CANDIDATE"),
+        default=None,
+        help="lead the report with a regression verdict between these "
+        "two run ids (unique prefixes accepted)",
+    )
+    report.add_argument(
+        "--format", choices=["md", "html"], default="md", help="output format"
+    )
+    report.add_argument(
+        "--out", type=str, default="", help="write the report here (default stdout)"
+    )
+    report.set_defaults(func=_cmd_report)
     return parser
 
 
@@ -510,20 +817,37 @@ def main(argv: list[str] | None = None) -> int:
 
     ``--trace-dir`` turns tracing on and drops ``trace.jsonl`` (one
     span per line), ``trace.json`` (Chrome ``trace_event`` — load in
-    about:tracing or https://ui.perfetto.dev), and ``metrics.json``
-    into the directory; artifacts are written even when the run fails,
-    so a timed-out synthesis still leaves its partial trace behind.
+    about:tracing or https://ui.perfetto.dev), ``metrics.json`` and
+    ``metrics.om`` (OpenMetrics) into the directory; artifacts are
+    written even when the run fails, so a timed-out synthesis still
+    leaves its partial trace behind.
+
+    ``--history-dir`` appends a :class:`~repro.obs.history.RunRecord`
+    to the cross-run ledger once the command completes (forcing a real
+    metrics registry so stage-latency histograms exist).
     """
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(getattr(args, "log_level", "WARNING"))
     trace_dir = getattr(args, "trace_dir", "")
-    want_metrics = bool(getattr(args, "metrics", False)) or bool(trace_dir)
+    history_dir = getattr(args, "history_dir", "")
+    history_kind = _HISTORY_KINDS.get(args.command) if history_dir else None
+    want_metrics = (
+        bool(getattr(args, "metrics", False))
+        or bool(trace_dir)
+        or history_kind is not None
+    )
     tracer = Tracer() if trace_dir else NULL_TRACER
     registry = MetricsRegistry() if want_metrics else NULL_METRICS
+    started = time.monotonic()
     try:
         with use_obs(ObsContext(tracer=tracer, metrics=registry)):
-            return args.func(args)
+            exit_code = args.func(args)
+        if history_kind is not None:
+            _record_history(
+                args, history_kind, registry, time.monotonic() - started
+            )
+        return exit_code
     except SynthesisError as exc:
         print(f"xring: error: {exc}", file=sys.stderr)
         return 2
@@ -533,7 +857,39 @@ def main(argv: list[str] | None = None) -> int:
             for path in paths:
                 print(f"artifact written: {path}", file=sys.stderr)
         if getattr(args, "metrics", False):
-            print(registry.to_json())
+            if getattr(args, "metrics_format", "json") == "openmetrics":
+                print(to_openmetrics(registry.snapshot()), end="")
+            else:
+                print(registry.to_json())
+
+
+def _record_history(
+    args: argparse.Namespace,
+    kind: str,
+    registry: MetricsRegistry,
+    wall_s: float,
+) -> None:
+    """Append this invocation's run record to the ``--history-dir`` ledger.
+
+    Commands deposit run-specific extras (label, options, quality,
+    supervisor/cache stats) in ``args._history``; everything else is
+    derived from the metrics registry snapshot.
+    """
+    extras = getattr(args, "_history", None) or {}
+    record = RunRecord.build(
+        kind,
+        extras.get("label", args.command),
+        metrics=registry.snapshot(),
+        options=extras.get("options"),
+        wall_s=extras.get("wall_s", wall_s),
+        quality=extras.get("quality"),
+        supervisor=extras.get("supervisor"),
+        cache=extras.get("cache"),
+        extra=extras.get("extra"),
+    )
+    ledger = RunLedger(args.history_dir)
+    ledger.append(record)
+    print(f"history recorded: {record.run_id} -> {ledger.path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,6 +42,7 @@ from repro.core.shortcuts import ShortcutPlan, select_shortcuts
 from repro.core.validate import validate_design
 from repro.network import Network
 from repro.obs import (
+    LATENCY_BUCKETS,
     MetricsRegistry,
     ObsContext,
     get_logger,
@@ -227,11 +228,20 @@ class XRingSynthesizer:
 
     @staticmethod
     def _flush_deadline_gauges(deadline: Deadline, registry) -> None:
-        """Per-stage deadline-consumption gauges for the run registry."""
+        """Per-stage deadline-consumption gauges for the run registry.
+
+        Each stage latency is also observed into a
+        ``stage.<name>.latency_s`` histogram: one sample per run, but
+        batch merges accumulate them across cases, which is where the
+        run-history ledger's per-stage percentiles come from.
+        """
         if not registry.enabled:
             return
         for stage, elapsed in deadline.stage_elapsed_s.items():
             registry.gauge(f"deadline.{stage}.elapsed_s").set(elapsed)
+            registry.histogram(
+                f"stage.{stage}.latency_s", LATENCY_BUCKETS
+            ).observe(elapsed)
         registry.gauge("deadline.elapsed_s").set(deadline.elapsed())
         if deadline.budget_s is not None:
             registry.gauge("deadline.budget_s").set(deadline.budget_s)

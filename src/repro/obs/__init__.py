@@ -26,15 +26,34 @@ single ``enabled`` attribute.
 
 from repro.obs.artifacts import RunArtifacts, atomic_write_text
 from repro.obs.context import NULL_OBS, ObsContext, get_obs, use_obs
+from repro.obs.history import (
+    LEDGER_DIRNAME,
+    RunLedger,
+    RunRecord,
+    environment_fingerprint,
+    options_fingerprint,
+    quality_from_evaluation,
+    stage_latency_from_elapsed,
+)
 from repro.obs.logsetup import LOG_LEVELS, configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
     NULL_METRICS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetrics,
+)
+from repro.obs.openmetrics import sanitize_metric_name, to_openmetrics
+from repro.obs.regress import (
+    RegressionThresholds,
+    RegressionVerdict,
+    compare_runs,
+    render_html,
+    render_markdown,
+    render_trend_markdown,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, walk_tree
 
@@ -51,6 +70,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "LEDGER_DIRNAME",
+    "RunLedger",
+    "RunRecord",
+    "environment_fingerprint",
+    "options_fingerprint",
+    "quality_from_evaluation",
+    "stage_latency_from_elapsed",
+    "RegressionThresholds",
+    "RegressionVerdict",
+    "compare_runs",
+    "render_html",
+    "render_markdown",
+    "render_trend_markdown",
+    "sanitize_metric_name",
+    "to_openmetrics",
     "ObsContext",
     "NULL_OBS",
     "get_obs",

@@ -8,6 +8,8 @@ into a directory:
   loadable directly in ``about:tracing`` or https://ui.perfetto.dev;
 - ``metrics.json`` — the metrics-registry snapshot (counters, gauges,
   histograms with percentiles);
+- ``metrics.om`` — the same snapshot as an OpenMetrics text
+  exposition, scrapeable by a Prometheus textfile collector;
 - ``report.json`` — the :class:`~repro.robustness.report.SynthesisReport`
   provenance dump, when a report is supplied.
 
@@ -28,6 +30,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import to_openmetrics
 from repro.obs.trace import NullTracer, Tracer
 
 
@@ -55,6 +58,7 @@ class RunArtifacts:
     TRACE_JSONL = "trace.jsonl"
     TRACE_CHROME = "trace.json"
     METRICS = "metrics.json"
+    METRICS_OPENMETRICS = "metrics.om"
     REPORT = "report.json"
 
     def __init__(self, directory: str | Path) -> None:
@@ -89,6 +93,12 @@ class RunArtifacts:
         if metrics is not None:
             written.append(
                 atomic_write_text(self.directory / self.METRICS, metrics.to_json())
+            )
+            written.append(
+                atomic_write_text(
+                    self.directory / self.METRICS_OPENMETRICS,
+                    to_openmetrics(metrics.snapshot()),
+                )
             )
         if report is not None:
             payload = report.to_dict() if hasattr(report, "to_dict") else report

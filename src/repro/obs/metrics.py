@@ -31,6 +31,29 @@ from typing import Any, Iterable
 #: Default histogram bucket upper edges (counts, depths, occupancies).
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0)
 
+#: Bucket edges for wall-clock latencies in seconds (sub-millisecond
+#: through multi-minute); used by the ``stage.<name>.latency_s``
+#: histograms the run-history ledger draws its percentiles from.
+LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
+
 
 class Counter:
     """A monotonically increasing integer metric."""

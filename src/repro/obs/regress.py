@@ -1,0 +1,464 @@
+"""Noise-aware cross-run regression verdicts and reports.
+
+:func:`compare_runs` diffs two groups of ledger records (baseline vs
+candidate) and produces a :class:`RegressionVerdict`:
+
+- **latency metrics** (total wall clock, per-stage p50) compare
+  *median-of-k*: each side's metric is the median over its records, so
+  one noisy run cannot flip a verdict.  A latency regression needs
+  both a relative excess (``latency_rel``, default +25%) *and* an
+  absolute excess (``min_latency_s``) — sub-threshold stages jitter by
+  factors without meaning;
+- **quality metrics** (wavelength count, worst-case insertion loss,
+  worst-case SNR, noisy signals, laser power) compare absolutely with
+  direction awareness: ``il_w`` going *up* by more than
+  ``quality_abs`` is a regression, ``snr_worst_db`` going *down* is;
+- **solver counters** (pivots, B&B nodes) are informational unless
+  ``counter_rel`` is set.
+
+The verdict serializes to a JSON artifact (``xring regress --out``)
+and renders as markdown or a self-contained HTML report
+(``xring report``); ``verdict.regressed`` drives the CLI's nonzero
+exit code.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.history import RunRecord
+
+#: Finding statuses.
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVEMENT = "improvement"
+STATUS_INFO = "info"
+
+#: Quality metrics and their direction: +1 means higher is worse.
+QUALITY_DIRECTIONS = {
+    "wl_count": +1,
+    "il_w": +1,
+    "worst_length_mm": +1,
+    "worst_crossings": +1,
+    "power_w": +1,
+    "noisy_signals": +1,
+    "snr_worst_db": -1,
+    "noise_free_fraction": -1,
+}
+
+
+@dataclass(frozen=True)
+class RegressionThresholds:
+    """What counts as a regression (all bounds are inclusive-safe).
+
+    ``latency_rel`` is the allowed relative slowdown (0.25 = +25%);
+    ``min_latency_s`` is the absolute floor below which latency deltas
+    are noise; ``quality_abs`` is the allowed absolute worsening of a
+    quality metric; ``counter_rel`` (when set) flags solver-counter
+    growth beyond the given fraction instead of reporting it as info.
+    """
+
+    latency_rel: float = 0.25
+    min_latency_s: float = 0.01
+    quality_abs: float = 0.05
+    counter_rel: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "latency_rel": self.latency_rel,
+            "min_latency_s": self.min_latency_s,
+            "quality_abs": self.quality_abs,
+            "counter_rel": self.counter_rel,
+        }
+
+
+@dataclass
+class Finding:
+    """One compared metric."""
+
+    metric: str
+    category: str  # "latency" | "quality" | "counter"
+    baseline: float
+    candidate: float
+    status: str = STATUS_OK
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def delta_rel(self) -> float | None:
+        if self.baseline == 0:
+            return None
+        return self.delta / abs(self.baseline)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "category": self.category,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "delta_rel": self.delta_rel,
+            "status": self.status,
+        }
+
+
+@dataclass
+class RegressionVerdict:
+    """The full comparison outcome (the ``xring regress`` artifact)."""
+
+    baseline_runs: list[str]
+    candidate_runs: list[str]
+    thresholds: RegressionThresholds
+    findings: list[Finding] = field(default_factory=list)
+    #: Non-fatal caveats (environment drift, options-hash mismatch).
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == STATUS_REGRESSION]
+
+    @property
+    def improvements(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == STATUS_IMPROVEMENT]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    def summary(self) -> str:
+        if self.regressed:
+            worst = ", ".join(f.metric for f in self.regressions[:4])
+            more = len(self.regressions) - 4
+            suffix = f" (+{more} more)" if more > 0 else ""
+            return f"REGRESSION: {worst}{suffix}"
+        return (
+            f"ok: {len(self.findings)} metrics compared, "
+            f"{len(self.improvements)} improved"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "regressed": self.regressed,
+            "summary": self.summary(),
+            "baseline_runs": list(self.baseline_runs),
+            "candidate_runs": list(self.candidate_runs),
+            "thresholds": self.thresholds.to_dict(),
+            "warnings": list(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2) + "\n"
+
+
+def _median(values: Iterable[float]) -> float | None:
+    finite = [float(v) for v in values if v is not None]
+    if not finite:
+        return None
+    return statistics.median(finite)
+
+
+def _latency_metrics(records: list[RunRecord]) -> dict[str, float]:
+    """``metric -> median`` over the group's latency figures."""
+    per_metric: dict[str, list[float]] = {}
+    for record in records:
+        per_metric.setdefault("wall_s", []).append(record.wall_s)
+        for stage, stats in record.stage_latency.items():
+            value = stats.get("p50")
+            if value is not None:
+                per_metric.setdefault(f"stage.{stage}.p50_s", []).append(value)
+    return {
+        name: median
+        for name, values in per_metric.items()
+        if (median := _median(values)) is not None
+    }
+
+
+def _quality_metrics(records: list[RunRecord]) -> dict[str, float]:
+    per_metric: dict[str, list[float]] = {}
+    for record in records:
+        for name, value in record.quality.items():
+            if name in QUALITY_DIRECTIONS and value is not None:
+                per_metric.setdefault(name, []).append(value)
+    return {
+        name: median
+        for name, values in per_metric.items()
+        if (median := _median(values)) is not None
+    }
+
+
+def _counter_metrics(records: list[RunRecord]) -> dict[str, float]:
+    per_metric: dict[str, list[float]] = {}
+    for record in records:
+        for name, value in record.solver.items():
+            per_metric.setdefault(name, []).append(value)
+    return {
+        name: median
+        for name, values in per_metric.items()
+        if (median := _median(values)) is not None
+    }
+
+
+def compare_runs(
+    baseline: list[RunRecord],
+    candidate: list[RunRecord],
+    thresholds: RegressionThresholds | None = None,
+) -> RegressionVerdict:
+    """Diff candidate records against baseline records.
+
+    Each side is reduced metric-by-metric to its median (median-of-k);
+    metrics present on only one side are skipped.  Environment or
+    options-hash drift between the sides lands in
+    :attr:`RegressionVerdict.warnings` rather than blocking the
+    comparison — cross-host ledgers are still comparable, just
+    explicitly so.
+    """
+    if not baseline or not candidate:
+        raise ValueError(
+            f"compare_runs needs records on both sides "
+            f"(baseline={len(baseline)}, candidate={len(candidate)})"
+        )
+    thresholds = thresholds or RegressionThresholds()
+    verdict = RegressionVerdict(
+        baseline_runs=[r.run_id for r in baseline],
+        candidate_runs=[r.run_id for r in candidate],
+        thresholds=thresholds,
+    )
+
+    base_envs = {json.dumps(r.env, sort_keys=True) for r in baseline}
+    cand_envs = {json.dumps(r.env, sort_keys=True) for r in candidate}
+    if base_envs != cand_envs:
+        verdict.warnings.append(
+            "environment fingerprints differ between baseline and candidate; "
+            "latency comparisons are cross-host"
+        )
+    base_opts = {r.options_hash for r in baseline if r.options_hash}
+    cand_opts = {r.options_hash for r in candidate if r.options_hash}
+    if base_opts and cand_opts and base_opts != cand_opts:
+        verdict.warnings.append(
+            "options hashes differ between baseline and candidate; "
+            "runs may not be like-for-like"
+        )
+
+    base_latency = _latency_metrics(baseline)
+    cand_latency = _latency_metrics(candidate)
+    for name in sorted(base_latency.keys() & cand_latency.keys()):
+        base, cand = base_latency[name], cand_latency[name]
+        finding = Finding(name, "latency", base, cand)
+        excess = cand - base
+        if excess > thresholds.min_latency_s and (
+            base == 0 or excess / base > thresholds.latency_rel
+        ):
+            finding.status = STATUS_REGRESSION
+        elif -excess > thresholds.min_latency_s and (
+            base == 0 or -excess / base > thresholds.latency_rel
+        ):
+            finding.status = STATUS_IMPROVEMENT
+        verdict.findings.append(finding)
+
+    base_quality = _quality_metrics(baseline)
+    cand_quality = _quality_metrics(candidate)
+    for name in sorted(base_quality.keys() & cand_quality.keys()):
+        base, cand = base_quality[name], cand_quality[name]
+        finding = Finding(name, "quality", base, cand)
+        worsening = (cand - base) * QUALITY_DIRECTIONS[name]
+        if worsening > thresholds.quality_abs:
+            finding.status = STATUS_REGRESSION
+        elif worsening < -thresholds.quality_abs:
+            finding.status = STATUS_IMPROVEMENT
+        verdict.findings.append(finding)
+
+    base_counters = _counter_metrics(baseline)
+    cand_counters = _counter_metrics(candidate)
+    for name in sorted(base_counters.keys() & cand_counters.keys()):
+        base, cand = base_counters[name], cand_counters[name]
+        finding = Finding(name, "counter", base, cand, status=STATUS_INFO)
+        if (
+            thresholds.counter_rel is not None
+            and base > 0
+            and (cand - base) / base > thresholds.counter_rel
+        ):
+            finding.status = STATUS_REGRESSION
+        verdict.findings.append(finding)
+
+    return verdict
+
+
+# -- rendering ---------------------------------------------------------------
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _fmt_delta(finding: Finding) -> str:
+    rel = finding.delta_rel
+    rel_text = "" if rel is None else f" ({rel:+.1%})"
+    return f"{finding.delta:+.4g}{rel_text}"
+
+
+def render_markdown(verdict: RegressionVerdict) -> str:
+    """The verdict as a markdown report."""
+    lines = [
+        "# xring regression verdict",
+        "",
+        f"**{verdict.summary()}**",
+        "",
+        f"- baseline: {', '.join(verdict.baseline_runs)}",
+        f"- candidate: {', '.join(verdict.candidate_runs)}",
+        f"- thresholds: latency +{verdict.thresholds.latency_rel:.0%} "
+        f"(min {verdict.thresholds.min_latency_s}s), "
+        f"quality ±{verdict.thresholds.quality_abs}",
+        "",
+    ]
+    for warning in verdict.warnings:
+        lines.append(f"> ⚠ {warning}")
+    if verdict.warnings:
+        lines.append("")
+    lines.append("| metric | category | baseline | candidate | delta | status |")
+    lines.append("|---|---|---:|---:|---:|---|")
+    for finding in verdict.findings:
+        marker = {
+            STATUS_REGRESSION: "**REGRESSION**",
+            STATUS_IMPROVEMENT: "improvement",
+            STATUS_INFO: "info",
+            STATUS_OK: "ok",
+        }[finding.status]
+        lines.append(
+            f"| {finding.metric} | {finding.category} "
+            f"| {_fmt_value(finding.baseline)} "
+            f"| {_fmt_value(finding.candidate)} "
+            f"| {_fmt_delta(finding)} | {marker} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+#: Trend columns: (header, getter).
+_TREND_COLUMNS = (
+    ("run", lambda r: r.run_id),
+    ("kind", lambda r: r.kind),
+    ("label", lambda r: r.label),
+    ("created", lambda r: r.created_at),
+    ("wall_s", lambda r: _fmt_value(r.wall_s)),
+    ("wl", lambda r: _q(r, "wl_count")),
+    ("il_w", lambda r: _q(r, "il_w")),
+    ("snr_w", lambda r: _q(r, "snr_worst_db")),
+    ("pivots", lambda r: str(r.solver.get("simplex_pivots", 0))),
+    ("bb_nodes", lambda r: str(r.solver.get("bb_nodes", 0))),
+    ("retries", lambda r: str(r.supervisor.get("retries", ""))),
+)
+
+
+def _q(record: RunRecord, key: str) -> str:
+    value = record.quality.get(key)
+    return "-" if value is None else _fmt_value(float(value))
+
+
+def render_trend_markdown(records: list[RunRecord]) -> str:
+    """The last-N-runs trend table as markdown (oldest first)."""
+    lines = [
+        "# xring run history",
+        "",
+        f"{len(records)} run(s), oldest first.",
+        "",
+        "| " + " | ".join(header for header, _ in _TREND_COLUMNS) + " |",
+        "|" + "---|" * len(_TREND_COLUMNS),
+    ]
+    for record in records:
+        lines.append(
+            "| " + " | ".join(getter(record) for _, getter in _TREND_COLUMNS) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+_HTML_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a1a; }}
+table {{ border-collapse: collapse; margin: 1rem 0; width: 100%; }}
+th, td {{ border: 1px solid #d0d0d0; padding: 0.3rem 0.6rem; text-align: left; }}
+th {{ background: #f2f2f2; }}
+td.num {{ text-align: right; font-variant-numeric: tabular-nums; }}
+.regression {{ background: #fde8e8; font-weight: 600; }}
+.improvement {{ background: #e8f7ec; }}
+.warn {{ color: #8a6d00; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+{body}
+</body>
+</html>
+"""
+
+
+def _html_table(headers: list[str], rows: list[tuple[list[str], str]]) -> str:
+    out = ["<table>", "<tr>" + "".join(f"<th>{html.escape(h)}</th>" for h in headers) + "</tr>"]
+    for cells, css in rows:
+        cls = f' class="{css}"' if css else ""
+        out.append(
+            f"<tr{cls}>" + "".join(f"<td>{html.escape(c)}</td>" for c in cells) + "</tr>"
+        )
+    out.append("</table>")
+    return "\n".join(out)
+
+
+def render_html(
+    verdict: RegressionVerdict | None = None,
+    records: list[RunRecord] | None = None,
+    title: str = "xring run report",
+) -> str:
+    """A self-contained HTML page: verdict table and/or trend table."""
+    parts: list[str] = []
+    if verdict is not None:
+        parts.append(f"<h2>Verdict: {html.escape(verdict.summary())}</h2>")
+        parts.append(
+            "<p>baseline: "
+            + html.escape(", ".join(verdict.baseline_runs))
+            + "<br>candidate: "
+            + html.escape(", ".join(verdict.candidate_runs))
+            + "</p>"
+        )
+        for warning in verdict.warnings:
+            parts.append(f'<p class="warn">⚠ {html.escape(warning)}</p>')
+        rows = [
+            (
+                [
+                    f.metric,
+                    f.category,
+                    _fmt_value(f.baseline),
+                    _fmt_value(f.candidate),
+                    _fmt_delta(f),
+                    f.status,
+                ],
+                f.status if f.status in (STATUS_REGRESSION, STATUS_IMPROVEMENT) else "",
+            )
+            for f in verdict.findings
+        ]
+        parts.append(
+            _html_table(
+                ["metric", "category", "baseline", "candidate", "delta", "status"],
+                rows,
+            )
+        )
+    if records:
+        parts.append(f"<h2>Run history ({len(records)} runs, oldest first)</h2>")
+        parts.append(
+            _html_table(
+                [header for header, _ in _TREND_COLUMNS],
+                [
+                    ([getter(r) for _, getter in _TREND_COLUMNS], "")
+                    for r in records
+                ],
+            )
+        )
+    return _HTML_PAGE.format(title=html.escape(title), body="\n".join(parts))

@@ -43,6 +43,14 @@ from repro.parallel.journal import (
     result_digest,
 )
 from repro.parallel.supervisor import (
+    EVENT_CASE_DONE,
+    EVENT_CASE_FAILED,
+    EVENT_CASE_QUARANTINED,
+    EVENT_CASE_SKIPPED,
+    EVENT_CASE_START,
+    EVENT_CIRCUIT_OPEN,
+    EVENT_HEARTBEAT,
+    EVENT_WORKER_RESTART,
     AttemptRecord,
     CircuitBreaker,
     SupervisorConfig,
@@ -65,6 +73,14 @@ __all__ = [
     "SupervisorConfig",
     "SupervisorStats",
     "WorkerSupervisor",
+    "EVENT_CASE_START",
+    "EVENT_CASE_DONE",
+    "EVENT_CASE_FAILED",
+    "EVENT_CASE_QUARANTINED",
+    "EVENT_CASE_SKIPPED",
+    "EVENT_WORKER_RESTART",
+    "EVENT_CIRCUIT_OPEN",
+    "EVENT_HEARTBEAT",
     "SynthesisCache",
     "DEFAULT_SECTION_CAPACITY",
     "canonical_points",

@@ -195,6 +195,7 @@ class BatchSynthesizer:
         config: SupervisorConfig | None = None,
         supervised: bool = True,
         fault_plan: FaultPlan | None = None,
+        on_event: Any = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -214,6 +215,19 @@ class BatchSynthesizer:
         self.config = config or SupervisorConfig()
         self.supervised = supervised
         self.fault_plan = fault_plan
+        #: Progress-event sink (JSON-ready dicts); the supervisor emits
+        #: per-case transitions and heartbeats through it, the batch
+        #: layer adds ``batch_start`` / ``case_resumed`` / ``batch_done``.
+        self.on_event = on_event
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        if self.on_event is None:
+            return
+        try:
+            self.on_event({"event": event, **fields})
+        except Exception:
+            _log.warning("progress-event sink raised; disabling it", exc_info=True)
+            self.on_event = None
 
     # -- tour sharing --------------------------------------------------------
     @staticmethod
@@ -293,6 +307,17 @@ class BatchSynthesizer:
                     if result is not None:
                         restored[idx] = result
 
+        self._emit(
+            "batch_start",
+            cases=len(cases),
+            workers=self.workers,
+            resumed=len(restored),
+        )
+        for idx in sorted(restored):
+            self._emit(
+                "case_resumed", index=idx, label=restored[idx].label
+            )
+
         if self.share_tours:
             cases = self._share_step1(cases)
 
@@ -309,6 +334,7 @@ class BatchSynthesizer:
                 self.config,
                 collect_spans=self.collect_spans,
                 fault_plan=self.fault_plan,
+                on_event=self.on_event,
             )
             on_complete = None
             if journal_obj is not None:
@@ -331,7 +357,7 @@ class BatchSynthesizer:
     def _open_journal(
         self, journal: BatchJournal | str | Path | None, keys: list[str]
     ) -> BatchJournal | None:
-        if journal is None:
+        if not journal:  # None or "" (CLI default): journaling off
             return None
         if isinstance(journal, BatchJournal):
             journal_obj = journal
@@ -423,6 +449,16 @@ class BatchSynthesizer:
             supervisor=stats.to_dict(),
             interrupted=stats.interrupted,
             circuit_opened=stats.circuit_opened,
+        )
+        self._emit(
+            "batch_done",
+            cases=len(outcomes),
+            failures=len(report.errors),
+            quarantined=len(report.quarantined),
+            resumed=stats.resumed,
+            interrupted=report.interrupted,
+            circuit_opened=report.circuit_opened,
+            elapsed_s=round(report.total_elapsed_s, 6),
         )
         for failed in report.errors:
             _log.warning(

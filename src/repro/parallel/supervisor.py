@@ -43,6 +43,15 @@ divergence is preemption: an in-process case cannot be killed mid-run.
 Every attempt emits a ``batch.attempt`` span record (when span
 collection is on) and the aggregate lands in :class:`SupervisorStats`,
 which the batch layer folds into ``batch.*`` counters.
+
+**Live progress.**  Pass ``on_event=`` (a callable taking one
+JSON-ready dict) and every state transition emits an event —
+``case_start`` / ``case_done`` / ``case_failed`` / ``case_quarantined``
+/ ``case_skipped`` / ``worker_restart`` / ``circuit_open`` — plus
+periodic ``heartbeat`` events (per-state counts and the in-flight case
+list) when ``SupervisorConfig.heartbeat_interval_s`` is set.  The CLI's
+``xring batch --progress`` renders this stream as JSONL on stderr.  A
+sink that raises is disabled, never fatal.
 """
 
 from __future__ import annotations
@@ -77,6 +86,27 @@ _log = get_logger("parallel.supervisor")
 FAIL_ERROR = "error"  # the case raised inside the worker
 FAIL_CRASH = "crash"  # the worker process died mid-case
 FAIL_TIMEOUT = "timeout"  # the watchdog killed a hung worker
+
+#: Progress-event kinds emitted to the ``on_event`` sink (each event
+#: is a flat JSON-ready dict with an ``event`` key and ``t_s`` seconds
+#: since the supervisor started; the batch layer adds
+#: ``batch_start`` / ``case_resumed`` / ``batch_done``).
+EVENT_CASE_START = "case_start"
+EVENT_CASE_DONE = "case_done"
+EVENT_CASE_FAILED = "case_failed"  # one attempt failed (may retry)
+EVENT_CASE_QUARANTINED = "case_quarantined"
+EVENT_CASE_SKIPPED = "case_skipped"  # circuit breaker fail-fast
+EVENT_WORKER_RESTART = "worker_restart"
+EVENT_CIRCUIT_OPEN = "circuit_open"
+EVENT_HEARTBEAT = "heartbeat"
+
+#: Per-case states reported by heartbeat events.
+STATE_PENDING = "pending"
+STATE_RUNNING = "running"
+STATE_RETRYING = "retrying"
+STATE_DONE = "done"
+STATE_QUARANTINED = "quarantined"
+STATE_SKIPPED = "skipped"
 
 
 @dataclass(frozen=True)
@@ -255,6 +285,10 @@ class SupervisorConfig:
     breaker_threshold: float = 0.8
     breaker_min_samples: int = 6
     poll_interval_s: float = 0.05
+    #: Emit a ``heartbeat`` progress event at most this often while the
+    #: batch runs (0 disables heartbeats; state-transition events are
+    #: governed only by the ``on_event`` sink being set).
+    heartbeat_interval_s: float = 0.0
     #: Multiprocessing start method ("" = fork when available, else
     #: spawn).  Workers are respawned under the same method.
     mp_context: str = ""
@@ -285,6 +319,12 @@ class SupervisorConfig:
                     "breaker_window": self.breaker_window,
                     "breaker_min_samples": self.breaker_min_samples,
                 },
+            )
+        if self.heartbeat_interval_s < 0:
+            raise ConfigurationError(
+                f"heartbeat_interval_s must be >= 0, got "
+                f"{self.heartbeat_interval_s}",
+                context={"heartbeat_interval_s": self.heartbeat_interval_s},
             )
 
     def backoff_s(self, failed_attempt: int, rng: random.Random) -> float:
@@ -389,6 +429,7 @@ class WorkerSupervisor:
         *,
         collect_spans: bool = False,
         fault_plan: FaultPlan | None = None,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -399,6 +440,7 @@ class WorkerSupervisor:
         self.config = config or SupervisorConfig()
         self.collect_spans = collect_spans
         self.fault_plan = fault_plan
+        self.on_event = on_event
         self.stats = SupervisorStats()
         self._rng = random.Random(self.config.seed)
         self._breaker = CircuitBreaker(
@@ -411,6 +453,13 @@ class WorkerSupervisor:
         self._span_seq = 0
         self._results: dict[int, BatchResult] = {}
         self._on_complete: Callable[[BatchResult], None] | None = None
+        #: Per-case heartbeat state (index -> STATE_*), plus labels and
+        #: dispatch times so heartbeats can report in-flight elapsed.
+        self._case_states: dict[int, str] = {}
+        self._case_labels: dict[int, str] = {}
+        self._case_started_s: dict[int, float] = {}
+        self._last_heartbeat_s = 0.0
+        self._circuit_event_sent = False
 
     # -- public entry --------------------------------------------------------
     def run(
@@ -430,6 +479,10 @@ class WorkerSupervisor:
         self._results = {}
         self._on_complete = on_complete
         tasks = [_Task(index, case) for index, case in indexed_cases]
+        self._case_states = {t.index: STATE_PENDING for t in tasks}
+        self._case_labels = {t.index: t.label() for t in tasks}
+        self._case_started_s = {}
+        self._last_heartbeat_s = time.monotonic()
         if not tasks:
             return []
         pool_size = min(self.workers, len(tasks))
@@ -444,6 +497,71 @@ class WorkerSupervisor:
         if self._breaker.open:
             self.stats.circuit_opened = True
         return list(self._results.values())
+
+    # -- progress events -----------------------------------------------------
+    def _emit(self, event: str, **fields: Any) -> None:
+        """Push one progress event to the sink; sinks never break runs."""
+        if self.on_event is None:
+            return
+        payload = {
+            "event": event,
+            "t_s": round(time.monotonic() - self._epoch, 6),
+            **fields,
+        }
+        try:
+            self.on_event(payload)
+        except Exception:  # a broken sink must not kill the batch
+            _log.warning("progress-event sink raised; disabling it", exc_info=True)
+            self.on_event = None
+
+    def _start_case(self, task: _Task, worker_pid: int) -> None:
+        self._case_states[task.index] = STATE_RUNNING
+        self._case_started_s[task.index] = time.monotonic()
+        self._emit(
+            EVENT_CASE_START,
+            index=task.index,
+            label=task.label(),
+            attempt=task.attempt,
+            worker_pid=worker_pid,
+        )
+
+    def _maybe_heartbeat(self) -> None:
+        """Emit a heartbeat when the configured interval has elapsed.
+
+        The event carries per-state counts plus an ``active`` list of
+        in-flight cases (index, label, attempt, elapsed) — enough to
+        render a live progress line per case without polling anything.
+        """
+        interval = self.config.heartbeat_interval_s
+        if self.on_event is None or interval <= 0:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat_s < interval:
+            return
+        self._last_heartbeat_s = now
+        counts: dict[str, int] = {}
+        for state in self._case_states.values():
+            counts[state] = counts.get(state, 0) + 1
+        active = [
+            {
+                "index": index,
+                "label": self._case_labels.get(index, ""),
+                "elapsed_s": round(
+                    now - self._case_started_s.get(index, now), 3
+                ),
+            }
+            for index, state in sorted(self._case_states.items())
+            if state == STATE_RUNNING
+        ]
+        self._emit(
+            EVENT_HEARTBEAT,
+            total=len(self._case_states),
+            states=counts,
+            active=active,
+            retries=self.stats.retries,
+            worker_restarts=self.stats.worker_restarts,
+            circuit_open=self._breaker.open,
+        )
 
     # -- shared state-machine helpers ----------------------------------------
     def _take_fault(self, task: _Task) -> WorkerFault | None:
@@ -489,6 +607,15 @@ class WorkerSupervisor:
     def _succeed(self, task: _Task, result: BatchResult) -> None:
         self._breaker.record(True)
         self._record_attempt_span(task, "ok", result.elapsed_s, result.worker_pid)
+        self._case_states[task.index] = STATE_DONE
+        self._emit(
+            EVENT_CASE_DONE,
+            index=task.index,
+            label=task.label(),
+            attempt=task.attempt,
+            elapsed_s=round(result.elapsed_s, 6),
+            worker_pid=result.worker_pid,
+        )
         self._finish(task, result)
 
     def _fail_attempt(
@@ -512,6 +639,9 @@ class WorkerSupervisor:
             AttemptRecord(task.attempt, kind, error, elapsed_s, worker_pid)
         )
         self._breaker.record(False)
+        if self._breaker.open and not self._circuit_event_sent:
+            self._circuit_event_sent = True
+            self._emit(EVENT_CIRCUIT_OPEN)
         self._record_attempt_span(task, kind, elapsed_s, worker_pid)
         if kind == FAIL_CRASH:
             self.stats.crashes += 1
@@ -521,6 +651,15 @@ class WorkerSupervisor:
             retryable
             and task.attempt < self.config.max_attempts
             and not self._breaker.open
+        )
+        self._emit(
+            EVENT_CASE_FAILED,
+            index=task.index,
+            label=task.label(),
+            attempt=task.attempt,
+            kind=kind,
+            error=error,
+            will_retry=may_retry,
         )
         if may_retry:
             delay = self.config.backoff_s(task.attempt, self._rng)
@@ -536,6 +675,7 @@ class WorkerSupervisor:
             self.stats.retries += 1
             task.attempt += 1
             task.ready_s = time.monotonic() + delay
+            self._case_states[task.index] = STATE_RETRYING
             return True
         _log.warning(
             "case %d (%s) quarantined after %d attempt(s): %s",
@@ -543,6 +683,14 @@ class WorkerSupervisor:
             task.label(),
             task.attempt,
             error,
+        )
+        self._case_states[task.index] = STATE_QUARANTINED
+        self._emit(
+            EVENT_CASE_QUARANTINED,
+            index=task.index,
+            label=task.label(),
+            attempts=task.attempt,
+            error=error,
         )
         self._finish(
             task,
@@ -564,6 +712,10 @@ class WorkerSupervisor:
         message = (
             "CircuitOpen: batch circuit breaker is open "
             "(recent cases fail systemically); case skipped"
+        )
+        self._case_states[task.index] = STATE_SKIPPED
+        self._emit(
+            EVENT_CASE_SKIPPED, index=task.index, label=task.label()
         )
         self._finish(
             task,
@@ -616,12 +768,14 @@ class WorkerSupervisor:
         queue = deque(tasks)
         while queue:
             task = queue.popleft()
+            self._maybe_heartbeat()
             if self._breaker.open:
                 self._fail_circuit_open(task)
                 continue
             now = time.monotonic()
             if task.ready_s > now:
                 time.sleep(task.ready_s - now)
+            self._start_case(task, os.getpid())
             fault = self._take_fault(task)
             if fault is not None and fault.kind in ("crash", "abort"):
                 # Simulated in-process: count the kill + respawn the
@@ -687,6 +841,11 @@ class WorkerSupervisor:
         worker.task = None
         worker.task_seq = -1
         self.stats.worker_restarts += 1
+        self._emit(
+            EVENT_WORKER_RESTART,
+            worker_id=worker.worker_id,
+            worker_pid=worker.process.pid or 0,
+        )
 
     def _dispatch(self, worker: _Worker, task: _Task) -> None:
         fault = self._take_fault(task)
@@ -697,6 +856,7 @@ class WorkerSupervisor:
         worker.task = task
         worker.task_seq = self._task_seq
         worker.started_s = time.monotonic()
+        self._start_case(task, worker.process.pid or 0)
 
     def _run_pool(self, tasks: list[_Task], pool_size: int) -> None:
         ctx = self._context()
@@ -725,6 +885,7 @@ class WorkerSupervisor:
                     self._dispatch(worker, ready)
 
                 busy = [w for w in workers if w.task is not None]
+                self._maybe_heartbeat()
                 if not busy:
                     # Nothing in flight: sleep until the next retry is
                     # ready (pure-backoff phase).
@@ -747,6 +908,7 @@ class WorkerSupervisor:
                     self._drain_worker(ctx, worker, pending)
 
                 self._enforce_timeouts(ctx, workers, pending)
+                self._maybe_heartbeat()
         finally:
             self._shutdown(workers)
 

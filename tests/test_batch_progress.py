@@ -1,0 +1,201 @@
+"""Tests for the live batch progress event stream.
+
+The supervisor narrates its state machine through an ``on_event`` sink
+(``case_start`` / ``case_failed`` / ``case_quarantined`` / ``case_done``
+/ heartbeats), and the batch layer brackets the stream with
+``batch_start`` / ``batch_done``.  These tests script failures through
+:class:`FaultPlan` so the expected sequences are deterministic, and
+check the two hard properties: a broken sink never breaks the batch,
+and the CLI's ``--progress`` stderr stream is line-oriented JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.core.synthesizer import SynthesisOptions
+from repro.parallel import (
+    EVENT_CASE_DONE,
+    EVENT_CASE_FAILED,
+    EVENT_CASE_QUARANTINED,
+    EVENT_CASE_START,
+    EVENT_HEARTBEAT,
+    BatchCase,
+    BatchSynthesizer,
+    SupervisorConfig,
+)
+from repro.robustness import FaultPlan
+
+
+def _cases(network, tour, count: int) -> list[BatchCase]:
+    return [
+        BatchCase(
+            network=network,
+            options=SynthesisOptions(
+                ring_method="heuristic", wl_budget=4 + i, label=f"c{i}"
+            ),
+            label=f"c{i}",
+            tour=tour,
+        )
+        for i in range(count)
+    ]
+
+
+def _config(**overrides) -> SupervisorConfig:
+    settings = dict(
+        max_attempts=2,
+        backoff_base_s=0.001,
+        backoff_cap_s=0.01,
+        seed=0,
+    )
+    settings.update(overrides)
+    return SupervisorConfig(**settings)
+
+
+def _run(network, tour, count, *, plan=None, config=None, sink=None):
+    events: list[dict] = []
+    report = BatchSynthesizer(
+        workers=1,
+        on_error="collect",
+        config=config or _config(),
+        fault_plan=plan,
+        on_event=sink if sink is not None else events.append,
+    ).run(_cases(network, tour, count))
+    return report, events
+
+
+class TestEventStream:
+    def test_fault_free_sequence(self, network8, tour8):
+        report, events = _run(network8, tour8, 2)
+        assert report.ok
+        names = [e["event"] for e in events]
+        assert names == [
+            "batch_start",
+            EVENT_CASE_START,
+            EVENT_CASE_DONE,
+            EVENT_CASE_START,
+            EVENT_CASE_DONE,
+            "batch_done",
+        ]
+        start = events[0]
+        assert start["cases"] == 2 and start["resumed"] == 0
+        done = events[-1]
+        assert done["failures"] == 0 and done["elapsed_s"] > 0
+
+    def test_retry_narrates_failure_then_success(self, network8, tour8):
+        plan = FaultPlan().worker_crash("c0", attempt=1)
+        report, events = _run(network8, tour8, 1, plan=plan)
+        assert report.ok
+        sequence = [
+            (e["event"], e.get("attempt")) for e in events if "attempt" in e
+        ]
+        assert sequence == [
+            (EVENT_CASE_START, 1),
+            (EVENT_CASE_FAILED, 1),
+            (EVENT_CASE_START, 2),
+            (EVENT_CASE_DONE, 2),
+        ]
+        failed = next(e for e in events if e["event"] == EVENT_CASE_FAILED)
+        assert failed["kind"] == "crash"
+        assert failed["will_retry"] is True
+
+    def test_quarantine_event_after_exhausted_retries(self, network8, tour8):
+        plan = (
+            FaultPlan()
+            .worker_crash("c0", attempt=1)
+            .worker_crash("c0", attempt=2)
+        )
+        report, events = _run(network8, tour8, 2, plan=plan)
+        assert not report.ok and len(report.quarantined) == 1
+        quarantined = [
+            e for e in events if e["event"] == EVENT_CASE_QUARANTINED
+        ]
+        assert len(quarantined) == 1
+        assert quarantined[0]["label"] == "c0"
+        assert quarantined[0]["attempts"] == 2
+        final_failure = [
+            e
+            for e in events
+            if e["event"] == EVENT_CASE_FAILED and e["attempt"] == 2
+        ]
+        assert final_failure[0]["will_retry"] is False
+        # The healthy case still completes and is narrated normally.
+        assert any(
+            e["event"] == EVENT_CASE_DONE and e["label"] == "c1"
+            for e in events
+        )
+
+    def test_timestamps_are_monotone(self, network8, tour8):
+        _, events = _run(network8, tour8, 3)
+        stamps = [e["t_s"] for e in events if "t_s" in e]
+        assert stamps == sorted(stamps)
+        assert all(t >= 0 for t in stamps)
+
+    def test_heartbeats_carry_state_counts(self, network8, tour8):
+        config = _config(heartbeat_interval_s=1e-6)
+        _, events = _run(network8, tour8, 3, config=config)
+        beats = [e for e in events if e["event"] == EVENT_HEARTBEAT]
+        assert beats, "tiny interval must produce at least one heartbeat"
+        for beat in beats:
+            assert beat["total"] == 3
+            assert sum(beat["states"].values()) == 3
+            assert isinstance(beat["active"], list)
+            assert "retries" in beat and "circuit_open" in beat
+
+    def test_broken_sink_disables_itself_not_the_batch(self, network8, tour8):
+        seen: list[str] = []
+
+        def sink(event: dict) -> None:
+            seen.append(event["event"])
+            raise RuntimeError("sink exploded")
+
+        report, _ = _run(network8, tour8, 2, sink=sink)
+        assert report.ok  # all cases completed despite the hostile sink
+        assert seen == ["batch_start"]  # disabled after the first raise
+
+    def test_no_sink_means_no_overhead_paths(self, network8, tour8):
+        report = BatchSynthesizer(
+            workers=1, on_error="collect", config=_config()
+        ).run(_cases(network8, tour8, 2))
+        assert report.ok
+
+
+class TestCliProgress:
+    def test_progress_stream_is_line_oriented_json(self, tmp_path, capsys):
+        cases_path = tmp_path / "cases.json"
+        cases_path.write_text(
+            json.dumps(
+                [
+                    {"nodes": 8, "label": "a", "ring_method": "heuristic"},
+                    {"nodes": 8, "label": "b", "ring_method": "heuristic"},
+                ]
+            ),
+            encoding="utf-8",
+        )
+        code = main(["batch", str(cases_path), "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in captured.err.splitlines()
+            if line.startswith("{")
+        ]
+        names = [e["event"] for e in events]
+        assert names[0] == "batch_start"
+        assert names[-1] == "batch_done"
+        assert names.count(EVENT_CASE_START) == 2
+        assert names.count(EVENT_CASE_DONE) == 2
+
+    def test_without_progress_stderr_has_no_events(self, tmp_path, capsys):
+        cases_path = tmp_path / "cases.json"
+        cases_path.write_text(
+            json.dumps([{"nodes": 8, "label": "a", "ring_method": "heuristic"}]),
+            encoding="utf-8",
+        )
+        code = main(["batch", str(cases_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert not any(
+            line.startswith("{") for line in captured.err.splitlines()
+        )

@@ -261,11 +261,14 @@ class TestArtifactsAndLogging:
         reg.counter("c").inc()
         paths = RunArtifacts(tmp_path / "run").write(tracer=tracer, metrics=reg)
         names = sorted(p.name for p in paths)
-        assert names == ["metrics.json", "trace.json", "trace.jsonl"]
+        assert names == ["metrics.json", "metrics.om", "trace.json", "trace.jsonl"]
         chrome = json.loads((tmp_path / "run" / "trace.json").read_text())
         assert chrome["traceEvents"][0]["name"] == "x"
         metrics = json.loads((tmp_path / "run" / "metrics.json").read_text())
         assert metrics["counters"] == {"c": 1}
+        exposition = (tmp_path / "run" / "metrics.om").read_text()
+        assert "xring_c_total 1" in exposition
+        assert exposition.endswith("# EOF\n")
 
     def test_run_artifacts_writes_report(self, tmp_path):
         design = XRingSynthesizer(_network(), SynthesisOptions()).run()
@@ -409,3 +412,93 @@ class TestCliArtifacts:
         report = json.loads((out / "report.json").read_text())
         assert report["stages"][0]["span_id"] is not None
         assert (out / "trace.jsonl").read_text().strip()
+        assert (out / "metrics.om").read_text().endswith("# EOF\n")
+
+
+# -- histogram edge cases ----------------------------------------------------
+class TestHistogramEdgeCases:
+    def test_empty_histogram_percentiles(self):
+        empty = Histogram("empty", buckets=(1.0, 2.0))
+        for q in (0, 50, 100):
+            assert math.isnan(empty.percentile(q))
+        data = empty.to_dict()
+        assert data["p50"] is None and data["p99"] is None
+        assert data["min"] is None and data["mean"] is None
+        with pytest.raises(ValueError):
+            empty.percentile(101)
+
+    def test_single_sample_interpolation_collapses_to_the_sample(self):
+        hist = Histogram("one", buckets=(1.0, 10.0, 100.0))
+        hist.observe(7.0)
+        # With one observation every percentile must equal it exactly —
+        # the in-bucket interpolation is clamped to [min, max].
+        for q in (0, 1, 50, 90, 99, 100):
+            assert hist.percentile(q) == 7.0
+
+    def test_merge_snapshot_with_only_overflow_counts(self):
+        # Matching edges: the overflow bucket must transfer exactly.
+        target = MetricsRegistry()
+        target.histogram("h", (1.0, 2.0))
+        source = MetricsRegistry()
+        source.histogram("h", (1.0, 2.0)).observe(50.0)
+        source.histogram("h").observe(99.0)
+        snap = source.snapshot()
+        assert snap["histograms"]["h"]["counts"] == [0, 0, 2]
+        target.merge_snapshot(snap)
+        merged = target.histogram("h")
+        assert merged.counts == [0, 0, 2]
+        assert merged.total == 2
+        assert merged.max == 99.0
+        assert merged.percentile(99) == 99.0
+
+    def test_merge_snapshot_overflow_only_with_mismatched_edges(self):
+        # Mismatched edges degrade to re-observing the mean per count;
+        # totals and sums stay consistent even when every incoming
+        # sample sat in the overflow bucket.
+        target = MetricsRegistry()
+        target.histogram("h", (1.0,)).observe(0.5)
+        source = MetricsRegistry()
+        source.histogram("h", (10.0, 20.0)).observe(50.0)
+        source.histogram("h").observe(70.0)
+        target.merge_snapshot(source.snapshot())
+        merged = target.histogram("h")
+        assert merged.total == 3
+        assert merged.sum == pytest.approx(0.5 + 60.0 * 2)
+        assert merged.buckets == (1.0,)  # the target's edges win
+
+
+# -- chrome export round-trip ------------------------------------------------
+class TestChromeExportConsistency:
+    def test_export_is_valid_json_with_consistent_ts_dur(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                time.sleep(0.002)
+            with tracer.span("child_b"):
+                pass
+        text = json.dumps(tracer.to_chrome())
+        payload = json.loads(text)  # valid JSON round-trip
+        events = payload["traceEvents"]
+        assert len(events) == 3
+        spans = {s.span_id: s for s in tracer.finished_spans()}
+        for event in events:
+            assert event["ph"] == "X"
+            span = spans[event["args"]["span_id"]]
+            # ts/dur are the span's start/duration in microseconds.
+            assert event["ts"] == pytest.approx(span.start_s * 1e6)
+            assert event["dur"] == pytest.approx(span.duration_s * 1e6)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_children_nest_within_their_parent_interval(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                time.sleep(0.001)
+        events = {e["name"]: e for e in tracer.to_chrome()["traceEvents"]}
+        root, child = events["root"], events["child"]
+        assert child["args"]["parent_id"] == root["args"]["span_id"]
+        assert root["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-3
+        # Monotonic consistency: a span never ends before it starts.
+        for event in events.values():
+            assert event["dur"] >= 0
