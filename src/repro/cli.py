@@ -10,6 +10,8 @@ Subcommands:
 - ``scale`` — the MILP-vs-heuristic scaling study beyond 32 nodes;
 - ``batch`` — run a JSON case file through the batch-synthesis engine
   (``--progress`` streams per-case JSONL events to stderr);
+- ``serve`` — run the resilient synthesis job service (HTTP + SSE,
+  crash-safe job store, graceful SIGTERM drain);
 - ``regress`` — compare recent ledger runs against a baseline and exit
   nonzero on a perf/quality regression;
 - ``report`` — render ledger entries as a markdown/HTML report.
@@ -55,6 +57,7 @@ from repro.robustness import SynthesisError
 _HISTORY_KINDS = {
     "synth": "synth",
     "batch": "batch",
+    "serve": "service",
     "table1": "experiment",
     "table2": "experiment",
     "table3": "experiment",
@@ -222,17 +225,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _batch_options(spec: dict, index: int) -> SynthesisOptions:
-    """Translate one JSON case spec into :class:`SynthesisOptions`."""
-    return SynthesisOptions(
-        wl_budget=spec.get("wl"),
-        ring_method=spec.get("ring_method", "milp"),
-        enable_shortcuts=spec.get("shortcuts", True),
-        enable_openings=spec.get("openings", True),
-        pdn_mode="internal" if spec.get("pdn", True) else None,
-        milp_backend=spec.get("milp_backend", "auto"),
-        deadline_s=spec.get("deadline"),
-        label=spec.get("label", f"case{index}"),
-    )
+    """Translate one JSON case spec into :class:`SynthesisOptions`.
+
+    Delegates to the job service's spec parser so ``xring batch`` case
+    files and ``POST /jobs`` bodies share one schema.
+    """
+    from repro.service.jobs import options_from_spec
+
+    return options_from_spec(spec, index)
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -260,6 +260,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.obs import atomic_write_text
     from repro.parallel import BatchCase, BatchSynthesizer, SupervisorConfig
 
+    if (
+        args.resume
+        and args.journal
+        and os.path.abspath(args.resume) != os.path.abspath(args.journal)
+    ):
+        # Silently preferring one of the two would drop checkpoints into
+        # an unexpected file; refuse and make the caller pick.
+        print(
+            "xring batch: --journal and --resume point at different files "
+            f"({args.journal!r} vs {args.resume!r}); --resume already "
+            "journals new checkpoints into the journal it resumes from, "
+            "so pass only one of the two flags",
+            file=sys.stderr,
+        )
+        return 2
     with open(args.cases, encoding="utf-8") as handle:
         data = json.load(handle)
     specs = data["cases"] if isinstance(data, dict) else data
@@ -382,6 +397,66 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return min(len(report.errors), 125)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the synthesis job service until SIGTERM/SIGINT.
+
+    Binds the HTTP front end (``POST /jobs``, status, SSE progress,
+    design retrieval, health/readiness, OpenMetrics), re-adopts any
+    jobs a previous server life left in the store, and drains
+    gracefully on the first signal: admission stops, in-flight jobs
+    get ``--drain-timeout`` to finish, the store is compacted, and the
+    exit code is 0 only when nothing had to be abandoned.
+    """
+    from repro.obs import NULL_METRICS, get_obs
+    from repro.service import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        queue_limit=args.queue_limit,
+        max_concurrency=args.concurrency,
+        retries=args.retries,
+        case_timeout_s=args.case_timeout,
+        isolate_jobs=args.isolate,
+        default_deadline_s=args.default_deadline,
+        drain_timeout_s=args.drain_timeout,
+        breaker_cooldown_s=args.breaker_cooldown,
+        seed=args.seed,
+    )
+    # /metrics needs a real registry even when no --metrics/--trace-dir
+    # flag forced one; reuse the session registry when it is real so
+    # --history-dir records the service counters.
+    registry = get_obs().metrics
+    if registry is NULL_METRICS or not isinstance(registry, MetricsRegistry):
+        registry = MetricsRegistry()
+    report = serve_forever(config, metrics=registry)
+    stats = report.get("stats", {})
+    args._history = {
+        "label": f"serve-{args.store}",
+        "wall_s": stats.get("uptime_s", 0.0),
+        "extra": {
+            "jobs": stats.get("jobs", 0),
+            "admitted": stats.get("admitted", 0),
+            "done": stats.get("done", 0),
+            "failed": stats.get("failed", 0),
+            "dedup_hits": stats.get("dedup_hits", 0),
+            "rejected_queue_full": stats.get("rejected_queue_full", 0),
+            "adopted": stats.get("adopted", 0),
+            "drain_s": report.get("drain_s"),
+            "clean": report.get("clean"),
+        },
+    }
+    print(
+        f"xring serve: drained {'cleanly' if report.get('clean') else 'DIRTY'} "
+        f"({stats.get('done', 0)} done, {stats.get('failed', 0)} failed, "
+        f"{report.get('abandoned', 0)} abandoned, "
+        f"{stats.get('dedup_hits', 0)} dedup hits)",
+        file=sys.stderr,
+    )
+    return 0 if report.get("clean") else 1
+
+
 def _load_baseline_file(path: str) -> list:
     """Load baseline records from a standalone JSONL file.
 
@@ -448,6 +523,13 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"xring regress: bad baseline file: {exc}", file=sys.stderr)
             return 2
+        # A committed baseline may hold records for several benchmarks;
+        # apply the same kind/label filters the candidate side uses so
+        # unrelated records never mix into one verdict.
+        if kind:
+            baseline = [record for record in baseline if record.kind == kind]
+        if label:
+            baseline = [record for record in baseline if record.label == label]
     else:
         baseline = entries[-2 * k : -k]
     if not baseline:
@@ -717,6 +799,90 @@ def build_parser() -> argparse.ArgumentParser:
         "done + 1s heartbeats) to stderr as one JSON object per line",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resilient synthesis job service "
+        "(HTTP + SSE, crash-safe store, graceful drain)",
+        parents=[obs],
+    )
+    serve.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 = ephemeral; the resolved address is written "
+        "to <store>/address either way)",
+    )
+    serve.add_argument(
+        "--store",
+        type=str,
+        default=".xring_service",
+        help="job-store directory: the crash-safe JSONL job journal a "
+        "restarted server re-adopts, plus the address file",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded admission queue; submissions beyond this many "
+        "queued jobs get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="jobs solved concurrently",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="supervisor retries per job beyond the first attempt",
+    )
+    serve.add_argument(
+        "--case-timeout",
+        type=float,
+        default=None,
+        help="per-attempt watchdog in seconds; forces process "
+        "isolation so a hung solve is killed, not waited on",
+    )
+    serve.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run every job in a killable worker process even without "
+        "--case-timeout",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        help="deadline applied to jobs that do not bring their own "
+        "'deadline' spec field",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="grace period for in-flight jobs on SIGTERM before they "
+        "are abandoned to the next server life",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=10.0,
+        help="seconds an open circuit breaker sheds load (readyz 503) "
+        "before accepting traffic again",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for jittered Retry-After and retry backoff",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     regress = sub.add_parser(
         "regress",

@@ -54,7 +54,7 @@ LEDGER_FILENAME = "ledger.jsonl"
 LEDGER_VERSION = 1
 
 #: The run kinds a record may carry (free-form labels refine them).
-RUN_KINDS = ("synth", "batch", "experiment", "bench")
+RUN_KINDS = ("synth", "batch", "experiment", "bench", "service")
 
 _STAGE_LATENCY_RE = re.compile(r"^stage\.(?P<stage>[\w.]+)\.latency_s$")
 _DEADLINE_GAUGE_RE = re.compile(r"^deadline\.(?P<stage>[\w]+)\.elapsed_s$")

@@ -39,6 +39,7 @@ from repro.parallel.cache import (
 from repro.parallel.journal import (
     BatchJournal,
     batch_fingerprint,
+    canonical_json,
     case_key,
     result_digest,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "BatchSynthesizer",
     "BatchJournal",
     "batch_fingerprint",
+    "canonical_json",
     "case_key",
     "result_digest",
     "AttemptRecord",

@@ -42,9 +42,18 @@ _log = get_logger("parallel.journal")
 JOURNAL_VERSION = 1
 
 
-def _canonical(value: Any) -> str:
-    """Deterministic JSON encoding (stable across runs and platforms)."""
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (stable across runs and platforms).
+
+    Shared by the journal's content hashing and the job service's
+    design endpoint, whose byte-identity guarantee rests on this
+    encoding being the same everywhere.
+    """
     return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+#: Backwards-compatible private alias (pre-service name).
+_canonical = canonical_json
 
 
 def case_key(index: int, case: BatchCase) -> str:

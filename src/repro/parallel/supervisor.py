@@ -292,6 +292,11 @@ class SupervisorConfig:
     #: Multiprocessing start method ("" = fork when available, else
     #: spawn).  Workers are respawned under the same method.
     mp_context: str = ""
+    #: Run even a single-worker batch through the process pool instead
+    #: of in-process.  The in-process path cannot preempt a truly hung
+    #: case; the job service sets this when a watchdog timeout is
+    #: configured so one stuck solve is SIGKILLed, not waited on.
+    force_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -359,6 +364,17 @@ class CircuitBreaker:
     @property
     def open(self) -> bool:
         return self._open
+
+    def reset(self) -> None:
+        """Close the breaker and forget the window (half-open probe).
+
+        The supervisor itself never resets mid-batch (a tripped batch
+        stays tripped); long-lived callers — the job service's
+        readiness probe — reset after a cooldown to let fresh traffic
+        re-test the worker pool.
+        """
+        self._outcomes.clear()
+        self._open = False
 
 
 @dataclass
@@ -487,10 +503,10 @@ class WorkerSupervisor:
             return []
         pool_size = min(self.workers, len(tasks))
         try:
-            if pool_size <= 1:
+            if pool_size <= 1 and not self.config.force_pool:
                 self._run_inline(tasks)
             else:
-                self._run_pool(tasks, pool_size)
+                self._run_pool(tasks, max(1, pool_size))
         except KeyboardInterrupt:
             self.stats.interrupted = True
             self._mark_interrupted(tasks)

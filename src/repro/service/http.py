@@ -1,0 +1,221 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the job service.
+
+The service speaks plain HTTP/1.1 over :mod:`asyncio` streams with no
+third-party dependency, in the spirit of the rest of this repository.
+This module owns the wire format only — request parsing with hard
+header/body limits, response serialization, and the server-sent-events
+(SSE) framing the ``/jobs/{id}/events`` stream uses.  Routing and
+semantics live in :mod:`repro.service.server`.
+
+Deliberate simplifications (each one a robustness choice, not an
+omission):
+
+- **One request per connection** — every response carries
+  ``Connection: close``.  Keep-alive buys little for a job API whose
+  expensive work is the synthesis, and closing eagerly means a
+  half-parsed pipeline can never wedge a connection slot.
+- **Bounded reads** — request head and body are capped
+  (:data:`MAX_HEAD_BYTES` / ``max_body`` per server); an oversized or
+  malformed request gets a 400/413/431 and the connection is closed,
+  never buffered unboundedly.
+- **No TLS, no chunked request bodies** — this is an internal service
+  front end; put a real proxy in front for the rest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upper bound on the request line + headers block.
+MAX_HEAD_BYTES = 32 * 1024
+
+#: Default upper bound on a request body (POST /jobs floorplans).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Canonical reason phrases for the statuses the service emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request that cannot be served; becomes a JSON error response."""
+
+    def __init__(
+        self, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)  # lower-cased keys
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body decoded as JSON (:class:`HttpError` 400 on failure)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from exc
+
+
+async def read_request(reader, max_body: int = DEFAULT_MAX_BODY_BYTES) -> Request | None:
+    """Parse one request from ``reader``.
+
+    Returns ``None`` on a clean EOF before any byte (client closed an
+    idle connection); raises :class:`HttpError` on anything malformed
+    so the caller can answer with a proper status instead of dropping
+    the connection.
+    """
+    import asyncio
+
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(431, "request head too large") from exc
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(431, "request head too large")
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise HttpError(400, "undecodable request head") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    path = unquote(split.path) or "/"
+    query = {key: value for key, value in parse_qsl(split.query)}
+
+    if headers.get("transfer-encoding", "").lower() not in ("", "identity"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}") from exc
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length > max_body:
+        raise HttpError(413, f"request body exceeds {max_body} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "request body shorter than Content-Length") from exc
+    return Request(method=method, path=path, query=query, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str,
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialize one complete response (``Connection: close`` always)."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+async def send_response(
+    writer,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+) -> None:
+    writer.write(render_response(status, body, content_type, headers))
+    await writer.drain()
+
+
+async def send_json(
+    writer,
+    status: int,
+    payload: Any,
+    headers: dict[str, str] | None = None,
+) -> None:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    await send_response(writer, status, body, "application/json", headers)
+
+
+async def start_sse(writer, headers: dict[str, str] | None = None) -> None:
+    """Begin a server-sent-events response (headers only, no length)."""
+    lines = [
+        "HTTP/1.1 200 OK",
+        "Content-Type: text/event-stream; charset=utf-8",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    await writer.drain()
+
+
+async def send_sse_event(writer, payload: dict[str, Any], event_id: int | None = None) -> None:
+    """One SSE frame: the JSON payload on a single ``data:`` line."""
+    frame = ""
+    if event_id is not None:
+        frame += f"id: {event_id}\n"
+    frame += f"data: {json.dumps(payload, sort_keys=True)}\n\n"
+    writer.write(frame.encode("utf-8"))
+    await writer.drain()
+
+
+async def send_sse_comment(writer, text: str = "keep-alive") -> None:
+    """An SSE comment frame (keep-alive ping; clients ignore it)."""
+    writer.write(f": {text}\n\n".encode("utf-8"))
+    await writer.drain()

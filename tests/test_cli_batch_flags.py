@@ -1,0 +1,83 @@
+"""CLI flag semantics for ``xring batch`` journaling.
+
+Locks in the fix for a silent-foot-gun: ``--journal A --resume B``
+used to quietly journal into ``B`` (the ``--resume`` path won), so
+checkpoints a user pointed at ``A`` never landed there.  Conflicting
+paths are now a hard usage error; agreeing paths (or either flag
+alone) keep working.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def case_file(tmp_path):
+    path = tmp_path / "cases.json"
+    path.write_text(
+        json.dumps([{"nodes": 8, "wl": 8, "ring_method": "heuristic"}])
+    )
+    return path
+
+
+def test_conflicting_journal_and_resume_is_a_usage_error(
+    case_file, tmp_path, capsys
+):
+    rc = main(
+        [
+            "batch",
+            str(case_file),
+            "--journal",
+            str(tmp_path / "a.jsonl"),
+            "--resume",
+            str(tmp_path / "b.jsonl"),
+        ]
+    )
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "--journal and --resume point at different files" in err
+    assert "pass only one of the two flags" in err
+    # Fails fast: no journal file was created anywhere.
+    assert not (tmp_path / "a.jsonl").exists()
+    assert not (tmp_path / "b.jsonl").exists()
+
+
+def test_same_path_for_both_flags_is_allowed(case_file, tmp_path, capsys):
+    journal = tmp_path / "journal.jsonl"
+    # First run creates the journal...
+    assert main(["batch", str(case_file), "--journal", str(journal)]) == 0
+    assert journal.exists()
+    # ...and naming the same file via both flags (e.g. a script that
+    # always passes --journal and adds --resume on retry) is fine.
+    rc = main(
+        [
+            "batch",
+            str(case_file),
+            "--journal",
+            str(journal),
+            "--resume",
+            str(journal),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ok" in out
+
+
+def test_resume_alone_still_journals_to_the_resumed_path(
+    case_file, tmp_path, capsys
+):
+    journal = tmp_path / "journal.jsonl"
+    assert main(["batch", str(case_file), "--journal", str(journal)]) == 0
+    before = journal.read_text()
+    rc = main(["batch", str(case_file), "--resume", str(journal)])
+    capsys.readouterr()
+    assert rc == 0
+    # The resumed run restored the finished case instead of recomputing
+    # it, and the journal still holds it.
+    assert journal.read_text() == before
