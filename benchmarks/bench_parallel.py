@@ -12,7 +12,10 @@ study and the ablation sweep:
   enabled after a priming pass, so Step-1 solves are served from the
   cache;
 - **conflict-dict reuse** — the ablation sweep's conflicts-section
-  hit rate (four variants on one floorplan → one build, three hits).
+  hit rate (four variants on one floorplan → one build, three hits);
+- **profiler tax** — one representative synthesis bare vs under the
+  sampling profiler (``overhead_frac`` must stay under the <5%
+  promise the profiler tests gate).
 
 Run from the repo root::
 
@@ -161,6 +164,55 @@ def bench_stages(num_nodes: int) -> dict:
     }
 
 
+def bench_profile(num_nodes: int) -> dict:
+    """Profiler tax: the same cold synthesis bare vs sampled.
+
+    ``overhead_frac`` is the figure the perf sentinel guards — the
+    sampling profiler promises <5% overhead, so a regression here
+    means the sampler loop got more expensive, not the synthesis.
+    Best-of-two per arm to shave scheduler noise.
+    """
+    from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+    from repro.network import Network
+    from repro.network.placement import psion_placement
+    from repro.obs import SamplingProfiler
+
+    points, die = psion_placement(num_nodes)
+
+    def run_once(profiled: bool) -> tuple[float, dict]:
+        clear_caches()
+        network = Network.from_positions(points, die=die)
+        synth = XRingSynthesizer(network, SynthesisOptions(wl_budget=num_nodes))
+        if not profiled:
+            _, elapsed = _timed(synth.run)
+            return elapsed, {}
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            _, elapsed = _timed(synth.run)
+        finally:
+            profiler.stop()
+        return elapsed, profiler.stage_attribution()
+
+    run_once(False)  # warm imports so neither arm pays them
+    t_bare = min(run_once(False)[0] for _ in range(2))
+    timings = [run_once(True) for _ in range(2)]
+    t_profiled = min(t for t, _ in timings)
+    attribution = timings[0][1]
+    return {
+        "num_nodes": num_nodes,
+        "bare_s": round(t_bare, 4),
+        "profiled_s": round(t_profiled, 4),
+        "overhead_frac": round(max(0.0, t_profiled / t_bare - 1.0), 4),
+        "hz": attribution.get("hz"),
+        "samples": attribution.get("samples"),
+        "stage_attribution": {
+            stage: stats["fraction"]
+            for stage, stats in attribution.get("stages", {}).items()
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -199,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": bench_scaling(sizes, args.workers),
         "ablation_sweep": bench_ablation(num_nodes=16),
         "stages": bench_stages(num_nodes=16),
+        "profile": bench_profile(num_nodes=16),
     }
 
     # Atomic write: a killed benchmark never leaves a truncated
@@ -227,6 +280,19 @@ def main(argv: list[str] | None = None) -> int:
                 "conflicts_hit_rate": payload["ablation_sweep"][
                     "conflicts_hit_rate"
                 ],
+                "profiler_overhead_frac": payload["profile"][
+                    "overhead_frac"
+                ],
+                "profile": {
+                    "samples": payload["profile"]["samples"],
+                    "hz": payload["profile"]["hz"],
+                    "stages": {
+                        stage: {"fraction": fraction}
+                        for stage, fraction in payload["profile"][
+                            "stage_attribution"
+                        ].items()
+                    },
+                },
             },
         )
         ledger = RunLedger(args.history_dir)
@@ -250,6 +316,13 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  ablation: {ablation['wall_clock_s']}s,"
         f" conflicts hit rate={ablation['conflicts_hit_rate']:.2f}"
+    )
+    profile = payload["profile"]
+    print(
+        f"  profiler: bare={profile['bare_s']}s"
+        f" profiled={profile['profiled_s']}s"
+        f" overhead={profile['overhead_frac']:.1%}"
+        f" ({profile['samples']} samples @ {profile['hz']}Hz)"
     )
     return 0
 

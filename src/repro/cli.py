@@ -14,7 +14,15 @@ Subcommands:
   crash-safe job store, graceful SIGTERM drain);
 - ``regress`` — compare recent ledger runs against a baseline and exit
   nonzero on a perf/quality regression;
-- ``report`` — render ledger entries as a markdown/HTML report.
+- ``report`` — render ledger entries as a markdown/HTML report;
+- ``trace`` — inspect a ``trace.jsonl`` file: per-stage rollup, the
+  top-N slowest spans, stitch summary, Chrome re-export.
+
+``synth`` and ``batch`` also take ``--profile-dir DIR`` to run under
+the zero-dep sampling profiler and drop ``profile.collapsed`` (feed to
+flamegraph.pl), ``profile.speedscope.json`` (drag into
+https://www.speedscope.app) and ``profile.json`` (per-stage sample
+attribution) next to the run.
 
 Every experiment subcommand takes ``--workers N`` to fan synthesis out
 over a process pool (results are input-ordered and identical to
@@ -99,6 +107,26 @@ def _load_placement(path: str) -> Network:
     return Network.from_positions(points, traffic=pairs)
 
 
+def _start_profiler(args: argparse.Namespace):
+    """Start the sampling profiler when ``--profile-dir`` was passed."""
+    if not getattr(args, "profile_dir", ""):
+        return None
+    from repro.obs import SamplingProfiler
+
+    return SamplingProfiler(hz=args.profile_hz).start()
+
+
+def _finish_profiler(profiler, args: argparse.Namespace) -> dict:
+    """Stop, write the profile artifacts, return the stage attribution."""
+    if profiler is None:
+        return {}
+    profiler.stop()
+    attribution = profiler.stage_attribution()
+    for path in profiler.write(args.profile_dir):
+        print(f"profile written: {path}", file=sys.stderr)
+    return attribution
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     network = _make_network(args.nodes, args.placement)
     options = SynthesisOptions(
@@ -111,7 +139,15 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         on_error=args.on_error,
         milp_backend=args.milp_backend,
     )
-    design = XRingSynthesizer(network, options).run()
+    profiler = _start_profiler(args)
+    try:
+        design = XRingSynthesizer(network, options).run()
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    attribution = _finish_profiler(profiler, args)
+    if attribution and design.report is not None:
+        design.report.profile = attribution
     if args.trace_dir and design.report is not None:
         RunArtifacts(args.trace_dir).write(report=design.report)
     circuit = design.to_circuit(ORING_LOSSES, NIKDAST_CROSSTALK)
@@ -124,6 +160,8 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         "quality": quality_from_evaluation(evaluation),
         "wall_s": design.synthesis_time_s,
     }
+    if attribution:
+        args._history["extra"] = {"profile": attribution}
     snr = "-" if evaluation.snr_worst_db is None else f"{evaluation.snr_worst_db:.1f} dB"
     print(f"XRing synthesis for {network.size} nodes")
     print(f"  ring length      : {design.tour.length_mm:.1f} mm")
@@ -303,7 +341,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         heartbeat_interval_s=1.0 if args.progress else 0.0,
     )
     synthesizer = BatchSynthesizer(
-        workers=args.workers, on_error="collect", config=config, on_event=on_event
+        workers=args.workers,
+        on_error="collect",
+        config=config,
+        on_event=on_event,
+        collect_spans=bool(args.trace_dir),
     )
 
     def _sigterm(signum, frame):  # graceful: same path as Ctrl-C
@@ -312,6 +354,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     previous_handler = None
     if threading.current_thread() is threading.main_thread():
         previous_handler = signal.signal(signal.SIGTERM, _sigterm)
+    profiler = _start_profiler(args)
     try:
         try:
             report = synthesizer.run(cases, journal=journal_path)
@@ -327,8 +370,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 )
             return 130
     finally:
+        if profiler is not None:
+            profiler.stop()
         if previous_handler is not None:
             signal.signal(signal.SIGTERM, previous_handler)
+
+    attribution = _finish_profiler(profiler, args)
+    if args.trace_dir and report.span_records:
+        # The batch trace (per-case worker spans, stitched across
+        # processes) replaces the parent tracer's near-empty one.
+        for path in report.write_artifacts(args.trace_dir):
+            print(f"artifact written: {path}", file=sys.stderr)
+        args._trace_written = True
 
     args._history = {
         "label": f"batch-{os.path.basename(args.cases)}",
@@ -342,6 +395,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "workers": report.workers,
         },
     }
+    if attribution:
+        args._history["extra"]["profile"] = attribution
     for result in report.results:
         if result.ok:
             status = "ok"
@@ -401,7 +456,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the synthesis job service until SIGTERM/SIGINT.
 
     Binds the HTTP front end (``POST /jobs``, status, SSE progress,
-    design retrieval, health/readiness, OpenMetrics), re-adopts any
+    design retrieval, stitched job traces, the live dashboard,
+    on-demand profiling, health/readiness, OpenMetrics), re-adopts any
     jobs a previous server life left in the store, and drains
     gracefully on the first signal: admission stops, in-flight jobs
     get ``--drain-timeout`` to finish, the store is compacted, and the
@@ -419,6 +475,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         case_timeout_s=args.case_timeout,
         isolate_jobs=args.isolate,
+        solver_workers=args.solver_workers,
         default_deadline_s=args.default_deadline,
         drain_timeout_s=args.drain_timeout,
         breaker_cooldown_s=args.breaker_cooldown,
@@ -608,6 +665,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect a ``trace.jsonl`` span file from any traced run.
+
+    Prints the stitch summary (trace id, roots, orphans), the per-name
+    rollup sorted by total time, and the ``--top`` slowest spans.
+    ``--chrome OUT`` re-exports the records as a Chrome
+    ``trace_event`` file with cross-process pid/tid rows.
+    """
+    from repro.obs import atomic_write_text, spans_to_chrome
+    from repro.obs.traceview import load_span_records, render_text
+
+    try:
+        records = load_span_records(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"xring trace: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"xring trace: no span records in {args.trace}", file=sys.stderr)
+        return 2
+    print(render_text(records, top=args.top), end="")
+    if args.chrome:
+        atomic_write_text(
+            args.chrome, json.dumps(spans_to_chrome(records)) + "\n"
+        )
+        print(f"chrome trace written: {args.chrome}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -653,6 +738,26 @@ def build_parser() -> argparse.ArgumentParser:
         "by 'xring regress' and 'xring report'",
     )
 
+    # Sampling-profiler flags (synth and batch).
+    prof = argparse.ArgumentParser(add_help=False)
+    prof.add_argument(
+        "--profile-dir",
+        type=str,
+        default="",
+        help="run under the zero-dep sampling profiler and write "
+        "profile.collapsed (flamegraph.pl input), "
+        "profile.speedscope.json (speedscope.app) and profile.json "
+        "(per-stage sample attribution) into this directory; samples "
+        "this process only, so profile batches with --workers 1",
+    )
+    prof.add_argument(
+        "--profile-hz",
+        type=float,
+        default=97.0,
+        help="profiler sampling rate (default 97 Hz — deliberately not "
+        "a round number, to avoid phase-locking with periodic work)",
+    )
+
     # Batch-engine flag shared by every experiment subcommand.
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument(
@@ -664,7 +769,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     synth = sub.add_parser(
-        "synth", help="synthesize one XRing router", parents=[obs]
+        "synth", help="synthesize one XRing router", parents=[obs, prof]
     )
     synth.add_argument("--nodes", type=int, default=16)
     synth.add_argument(
@@ -749,7 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch = sub.add_parser(
         "batch",
         help="run a JSON case file through the batch-synthesis engine",
-        parents=[obs, pool],
+        parents=[obs, pool, prof],
     )
     batch.add_argument(
         "cases",
@@ -854,6 +959,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run every job in a killable worker process even without "
         "--case-timeout",
+    )
+    serve.add_argument(
+        "--solver-workers",
+        type=int,
+        default=1,
+        help="worker processes inside each job's supervised batch run "
+        "(only meaningful with --isolate/--case-timeout)",
     )
     serve.add_argument(
         "--default-deadline",
@@ -971,6 +1083,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default="", help="write the report here (default stdout)"
     )
     report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a trace.jsonl span file: stitch summary, "
+        "per-stage rollup, slowest spans, Chrome re-export",
+    )
+    trace.add_argument(
+        "trace",
+        type=str,
+        help="trace.jsonl path (from --trace-dir, batch artifacts, or "
+        "GET /jobs/{id}/trace)",
+    )
+    trace.add_argument(
+        "--top", type=int, default=10, help="how many slowest spans to list"
+    )
+    trace.add_argument(
+        "--chrome",
+        type=str,
+        default="",
+        help="re-export the records as a Chrome trace_event file here "
+        "(cross-process pid/tid rows; load in Perfetto)",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -1019,7 +1154,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     finally:
         if trace_dir:
-            paths = RunArtifacts(trace_dir).write(tracer=tracer, metrics=registry)
+            # A command that wrote its own (richer, cross-process) trace
+            # keeps it; the ambient tracer would overwrite it with the
+            # parent process' near-empty span list.
+            own_trace = getattr(args, "_trace_written", False)
+            paths = RunArtifacts(trace_dir).write(
+                tracer=None if own_trace else tracer, metrics=registry
+            )
             for path in paths:
                 print(f"artifact written: {path}", file=sys.stderr)
         if getattr(args, "metrics", False):

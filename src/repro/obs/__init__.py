@@ -17,7 +17,15 @@ flow actually did:
   ``trace.jsonl`` / ``trace.json`` / ``metrics.json`` / ``report.json``
   bundle behind the CLI's ``--trace-dir``;
 - :mod:`repro.obs.logsetup` — the ``repro`` stdlib-logging hierarchy
-  behind ``--log-level``.
+  behind ``--log-level``;
+- :mod:`repro.obs.propagate` — cross-process trace propagation:
+  :class:`TraceContext`, span-uid stitching, and the Chrome export
+  with real pid/tid rows;
+- :mod:`repro.obs.profile` — :class:`SamplingProfiler`, the zero-dep
+  stack sampler behind ``--profile-dir`` (collapsed-stack and
+  speedscope export, per-stage attribution);
+- :mod:`repro.obs.traceview` — the ``xring trace`` renderer for
+  ``trace.jsonl`` files.
 
 Everything is no-op-cheap when disabled: the default ambient context
 pairs :data:`NULL_TRACER` with :data:`NULL_METRICS`, both guarded by a
@@ -47,6 +55,18 @@ from repro.obs.metrics import (
     NullMetrics,
 )
 from repro.obs.openmetrics import sanitize_metric_name, to_openmetrics
+from repro.obs.profile import STAGE_FUNCTIONS, SamplingProfiler
+from repro.obs.propagate import (
+    TraceContext,
+    annotate_span_records,
+    current_trace,
+    new_request_id,
+    new_trace_id,
+    parse_traceparent,
+    spans_to_chrome,
+    stitch_spans,
+    use_trace,
+)
 from repro.obs.regress import (
     RegressionThresholds,
     RegressionVerdict,
@@ -63,6 +83,17 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "walk_tree",
+    "TraceContext",
+    "annotate_span_records",
+    "current_trace",
+    "new_request_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "spans_to_chrome",
+    "stitch_spans",
+    "use_trace",
+    "SamplingProfiler",
+    "STAGE_FUNCTIONS",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",

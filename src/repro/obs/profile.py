@@ -1,0 +1,281 @@
+"""Zero-dependency sampling profiler for the synthesis hot paths.
+
+ROADMAP item 1 (N=64-128 scaling) needs *evidence* of where the
+O(E^2) conflict/L-shape path burns time before anyone vectorizes it.
+This module is that evidence generator: a daemon thread samples every
+other thread's Python stack via ``sys._current_frames()`` at a
+configurable rate and aggregates the stacks into:
+
+- **collapsed-stack text** (``root;child;leaf N`` per line) — feed
+  straight into ``flamegraph.pl`` or https://www.speedscope.app;
+- **speedscope JSON** (``"type": "sampled"``) — drag-and-drop into
+  speedscope for an interactive flamegraph, no tooling installed;
+- **per-stage attribution** — the fraction of samples spent inside
+  each synthesizer stage (``_stage_ring`` -> ``ring``, ...), folded
+  into :class:`~repro.robustness.report.SynthesisReport` and the run
+  ledger so ``xring regress`` can say *where* a latency regression
+  lives, not just that one exists.
+
+Overhead model: each sample walks every live thread's frame chain
+(bounded by ``max_depth``) with no allocation beyond the stack tuple;
+at the default ~97 Hz against the solver workloads this costs well
+under the 5% bound the test suite gates (``tests/test_profile.py``).
+The default rate is deliberately *not* a round 100 Hz so sampling
+never phase-locks with periodic work (timers, heartbeats).
+
+The profiler observes *threads of this process only*.  Batch runs
+with ``workers>1`` solve in child processes — profile those with
+``workers=1`` (the CLI's ``--profile-dir`` help says so), which is
+also the honest configuration for attributing single-case latency.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.artifacts import atomic_write_text
+
+__all__ = ["SamplingProfiler", "STAGE_FUNCTIONS"]
+
+#: Synthesizer stage entry points -> stage label.  A sample anywhere
+#: below one of these frames is attributed to that stage (matching
+#: :class:`~repro.core.synthesizer.XRingSynthesizer`'s span names).
+STAGE_FUNCTIONS = {
+    "_stage_ring": "ring",
+    "_stage_shortcuts": "shortcuts",
+    "_stage_mapping": "mapping",
+    "_stage_pdn": "pdn",
+    "_final_gate": "validate",
+}
+
+#: Default sampling rate (Hz).  Prime-ish on purpose: a round 100 Hz
+#: can phase-lock with periodic work and systematically miss it.
+DEFAULT_HZ = 97.0
+
+
+def _frame_label(frame) -> str:
+    """``module:function`` — short, stable, flamegraph-friendly."""
+    code = frame.f_code
+    filename = code.co_filename
+    base = filename.rsplit("/", 1)[-1]
+    if base.endswith(".py"):
+        base = base[:-3]
+    return f"{base}:{code.co_name}"
+
+
+class SamplingProfiler:
+    """Samples all other threads' stacks from a daemon thread.
+
+    Use as a context manager (``with SamplingProfiler() as prof:``) or
+    via ``start()`` / ``stop()``.  Thread-safe to read after ``stop()``;
+    reading while running sees a consistent prefix (the sampler only
+    appends).
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        *,
+        max_depth: int = 64,
+        threads: set[int] | None = None,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz}")
+        self.hz = float(hz)
+        self.max_depth = max_depth
+        #: Restrict sampling to these thread idents (None = all but
+        #: the sampler itself).
+        self.threads = threads
+        #: Stacks root-first, one tuple per sample.
+        self._stacks: list[tuple[str, ...]] = []
+        #: Seconds of wall clock each sample represents.
+        self._weights: list[float] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_s = 0.0
+        self._elapsed_s = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._started_s = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="xring-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._elapsed_s = time.perf_counter() - self._started_s
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- sampling loop -------------------------------------------------------
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_ident = threading.get_ident()
+        last = time.perf_counter()
+        while not self._stop.wait(interval):
+            now = time.perf_counter()
+            weight = now - last
+            last = now
+            self._sample(own_ident, weight)
+        # One final sample so very short profiled sections (< one
+        # interval) still have a chance to record something.
+        now = time.perf_counter()
+        self._sample(own_ident, now - last)
+
+    def _sample(self, own_ident: int, weight: float) -> None:
+        frames = sys._current_frames()
+        for ident, frame in frames.items():
+            if ident == own_ident:
+                continue
+            if self.threads is not None and ident not in self.threads:
+                continue
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            stack.reverse()  # root-first
+            self._stacks.append(tuple(stack))
+            self._weights.append(weight)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def sample_count(self) -> int:
+        return len(self._stacks)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Profiled wall clock (0.0 while still running)."""
+        return self._elapsed_s
+
+    def top_functions(self, n: int = 10) -> list[tuple[str, int]]:
+        """Leaf frames by sample count, descending."""
+        counts: dict[str, int] = {}
+        for stack in self._stacks:
+            leaf = stack[-1]
+            counts[leaf] = counts.get(leaf, 0) + 1
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def stage_attribution(self) -> dict[str, Any]:
+        """Fraction of samples attributable to each synthesis stage.
+
+        A sample belongs to the outermost :data:`STAGE_FUNCTIONS` frame
+        on its stack; samples with none land in ``"other"``.  The
+        result is JSON-ready and stable-keyed for the ledger/regress.
+        """
+        totals: dict[str, int] = {}
+        for stack in self._stacks:
+            stage = "other"
+            for label in stack:
+                name = label.rsplit(":", 1)[-1]
+                if name in STAGE_FUNCTIONS:
+                    stage = STAGE_FUNCTIONS[name]
+                    break
+            totals[stage] = totals.get(stage, 0) + 1
+        count = len(self._stacks)
+        return {
+            "samples": count,
+            "hz": self.hz,
+            "elapsed_s": round(self._elapsed_s, 6),
+            "stages": {
+                stage: {
+                    "samples": n,
+                    "fraction": round(n / count, 4) if count else 0.0,
+                }
+                for stage, n in sorted(totals.items())
+            },
+        }
+
+    # -- exports -------------------------------------------------------------
+    def to_collapsed(self) -> str:
+        """Collapsed-stack text: ``root;child;leaf <count>`` per line."""
+        counts: dict[tuple[str, ...], int] = {}
+        for stack in self._stacks:
+            counts[stack] = counts.get(stack, 0) + 1
+        lines = [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(counts.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_speedscope(self, name: str = "xring") -> dict[str, Any]:
+        """The speedscope file-format JSON object (sampled profile)."""
+        frame_index: dict[str, int] = {}
+        frames: list[dict[str, str]] = []
+        samples: list[list[int]] = []
+        for stack in self._stacks:
+            indexed = []
+            for label in stack:
+                idx = frame_index.get(label)
+                if idx is None:
+                    idx = frame_index[label] = len(frames)
+                    frames.append({"name": label})
+                indexed.append(idx)
+            samples.append(indexed)
+        end_value = sum(self._weights)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0,
+                    "endValue": round(end_value, 6),
+                    "samples": samples,
+                    "weights": [round(w, 6) for w in self._weights],
+                }
+            ],
+            "exporter": "repro.obs.profile",
+        }
+
+    def write(self, directory: str | Path, name: str = "profile") -> list[Path]:
+        """Write ``<name>.collapsed`` / ``<name>.speedscope.json`` /
+        ``<name>.json`` (attribution + meta) into ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = [
+            atomic_write_text(
+                directory / f"{name}.collapsed", self.to_collapsed()
+            ),
+            atomic_write_text(
+                directory / f"{name}.speedscope.json",
+                json.dumps(self.to_speedscope(name)) + "\n",
+            ),
+            atomic_write_text(
+                directory / f"{name}.json",
+                json.dumps(
+                    dict(
+                        self.stage_attribution(),
+                        top_functions=self.top_functions(15),
+                    ),
+                    indent=2,
+                )
+                + "\n",
+            ),
+        ]
+        return written

@@ -205,6 +205,34 @@ def _counter_metrics(records: list[RunRecord]) -> dict[str, float]:
     }
 
 
+def _profile_hotspot(records: list[RunRecord]) -> tuple[str, float] | None:
+    """The hottest profiled stage across the group, if any run carried
+    sampling-profiler attribution (``extra["profile"]["stages"]``).
+
+    Lets a latency-regression verdict say *where* the time went, not
+    just that it grew.  Returns ``(stage, fraction)`` or ``None``.
+    """
+    fractions: dict[str, list[float]] = {}
+    for record in records:
+        stages = (record.extra.get("profile") or {}).get("stages") or {}
+        for stage, stats in stages.items():
+            try:
+                fractions.setdefault(stage, []).append(
+                    float(stats.get("fraction", 0.0))
+                )
+            except (TypeError, AttributeError):
+                continue
+    if not fractions:
+        return None
+    best = max(
+        ((stage, _median(vals)) for stage, vals in fractions.items()),
+        key=lambda kv: kv[1] or 0.0,
+    )
+    if best[1] is None or best[1] <= 0.0:
+        return None
+    return best[0], best[1]
+
+
 def compare_runs(
     baseline: list[RunRecord],
     candidate: list[RunRecord],
@@ -248,6 +276,7 @@ def compare_runs(
 
     base_latency = _latency_metrics(baseline)
     cand_latency = _latency_metrics(candidate)
+    latency_regressed = False
     for name in sorted(base_latency.keys() & cand_latency.keys()):
         base, cand = base_latency[name], cand_latency[name]
         finding = Finding(name, "latency", base, cand)
@@ -256,11 +285,21 @@ def compare_runs(
             base == 0 or excess / base > thresholds.latency_rel
         ):
             finding.status = STATUS_REGRESSION
+            latency_regressed = True
         elif -excess > thresholds.min_latency_s and (
             base == 0 or -excess / base > thresholds.latency_rel
         ):
             finding.status = STATUS_IMPROVEMENT
         verdict.findings.append(finding)
+    if latency_regressed:
+        hotspot = _profile_hotspot(candidate)
+        if hotspot:
+            stage, fraction = hotspot
+            verdict.warnings.append(
+                f"latency regressed; candidate profile attributes "
+                f"{fraction:.0%} of samples to stage '{stage}' "
+                "(see the run's profile.json for the flamegraph)"
+            )
 
     base_quality = _quality_metrics(baseline)
     cand_quality = _quality_metrics(candidate)

@@ -119,6 +119,10 @@ class Tracer:
         self._finished: list[Span] = []
         self._stacks = threading.local()
         self._epoch = time.monotonic()
+        #: Wall-clock instant of the epoch: the anchor cross-process
+        #: stitching (:mod:`repro.obs.propagate`) uses to put spans
+        #: from different processes on one timeline.
+        self.epoch_unix = time.time()
 
     # -- recording -----------------------------------------------------------
     def _stack(self) -> list[Span]:
@@ -182,6 +186,9 @@ class Tracer:
 
     def chrome_events(self) -> list[dict[str, Any]]:
         """Chrome ``trace_event`` complete ("X") events, one per span."""
+        import os
+
+        pid = os.getpid()
         events = []
         for span in self.finished_spans():
             events.append(
@@ -190,7 +197,7 @@ class Tracer:
                     "ph": "X",
                     "ts": span.start_s * 1e6,  # microseconds
                     "dur": span.duration_s * 1e6,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": span.thread_id,
                     "args": dict(
                         span.attributes,

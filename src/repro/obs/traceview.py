@@ -1,0 +1,124 @@
+"""Human-readable trace inspection (the ``xring trace`` subcommand).
+
+A ``trace.jsonl`` file — written by ``--trace-dir`` runs, batch
+artifacts, or downloaded from ``GET /jobs/{id}/trace`` — is one span
+record per line.  This module renders it without external tools:
+
+- per-name rollup (count, total/mean/max duration) sorted by total
+  time, so the expensive stage is the first line you read;
+- the top-N slowest individual spans with their case labels;
+- a stitch summary (trace id, roots, orphans) when the records carry
+  cross-process annotations from :mod:`repro.obs.propagate`;
+- Chrome ``trace_event`` re-export (``--chrome``) via
+  :func:`~repro.obs.propagate.spans_to_chrome`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.propagate import stitch_spans
+
+__all__ = ["load_span_records", "rollup", "top_spans", "render_text"]
+
+
+def load_span_records(path: str | Path) -> list[dict[str, Any]]:
+    """Read a span-per-line JSONL trace file.
+
+    Raises ``ValueError`` with the offending line number on malformed
+    JSON (a torn tail from a killed run is still an error here — the
+    CLI reports it instead of silently rendering half a trace).
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: malformed span record at line {lineno}: {exc}"
+                ) from exc
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def rollup(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-span-name aggregate, sorted by total duration descending."""
+    agg: dict[str, dict[str, float]] = {}
+    for record in records:
+        name = record.get("name", "?")
+        duration = float(record.get("duration_s", 0.0))
+        entry = agg.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+    rows = [
+        {
+            "name": name,
+            "count": int(entry["count"]),
+            "total_s": entry["total_s"],
+            "mean_s": entry["total_s"] / entry["count"],
+            "max_s": entry["max_s"],
+        }
+        for name, entry in agg.items()
+    ]
+    rows.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return rows
+
+
+def top_spans(
+    records: list[dict[str, Any]], n: int = 10
+) -> list[dict[str, Any]]:
+    """The ``n`` slowest individual spans, descending."""
+    ordered = sorted(
+        records,
+        key=lambda r: -float(r.get("duration_s", 0.0)),
+    )
+    return ordered[: max(0, n)]
+
+
+def render_text(records: list[dict[str, Any]], top: int = 10) -> str:
+    """The full ``xring trace`` stdout report."""
+    lines: list[str] = []
+    stitched = stitch_spans(records)
+    lines.append(
+        f"{stitched['span_count']} spans"
+        + (f", trace {stitched['trace_id']}" if stitched["trace_id"] else "")
+        + f", {len(stitched['roots'])} root(s)"
+        + (
+            f", {len(stitched['orphans'])} ORPHANED"
+            if stitched["orphans"]
+            else ""
+        )
+    )
+    if stitched["orphans"]:
+        for uid in stitched["orphans"][:10]:
+            lines.append(f"  orphan: {uid}")
+    lines.append("")
+    lines.append("per-name rollup (by total time):")
+    lines.append(
+        f"  {'name':<28}{'count':>7}{'total':>10}{'mean':>10}{'max':>10}"
+    )
+    for row in rollup(records):
+        lines.append(
+            f"  {row['name']:<28}{row['count']:>7}"
+            f"{row['total_s']:>9.3f}s{row['mean_s']:>9.3f}s"
+            f"{row['max_s']:>9.3f}s"
+        )
+    lines.append("")
+    lines.append(f"top {top} slowest spans:")
+    for record in top_spans(records, top):
+        case = record.get("case") or record.get("attributes", {}).get("case", "")
+        suffix = f"  [{case}]" if case else ""
+        lines.append(
+            f"  {float(record.get('duration_s', 0.0)):>9.3f}s  "
+            f"{record.get('name', '?')}{suffix}"
+        )
+    return "\n".join(lines) + "\n"

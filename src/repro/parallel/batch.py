@@ -61,9 +61,12 @@ from typing import Any
 from repro.obs import (
     MetricsRegistry,
     RunArtifacts,
+    TraceContext,
     atomic_write_text,
+    current_trace,
     get_logger,
     get_obs,
+    spans_to_chrome,
 )
 from repro.parallel.cache import canonical_points, get_cache
 from repro.parallel.journal import BatchJournal, batch_fingerprint, case_key
@@ -155,17 +158,28 @@ class BatchReport:
         }
 
     def write_artifacts(self, directory) -> list:
-        """Write ``metrics.json`` (+ ``trace.jsonl`` when spans were
-        collected) into ``directory`` via :class:`~repro.obs.RunArtifacts`."""
+        """Write ``metrics.json`` (+ ``trace.jsonl`` / ``trace.json`` when
+        spans were collected) into ``directory`` via
+        :class:`~repro.obs.RunArtifacts`.  The Chrome export stitches all
+        processes onto one timeline (supervisor + worker pid rows)."""
         import json
 
         paths = RunArtifacts(directory).write(metrics=self.metrics)
         if self.span_records:
-            path = atomic_write_text(
-                Path(directory) / "trace.jsonl",
-                "".join(json.dumps(s) + "\n" for s in self.span_records),
+            paths.append(
+                atomic_write_text(
+                    Path(directory) / "trace.jsonl",
+                    "".join(
+                        json.dumps(s) + "\n" for s in self.span_records
+                    ),
+                )
             )
-            paths.append(path)
+            paths.append(
+                atomic_write_text(
+                    Path(directory) / "trace.json",
+                    json.dumps(spans_to_chrome(self.span_records)) + "\n",
+                )
+            )
         return paths
 
 
@@ -196,6 +210,7 @@ class BatchSynthesizer:
         supervised: bool = True,
         fault_plan: FaultPlan | None = None,
         on_event: Any = None,
+        trace: TraceContext | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -219,6 +234,10 @@ class BatchSynthesizer:
         #: per-case transitions and heartbeats through it, the batch
         #: layer adds ``batch_start`` / ``case_resumed`` / ``batch_done``.
         self.on_event = on_event
+        #: Request trace context for cross-process span stitching.
+        #: ``None`` falls back to the ambient context (``use_trace``),
+        #: then to a fresh one when ``collect_spans`` is on.
+        self.trace = trace
 
     def _emit(self, event: str, **fields: Any) -> None:
         if self.on_event is None:
@@ -327,6 +346,10 @@ class BatchSynthesizer:
             if idx not in restored
         ]
 
+        trace = self.trace
+        if trace is None and self.collect_spans:
+            trace = current_trace() or TraceContext.new()
+
         stats = SupervisorStats()
         if self.supervised:
             supervisor = WorkerSupervisor(
@@ -335,6 +358,7 @@ class BatchSynthesizer:
                 collect_spans=self.collect_spans,
                 fault_plan=self.fault_plan,
                 on_event=self.on_event,
+                trace=trace,
             )
             on_complete = None
             if journal_obj is not None:
@@ -344,7 +368,7 @@ class BatchSynthesizer:
             outcomes = supervisor.run(remaining, on_complete=on_complete)
             stats = supervisor.stats
         else:
-            outcomes = self._run_unsupervised(remaining)
+            outcomes = self._run_unsupervised(remaining, trace)
             if journal_obj is not None:
                 for result in outcomes:
                     journal_obj.record(keys[result.index], result)
@@ -370,7 +394,9 @@ class BatchSynthesizer:
         return journal_obj
 
     def _run_unsupervised(
-        self, indexed_cases: list[tuple[int, BatchCase]]
+        self,
+        indexed_cases: list[tuple[int, BatchCase]],
+        trace: TraceContext | None = None,
     ) -> list[BatchResult]:
         """Legacy fast path: plain pool, no retries, no watchdog.
 
@@ -379,15 +405,33 @@ class BatchSynthesizer:
         futures broke — completed results are kept, the batch is never
         lost to an unhandled crash.
         """
+
+        def case_trace(idx: int) -> TraceContext | None:
+            # No attempt dimension here (no retries): one subtree per
+            # case, parented straight onto the request context.
+            if trace is None:
+                return None
+            return trace.child(trace.parent_uid, prefix=f"c{idx}.a1")
+
         if self.workers == 1 or len(indexed_cases) <= 1:
             return [
-                _execute_case(idx, case, self.collect_spans)
+                _execute_case(idx, case, self.collect_spans, case_trace(idx))
                 for idx, case in indexed_cases
             ]
         outcomes: list[BatchResult] = []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = [
-                (idx, case, pool.submit(_execute_case, idx, case, self.collect_spans))
+                (
+                    idx,
+                    case,
+                    pool.submit(
+                        _execute_case,
+                        idx,
+                        case,
+                        self.collect_spans,
+                        case_trace(idx),
+                    ),
+                )
                 for idx, case in indexed_cases
             ]
             for idx, case, future in futures:

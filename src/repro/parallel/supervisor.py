@@ -73,7 +73,10 @@ from repro.obs import (
     NULL_TRACER,
     MetricsRegistry,
     ObsContext,
+    TraceContext,
     Tracer,
+    annotate_span_records,
+    current_trace,
     get_logger,
     use_obs,
 )
@@ -205,13 +208,21 @@ class BatchResult:
 
 
 def _execute_case(
-    index: int, case: BatchCase, collect_spans: bool
+    index: int,
+    case: BatchCase,
+    collect_spans: bool,
+    trace: TraceContext | None = None,
 ) -> BatchResult:
     """Run one case under a fresh per-case observability context.
 
     Top-level so worker processes can import it under any start
     method.  Every exception is captured into the result — workers
     never die on a case (only injected faults and real crashes do).
+
+    ``trace`` is the propagated request context: when set, exported
+    span records are annotated with the request's trace id and
+    globally-unique span uids, and the local roots point at the
+    dispatching attempt's uid (see :mod:`repro.obs.propagate`).
     """
     start = time.perf_counter()
     registry = MetricsRegistry()
@@ -232,10 +243,15 @@ def _execute_case(
     result.elapsed_s = time.perf_counter() - start
     result.metrics = registry.snapshot()
     if collect_spans:
-        result.metrics["spans"] = [
+        records = [
             dict(span.to_dict(), case=result.label)
             for span in tracer.finished_spans()
         ]
+        if trace is not None:
+            annotate_span_records(
+                records, trace, epoch_unix=tracer.epoch_unix
+            )
+        result.metrics["spans"] = records
     return result
 
 
@@ -253,10 +269,10 @@ def _worker_main(conn) -> None:
             return
         if item is None:
             return
-        task_seq, index, case, collect_spans, fault = item
+        task_seq, index, case, collect_spans, fault, trace = item
         if fault is not None:
             fire_worker_fault(fault)
-        result = _execute_case(index, case, collect_spans)
+        result = _execute_case(index, case, collect_spans, trace)
         try:
             conn.send((task_seq, result))
         except (BrokenPipeError, OSError):
@@ -446,6 +462,7 @@ class WorkerSupervisor:
         collect_spans: bool = False,
         fault_plan: FaultPlan | None = None,
         on_event: Callable[[dict[str, Any]], None] | None = None,
+        trace: TraceContext | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
@@ -455,6 +472,13 @@ class WorkerSupervisor:
         self.workers = workers
         self.config = config or SupervisorConfig()
         self.collect_spans = collect_spans
+        # Trace context for cross-process stitching.  Explicit beats
+        # ambient beats fresh: a service request passes its own context,
+        # a CLI run inherits whatever `use_trace` installed, and a bare
+        # collect_spans run still gets a consistent trace id.
+        if trace is None and collect_spans:
+            trace = current_trace() or TraceContext.new()
+        self.trace = trace
         self.fault_plan = fault_plan
         self.on_event = on_event
         self.stats = SupervisorStats()
@@ -585,30 +609,51 @@ class WorkerSupervisor:
             return None
         return self.fault_plan.take_worker_fault(task.label(), task.attempt)
 
+    def _attempt_uid(self, task: _Task) -> str:
+        """Globally-unique uid of one (case, attempt) dispatch.
+
+        Worker-side root spans parent onto this uid, so retries stitch
+        as sibling subtrees under the request instead of colliding.
+        """
+        return f"sup{os.getpid()}:c{task.index}.a{task.attempt}"
+
+    def _attempt_trace(self, task: _Task) -> TraceContext | None:
+        """Child context shipped with one dispatch (None when untraced)."""
+        if self.trace is None:
+            return None
+        return self.trace.child(
+            self._attempt_uid(task), prefix=f"c{task.index}.a{task.attempt}"
+        )
+
     def _record_attempt_span(
         self, task: _Task, outcome: str, elapsed_s: float, pid: int
     ) -> None:
         if not self.collect_spans:
             return
         self._span_seq += 1
-        self.stats.span_records.append(
-            {
-                "name": "batch.attempt",
-                # Negative ids: parent-side records, disjoint from any
-                # worker tracer's positive span ids.
-                "span_id": -self._span_seq,
-                "parent_id": None,
-                "thread_id": 0,
-                "start_s": max(0.0, time.monotonic() - self._epoch - elapsed_s),
-                "duration_s": elapsed_s,
-                "attributes": {
-                    "attempt": task.attempt,
-                    "outcome": outcome,
-                    "worker_pid": pid,
-                },
-                "case": task.label(),
-            }
-        )
+        record = {
+            "name": "batch.attempt",
+            # Negative ids: parent-side records, disjoint from any
+            # worker tracer's positive span ids.
+            "span_id": -self._span_seq,
+            "parent_id": None,
+            "thread_id": 0,
+            "start_s": max(0.0, time.monotonic() - self._epoch - elapsed_s),
+            "duration_s": elapsed_s,
+            "attributes": {
+                "attempt": task.attempt,
+                "outcome": outcome,
+                "worker_pid": pid,
+            },
+            "case": task.label(),
+        }
+        if self.trace is not None:
+            record["trace_id"] = self.trace.trace_id
+            record["span_uid"] = self._attempt_uid(task)
+            record["parent_uid"] = self.trace.parent_uid
+            record["pid"] = os.getpid()
+            record["start_unix"] = time.time() - elapsed_s
+        self.stats.span_records.append(record)
 
     def _finish(self, task: _Task, result: BatchResult) -> None:
         """Move ``task`` to a terminal state and notify the journal."""
@@ -823,7 +868,12 @@ class WorkerSupervisor:
                         queue.appendleft(task)
                     continue
                 time.sleep(fault.seconds)
-            result = _execute_case(task.index, task.case, self.collect_spans)
+            result = _execute_case(
+                task.index,
+                task.case,
+                self.collect_spans,
+                self._attempt_trace(task),
+            )
             if self._handle_result(task, result):
                 queue.appendleft(task)
 
@@ -867,7 +917,14 @@ class WorkerSupervisor:
         fault = self._take_fault(task)
         self._task_seq += 1
         worker.conn.send(
-            (self._task_seq, task.index, task.case, self.collect_spans, fault)
+            (
+                self._task_seq,
+                task.index,
+                task.case,
+                self.collect_spans,
+                fault,
+                self._attempt_trace(task),
+            )
         )
         worker.task = task
         worker.task_seq = self._task_seq

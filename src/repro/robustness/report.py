@@ -70,6 +70,10 @@ class SynthesisReport:
     #: Metrics snapshot of the run (``MetricsRegistry.snapshot()``):
     #: solver counters, gauges, and histograms keyed by metric name.
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Sampling-profiler stage attribution
+    #: (:meth:`~repro.obs.profile.SamplingProfiler.stage_attribution`)
+    #: when the run was profiled (``--profile-dir``); empty otherwise.
+    profile: dict[str, Any] = field(default_factory=dict)
 
     def record(self, record: StageRecord) -> StageRecord:
         """Append a stage record (returned for further mutation)."""
@@ -120,6 +124,7 @@ class SynthesisReport:
             "violations": list(self.violations),
             "stages": [s.to_dict() for s in self.stages],
             "metrics": self.metrics,
+            "profile": self.profile,
         }
 
     def summary(self) -> str:

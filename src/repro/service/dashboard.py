@@ -1,0 +1,206 @@
+"""The live service dashboard (``GET /dashboard``).
+
+One self-contained HTML page — zero dependencies, no build step, no
+external assets — that polls ``GET /dashboard/data`` (a JSON snapshot
+assembled from the same :class:`~repro.obs.MetricsRegistry` and
+:class:`~repro.service.jobs.JobManager` state every other endpoint
+reads) and renders:
+
+- service health: ready / draining / breaker state, uptime, queue
+  depth, running count, worker concurrency;
+- throughput counters: admitted, done, failed, dedup hits, rejected;
+- latency histograms (job end-to-end and solve-only) as inline bar
+  charts with p50/p90/p99;
+- the most recent jobs with state, attempts, elapsed time, request id.
+
+The page carries no inline data — it is a static shell, so it can be
+cached, and every refresh is one small JSON GET.  Polling (2s) rather
+than SSE keeps the dashboard connection-cheap: the service closes
+every connection after one response (see :mod:`repro.service.http`),
+which SSE per-job streams already spend on live job followers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["render_dashboard_html", "dashboard_data"]
+
+#: Histograms the dashboard charts (name -> panel title).
+_LATENCY_PANELS = {
+    "service.job_latency_s": "job latency (queue + solve)",
+    "service.solve_latency_s": "solve latency",
+}
+
+#: How many recent jobs the data endpoint returns.
+RECENT_JOBS = 20
+
+
+def dashboard_data(manager, metrics, started_unix: float) -> dict[str, Any]:
+    """The JSON snapshot behind ``GET /dashboard/data``.
+
+    Pure read of loop-thread state (called on the event loop, like
+    every other route), so it is race-free by the service's
+    single-writer discipline.
+    """
+    snapshot = metrics.snapshot()
+    histograms = {
+        name: snapshot.get("histograms", {}).get(name)
+        for name in _LATENCY_PANELS
+        if snapshot.get("histograms", {}).get(name)
+    }
+    jobs = manager.jobs()
+    recent = [
+        {
+            "job_id": job.record.job_id,
+            "label": job.record.label,
+            "state": job.record.state,
+            "attempts": job.record.attempts,
+            "elapsed_s": round(job.record.elapsed_s, 3),
+            "degraded": job.record.degraded,
+            "request_id": job.record.request_id,
+            "trace_id": job.record.trace_id,
+            "updated_unix": round(job.record.updated_unix, 3),
+        }
+        for job in jobs[-RECENT_JOBS:][::-1]
+    ]
+    return {
+        "now_unix": round(time.time(), 3),
+        "uptime_s": round(time.time() - started_unix, 3),
+        "stats": manager.stats(),
+        "counters": snapshot.get("counters", {}),
+        "histograms": histograms,
+        "panels": _LATENCY_PANELS,
+        "jobs": recent,
+        "job_total": len(jobs),
+    }
+
+
+#: The static page shell.  Kept as one template string so the whole
+#: dashboard stays greppable; no f-string so the JS braces read as-is.
+_PAGE = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>xring service dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 1.5rem; background: #101418; color: #d7dde3; }
+  h1 { font-size: 1.1rem; margin: 0 0 1rem; }
+  h2 { font-size: 0.9rem; margin: 1.2rem 0 0.4rem; color: #8fa3b3; }
+  .cards { display: flex; flex-wrap: wrap; gap: 0.6rem; }
+  .card { background: #181e24; border: 1px solid #242c34; border-radius: 6px;
+          padding: 0.5rem 0.9rem; min-width: 7.5rem; }
+  .card .v { font-size: 1.25rem; }
+  .card .k { color: #8fa3b3; font-size: 0.75rem; }
+  .ok { color: #6fd18b; } .bad { color: #ef7a6d; } .warn { color: #e8c468; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 0.25rem 0.7rem 0.25rem 0;
+           border-bottom: 1px solid #1d242b; white-space: nowrap; }
+  th { color: #8fa3b3; font-weight: normal; }
+  .bar { display: inline-block; height: 0.7rem; background: #3d7ea6;
+         vertical-align: middle; border-radius: 2px; }
+  .hist td { border-bottom: none; padding: 0.1rem 0.6rem 0.1rem 0; }
+  .muted { color: #5c6a75; }
+  #err { color: #ef7a6d; display: none; }
+</style>
+</head>
+<body>
+<h1>xring service dashboard
+  <span id="updated" class="muted"></span>
+  <span id="err">disconnected — retrying</span>
+</h1>
+<div class="cards" id="cards"></div>
+<div id="panels"></div>
+<h2>recent jobs (<span id="jobcount">0</span> total)</h2>
+<table id="jobs">
+  <thead><tr>
+    <th>job</th><th>label</th><th>state</th><th>attempts</th>
+    <th>elapsed</th><th>request</th><th>trace</th>
+  </tr></thead>
+  <tbody></tbody>
+</table>
+<script>
+"use strict";
+const fmt = (v, d) => v === null || v === undefined ? "-" : (+v).toFixed(d);
+function card(k, v, cls) {
+  return `<div class="card"><div class="v ${cls || ""}">${v}</div>` +
+         `<div class="k">${k}</div></div>`;
+}
+function histogram(name, title, h) {
+  const counts = h.counts || [];
+  const edges = h.buckets || [];
+  const max = Math.max(1, ...counts);
+  let rows = "";
+  for (let i = 0; i < counts.length; i++) {
+    const label = i < edges.length ? "&le; " + edges[i] + "s" : "overflow";
+    const w = (100 * counts[i] / max).toFixed(1);
+    rows += `<tr><td class="muted">${label}</td>` +
+            `<td style="width:60%"><span class="bar" style="width:${w}%">` +
+            `</span> ${counts[i] || ""}</td></tr>`;
+  }
+  return `<h2>${title} &mdash; p50 ${fmt(h.p50, 3)}s / p90 ` +
+         `${fmt(h.p90, 3)}s / p99 ${fmt(h.p99, 3)}s (n=${h.total})</h2>` +
+         `<table class="hist">${rows}</table>`;
+}
+async function refresh() {
+  let data;
+  try {
+    const resp = await fetch("/dashboard/data", {cache: "no-store"});
+    data = await resp.json();
+    document.getElementById("err").style.display = "none";
+  } catch (e) {
+    document.getElementById("err").style.display = "inline";
+    return;
+  }
+  const s = data.stats || {};
+  const c = data.counters || {};
+  const stateCls = s.ready ? "ok" : "bad";
+  const state = s.draining ? "draining" : (s.breaker_open ? "breaker open"
+    : (s.ready ? "ready" : "not ready"));
+  document.getElementById("cards").innerHTML =
+    card("state", state, stateCls) +
+    card("uptime", fmt(data.uptime_s, 0) + "s") +
+    card("queue", s.queue_depth ?? 0, s.queue_depth ? "warn" : "") +
+    card("running", s.running ?? 0) +
+    card("admitted", c["service.admitted"] || 0) +
+    card("done", c["service.jobs.done"] || 0, "ok") +
+    card("failed", c["service.jobs.failed"] || 0,
+         c["service.jobs.failed"] ? "bad" : "") +
+    card("dedup hits", c["service.dedup_hits"] || 0) +
+    card("breaker opens", c["service.breaker_opens"] || 0,
+         c["service.breaker_opens"] ? "warn" : "");
+  let panels = "";
+  for (const [name, title] of Object.entries(data.panels || {})) {
+    if (data.histograms && data.histograms[name]) {
+      panels += histogram(name, title, data.histograms[name]);
+    }
+  }
+  document.getElementById("panels").innerHTML = panels;
+  document.getElementById("jobcount").textContent = data.job_total || 0;
+  const rows = (data.jobs || []).map(j =>
+    `<tr><td>${j.job_id}</td><td>${j.label}</td>` +
+    `<td class="${j.state === "done" ? "ok" : (j.state === "failed" ?
+        "bad" : "warn")}">${j.state}${j.degraded ? " (degraded)" : ""}</td>` +
+    `<td>${j.attempts}</td><td>${fmt(j.elapsed_s, 2)}s</td>` +
+    `<td class="muted">${j.request_id || "-"}</td>` +
+    `<td class="muted">${(j.trace_id || "").slice(0, 12) || "-"}</td></tr>`
+  ).join("");
+  document.querySelector("#jobs tbody").innerHTML =
+    rows || '<tr><td colspan="7" class="muted">no jobs yet</td></tr>';
+  document.getElementById("updated").textContent =
+    "updated " + new Date().toLocaleTimeString();
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""
+
+
+def render_dashboard_html() -> str:
+    """The static dashboard page (``GET /dashboard``)."""
+    return _PAGE

@@ -55,6 +55,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import math
+import os
 import random
 import threading
 import time
@@ -65,7 +66,13 @@ from typing import Any, Callable
 from repro.core import SynthesisOptions
 from repro.network import Network
 from repro.network.placement import extended_placement, psion_placement
-from repro.obs import LATENCY_BUCKETS, MetricsRegistry, get_logger
+from repro.obs import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    TraceContext,
+    get_logger,
+    new_trace_id,
+)
 from repro.parallel import (
     BatchCase,
     BatchResult,
@@ -253,6 +260,10 @@ class ServiceConfig:
     #: Run each job in a killable worker process even without a
     #: watchdog timeout (slower per job, immune to hung solvers).
     isolate_jobs: bool = False
+    #: Worker processes inside each job's supervised batch run.  A
+    #: single-case job only ever uses one, but >1 keeps a warm pool
+    #: across retries and exercises the cross-process trace stitch.
+    solver_workers: int = 1
     #: Deadline applied to jobs that do not bring their own.
     default_deadline_s: float | None = None
     #: Grace period for in-flight jobs on SIGTERM before giving up.
@@ -286,6 +297,11 @@ class ServiceConfig:
                 f"retries must be >= 0, got {self.retries}",
                 context={"retries": self.retries},
             )
+        if self.solver_workers < 1:
+            raise ConfigurationError(
+                f"solver_workers must be >= 1, got {self.solver_workers}",
+                context={"solver_workers": self.solver_workers},
+            )
         if self.drain_timeout_s <= 0:
             raise ConfigurationError(
                 f"drain_timeout_s must be positive, got {self.drain_timeout_s}",
@@ -315,7 +331,14 @@ class ServiceConfig:
 class Job:
     """Runtime state of one job: durable record + live event fan-out."""
 
-    __slots__ = ("record", "case", "events", "subscribers", "done_event")
+    __slots__ = (
+        "record",
+        "case",
+        "events",
+        "subscribers",
+        "done_event",
+        "trace_parent",
+    )
 
     def __init__(self, record: JobRecord, case: BatchCase | None) -> None:
         self.record = record
@@ -323,6 +346,10 @@ class Job:
         self.events: list[dict[str, Any]] = []
         self.subscribers: list[asyncio.Queue] = []
         self.done_event = asyncio.Event()
+        #: Upstream parent span uid (``w3c:<hex>`` from the submitter's
+        #: ``traceparent`` header); in-memory only — adopted jobs lose
+        #: the upstream link but keep their trace id.
+        self.trace_parent: str | None = None
 
 
 class JobManager:
@@ -521,12 +548,23 @@ class JobManager:
             self._jobs.values(), key=lambda j: j.record.created_unix
         )
 
-    def submit(self, spec: dict[str, Any]) -> tuple[Job, bool]:
+    def submit(
+        self,
+        spec: dict[str, Any],
+        *,
+        request_id: str = "",
+        trace: TraceContext | None = None,
+    ) -> tuple[Job, bool]:
         """Admit one submission; returns ``(job, created)``.
 
         Runs synchronously on the event loop, so two concurrent
         identical POSTs cannot both create a job: the second sees the
         first in ``_by_key`` and shares its id.
+
+        ``request_id`` is echoed in the job record and every log line
+        about the job; ``trace`` (from the submitter's ``traceparent``
+        header) pins the job's distributed trace id so the worker-side
+        spans stitch into the caller's trace.
         """
         case = case_from_spec(spec)
         if (
@@ -578,8 +616,11 @@ class JobManager:
             spec=dict(spec),
             label=case.named(),
             state=JOB_QUEUED,
+            request_id=request_id,
+            trace_id=trace.trace_id if trace is not None else new_trace_id(),
         )
         job = Job(record, case)
+        job.trace_parent = trace.parent_uid if trace is not None else None
         self._jobs[job_id] = job
         self._by_key[key] = job_id
         self.store.append(record)
@@ -677,8 +718,9 @@ class JobManager:
                 raise
             except Exception as exc:  # solver plumbing, not the case
                 _log.warning(
-                    "job %s solver infrastructure failed: %s",
+                    "job %s (request %s) solver infrastructure failed: %s",
                     record.job_id,
+                    record.request_id or "-",
                     exc,
                     exc_info=True,
                 )
@@ -716,22 +758,63 @@ class JobManager:
         return await future
 
     def _solve_sync(self, job: Job) -> BatchResult:
-        """One job through the supervised batch engine (solver thread)."""
+        """One job through the supervised batch engine (solver thread).
+
+        Span collection is always on: the job's :class:`TraceContext`
+        is passed *explicitly* (contextvars do not cross the thread
+        boundary into this daemon thread), the supervisor ships it to
+        the worker, and the annotated spans come back through the
+        result pickle.  A synthetic ``job`` root span ties the
+        cross-process subtrees into one tree per request.
+        """
+        record = job.record
+        root_uid = f"job:{record.job_id}"
+        trace = TraceContext(
+            trace_id=record.trace_id or new_trace_id(),
+            parent_uid=root_uid,
+        )
+        started_unix = time.time()
+        started = time.perf_counter()
         synthesizer = BatchSynthesizer(
-            workers=1,
+            workers=self.config.solver_workers,
             on_error="collect",
             share_tours=False,
             config=self._sup_config,
+            collect_spans=True,
+            trace=trace,
             on_event=lambda event: self._publish_threadsafe(job, event),
         )
         report = synthesizer.run([job.case])
-        return report.results[0]
+        result = report.results[0]
+        root = {
+            "name": "job",
+            "span_id": 0,
+            "parent_id": None,
+            "thread_id": threading.get_ident(),
+            "start_s": 0.0,
+            "duration_s": time.perf_counter() - started,
+            "attributes": {
+                "job_id": record.job_id,
+                "request_id": record.request_id,
+                "runs": record.runs,
+            },
+            "case": record.label,
+            "trace_id": trace.trace_id,
+            "span_uid": root_uid,
+            "parent_uid": job.trace_parent,
+            "pid": os.getpid(),
+            "start_unix": started_unix,
+        }
+        result.metrics["spans"] = [root] + list(report.span_records)
+        return result
 
     # -- terminal transitions ------------------------------------------------
     def _apply_result(self, job: Job, result: BatchResult) -> None:
         record = job.record
         metrics_snapshot = dict(result.metrics)
-        metrics_snapshot.pop("spans", None)
+        spans = metrics_snapshot.pop("spans", None)
+        if spans:
+            record.trace = spans
         self.metrics.merge_snapshot(metrics_snapshot)
         record.attempts = result.attempts
         record.elapsed_s = result.elapsed_s
@@ -788,9 +871,10 @@ class JobManager:
             self._breaker_opened_s = time.monotonic()
             self.metrics.counter("service.breaker_opens").inc()
             _log.warning(
-                "circuit breaker opened after job %s (%s); shedding load "
-                "for %.1fs",
+                "circuit breaker opened after job %s (request %s, %s); "
+                "shedding load for %.1fs",
                 record.job_id,
+                record.request_id or "-",
                 record.error_type or "ok",
                 self.config.breaker_cooldown_s,
             )

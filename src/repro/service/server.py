@@ -14,11 +14,25 @@ Routes (all JSON unless noted)::
                             across runs); 504 + provenance when the
                             job died of its deadline, 409 while the
                             job is not terminal yet
+    GET  /jobs/{id}/trace   the stitched cross-process trace of the
+                            solve (409 until terminal, 404 if the
+                            terminal record carries no spans)
     GET  /healthz           liveness (200 while the process runs)
     GET  /readyz            readiness (503 while draining or the
                             circuit breaker is open)
     GET  /stats             service counters (JSON mirror of /metrics)
     GET  /metrics           OpenMetrics text exposition
+    GET  /dashboard         live HTML dashboard (self-contained page)
+    GET  /dashboard/data    the JSON snapshot the dashboard polls
+    POST /debug/profile     sample this process for ?seconds=N at
+                            ?hz=H and return a speedscope profile
+
+Every response carries ``X-Request-Id`` — echoed from the caller's
+``X-Request-Id`` header when present, minted otherwise — including
+the 4xx/5xx rejection envelopes, so a rejected submission is still
+greppable across client and server logs.  ``POST /jobs`` additionally
+honours a W3C ``traceparent`` header: the job's solve spans join the
+caller's distributed trace instead of starting a fresh one.
 
 Lifecycle: :func:`serve` binds, adopts the job store, then blocks
 until SIGTERM/SIGINT.  The drain sequence keeps the listener up — so
@@ -39,8 +53,18 @@ import signal
 import time
 from typing import Any
 
-from repro.obs import MetricsRegistry, atomic_write_text, get_logger, to_openmetrics
+from repro.obs import (
+    MetricsRegistry,
+    SamplingProfiler,
+    atomic_write_text,
+    get_logger,
+    new_request_id,
+    parse_traceparent,
+    stitch_spans,
+    to_openmetrics,
+)
 from repro.parallel import canonical_json
+from repro.service.dashboard import dashboard_data, render_dashboard_html
 from repro.service.http import (
     HttpError,
     Request,
@@ -69,6 +93,12 @@ _TERMINAL_EVENTS = frozenset({"job_done", "job_failed"})
 
 ADDRESS_FILENAME = "address"
 
+#: ``POST /debug/profile`` bounds — the profiler thread is cheap (<5%
+#: overhead, gated by test) but an unbounded duration would hold the
+#: HTTP connection open arbitrarily long.
+PROFILE_MAX_SECONDS = 30.0
+PROFILE_MAX_HZ = 250.0
+
 
 class ServiceServer:
     """One listening ``xring serve`` process."""
@@ -85,6 +115,9 @@ class ServiceServer:
         self._server: asyncio.AbstractServer | None = None
         self._started_unix = time.time()
         self.address: tuple[str, int] | None = None
+        #: Loop-thread guard: at most one /debug/profile capture at a
+        #: time (two samplers would double the overhead and interleave).
+        self._profiling = False
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> dict[str, int]:
@@ -126,30 +159,51 @@ class ServiceServer:
         return stats
 
     # -- connection handling -------------------------------------------------
+    @staticmethod
+    def _rid_headers(
+        rid: str, extra: dict[str, str] | None = None
+    ) -> dict[str, str]:
+        """Response headers with ``X-Request-Id`` merged in."""
+        headers = {"X-Request-Id": rid}
+        if extra:
+            headers.update(extra)
+        return headers
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        # Minted up front so even a malformed request that never
+        # parses far enough to carry a header gets a correlatable id.
+        rid = new_request_id()
         try:
             try:
                 request = await read_request(reader, self.config.max_body_bytes)
             except HttpError as exc:
                 await send_json(
-                    writer, exc.status, {"error": exc.message}, exc.headers
+                    writer,
+                    exc.status,
+                    {"error": exc.message, "request_id": rid},
+                    self._rid_headers(rid, exc.headers),
                 )
                 return
             if request is None:
                 return
+            rid = request.headers.get("x-request-id", "").strip() or rid
             try:
-                await self._dispatch(request, writer)
+                await self._dispatch(request, writer, rid)
             except HttpError as exc:
                 await send_json(
-                    writer, exc.status, {"error": exc.message}, exc.headers
+                    writer,
+                    exc.status,
+                    {"error": exc.message, "request_id": rid},
+                    self._rid_headers(rid, exc.headers),
                 )
             except (ConnectionResetError, BrokenPipeError):
                 raise
             except Exception as exc:  # never leak a traceback as a hang
                 _log.warning(
-                    "unhandled error serving %s %s: %s",
+                    "request %s: unhandled error serving %s %s: %s",
+                    rid,
                     request.method,
                     request.path,
                     exc,
@@ -158,7 +212,11 @@ class ServiceServer:
                 await send_json(
                     writer,
                     500,
-                    {"error": f"{type(exc).__name__}: {exc}"},
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "request_id": rid,
+                    },
+                    self._rid_headers(rid),
                 )
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
@@ -169,7 +227,7 @@ class ServiceServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _dispatch(self, request: Request, writer) -> None:
+    async def _dispatch(self, request: Request, writer, rid: str) -> None:
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             await send_json(
@@ -179,10 +237,11 @@ class ServiceServer:
                     "status": "ok",
                     "uptime_s": round(time.time() - self._started_unix, 3),
                 },
+                self._rid_headers(rid),
             )
             return
         if path == "/readyz" and method == "GET":
-            await self._handle_readyz(writer)
+            await self._handle_readyz(writer, rid)
             return
         if path == "/metrics" and method == "GET":
             text = to_openmetrics(self.metrics.snapshot())
@@ -191,14 +250,37 @@ class ServiceServer:
                 200,
                 text.encode("utf-8"),
                 "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                self._rid_headers(rid),
             )
             return
         if path == "/stats" and method == "GET":
-            await send_json(writer, 200, self.manager.stats())
+            await send_json(
+                writer, 200, self.manager.stats(), self._rid_headers(rid)
+            )
+            return
+        if path == "/dashboard" and method == "GET":
+            await send_response(
+                writer,
+                200,
+                render_dashboard_html().encode("utf-8"),
+                "text/html; charset=utf-8",
+                self._rid_headers(rid),
+            )
+            return
+        if path == "/dashboard/data" and method == "GET":
+            await send_json(
+                writer,
+                200,
+                dashboard_data(self.manager, self.metrics, self._started_unix),
+                self._rid_headers(rid),
+            )
+            return
+        if path == "/debug/profile" and method == "POST":
+            await self._handle_profile(request, writer, rid)
             return
         if path == "/jobs":
             if method == "POST":
-                await self._handle_submit(request, writer)
+                await self._handle_submit(request, writer, rid)
                 return
             if method == "GET":
                 await send_json(
@@ -210,15 +292,18 @@ class ServiceServer:
                             for job in self.manager.jobs()
                         ]
                     },
+                    self._rid_headers(rid),
                 )
                 return
             raise HttpError(405, f"{method} not allowed on {path}")
         if path.startswith("/jobs/"):
-            await self._dispatch_job(request, writer, path)
+            await self._dispatch_job(request, writer, path, rid)
             return
         raise HttpError(404, f"no route for {path}")
 
-    async def _dispatch_job(self, request: Request, writer, path: str) -> None:
+    async def _dispatch_job(
+        self, request: Request, writer, path: str, rid: str
+    ) -> None:
         parts = path.split("/")  # ['', 'jobs', id] or ['', 'jobs', id, sub]
         if len(parts) not in (3, 4):
             raise HttpError(404, f"no route for {path}")
@@ -229,18 +314,21 @@ class ServiceServer:
         if sub == "" and request.method == "GET":
             status = job.record.status_dict()
             status["events"] = len(job.events)
-            await send_json(writer, 200, status)
+            await send_json(writer, 200, status, self._rid_headers(rid))
             return
         if sub == "events" and request.method == "GET":
-            await self._handle_events(job, writer)
+            await self._handle_events(job, writer, rid)
             return
         if sub == "design" and request.method == "GET":
-            await self._handle_design(job, writer)
+            await self._handle_design(job, writer, rid)
+            return
+        if sub == "trace" and request.method == "GET":
+            await self._handle_trace(job, writer, rid)
             return
         raise HttpError(404, f"no route for {path}")
 
     # -- route bodies --------------------------------------------------------
-    async def _handle_readyz(self, writer) -> None:
+    async def _handle_readyz(self, writer, rid: str) -> None:
         manager = self.manager
         if manager.ready:
             await send_json(
@@ -251,6 +339,7 @@ class ServiceServer:
                     "queue_depth": manager.queue_depth(),
                     "running": manager.running_count(),
                 },
+                self._rid_headers(rid),
             )
             return
         reason = "draining" if manager.draining else "circuit breaker open"
@@ -264,13 +353,19 @@ class ServiceServer:
             }
         )
         await send_json(
-            writer, 503, {"ready": False, "reason": reason}, headers
+            writer,
+            503,
+            {"ready": False, "reason": reason},
+            self._rid_headers(rid, headers),
         )
 
-    async def _handle_submit(self, request: Request, writer) -> None:
+    async def _handle_submit(self, request: Request, writer, rid: str) -> None:
         spec = request.json()
+        trace = parse_traceparent(request.headers.get("traceparent", ""))
         try:
-            job, created = self.manager.submit(spec)
+            job, created = self.manager.submit(
+                spec, request_id=rid, trace=trace
+            )
         except QueueFull as exc:
             raise HttpError(
                 429, str(exc), self.manager.retry_after_header(exc)
@@ -292,14 +387,17 @@ class ServiceServer:
                 "created": created,
                 "dedup_hits": record.dedup_hits,
                 "queue_depth": self.manager.queue_depth(),
+                "request_id": record.request_id,
+                "trace_id": record.trace_id,
             },
+            self._rid_headers(rid),
         )
 
-    async def _handle_events(self, job: Job, writer) -> None:
+    async def _handle_events(self, job: Job, writer, rid: str) -> None:
         """Replay history, then follow live events until terminal."""
         history, queue = self.manager.subscribe(job)
         try:
-            await start_sse(writer)
+            await start_sse(writer, self._rid_headers(rid))
             event_id = 0
             finished = False
             for payload in history:
@@ -322,7 +420,7 @@ class ServiceServer:
         finally:
             self.manager.unsubscribe(job, queue)
 
-    async def _handle_design(self, job: Job, writer) -> None:
+    async def _handle_design(self, job: Job, writer, rid: str) -> None:
         record = job.record
         if record.state == "done" and record.result is not None:
             body = canonical_json(record.result["design"]).encode("utf-8")
@@ -331,10 +429,13 @@ class ServiceServer:
                 200,
                 body,
                 "application/json",
-                {
-                    "X-Design-Digest": record.digest,
-                    "X-Degraded": "1" if record.degraded else "0",
-                },
+                self._rid_headers(
+                    rid,
+                    {
+                        "X-Design-Digest": record.digest,
+                        "X-Degraded": "1" if record.degraded else "0",
+                    },
+                ),
             )
             return
         if record.state == "failed":
@@ -344,18 +445,79 @@ class ServiceServer:
                 "attempts": record.attempts,
                 "elapsed_s": round(record.elapsed_s, 6),
                 "failure_history": record.failure_history,
+                "request_id": rid,
             }
             # The whole timeout family (stage budget, whole-run
             # deadline, watchdog kill) is the caller's deadline
             # expiring, not a server fault: 504, with provenance.
             timeout_types = ("DeadlineExceeded", "StageTimeout", "CaseTimeout")
             status = 504 if record.error_type in timeout_types else 500
-            await send_json(writer, status, provenance)
+            await send_json(writer, status, provenance, self._rid_headers(rid))
             return
         raise HttpError(
             409,
             f"job {record.job_id} is {record.state}; the design exists "
             "only once the job is done",
+        )
+
+    async def _handle_trace(self, job: Job, writer, rid: str) -> None:
+        """Serve the stitched cross-process trace of a finished solve."""
+        record = job.record
+        if record.trace:
+            stitched = stitch_spans(record.trace)
+            payload = {
+                "job_id": record.job_id,
+                "request_id": record.request_id,
+                "state": record.state,
+                **stitched,
+            }
+            await send_json(writer, 200, payload, self._rid_headers(rid))
+            return
+        if not record.terminal:
+            raise HttpError(
+                409,
+                f"job {record.job_id} is {record.state}; the trace exists "
+                "once the job is terminal",
+            )
+        raise HttpError(
+            404,
+            f"job {record.job_id} finished without span records (restored "
+            "from a previous server life, or the solve never started)",
+        )
+
+    async def _handle_profile(self, request: Request, writer, rid: str) -> None:
+        """Sample this process and return a speedscope profile."""
+        try:
+            seconds = float(request.query.get("seconds", "5"))
+            hz = float(request.query.get("hz", "0") or 0) or None
+        except ValueError as exc:
+            raise HttpError(400, f"bad profile parameters: {exc}") from exc
+        if not 0 < seconds <= PROFILE_MAX_SECONDS:
+            raise HttpError(
+                400,
+                f"seconds must be in (0, {PROFILE_MAX_SECONDS:g}]",
+            )
+        if hz is not None and not 0 < hz <= PROFILE_MAX_HZ:
+            raise HttpError(400, f"hz must be in (0, {PROFILE_MAX_HZ:g}]")
+        if self._profiling:
+            raise HttpError(409, "a profile capture is already running")
+        self._profiling = True
+        try:
+            profiler = SamplingProfiler(**({"hz": hz} if hz else {}))
+            profiler.start()
+            try:
+                # The sampler thread keeps firing while the loop serves
+                # other connections; this coroutine just waits it out.
+                await asyncio.sleep(seconds)
+            finally:
+                profiler.stop()
+        finally:
+            self._profiling = False
+        await send_json(
+            writer,
+            200,
+            profiler.to_speedscope(name=f"xring-serve {rid}"),
+            self._rid_headers(rid),
         )
 
 

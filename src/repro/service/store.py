@@ -96,6 +96,15 @@ class JobRecord:
     #: ``{"design": ..., "report": ...}`` once ``done``; never mutated
     #: after the terminal write.
     result: dict[str, Any] | None = None
+    #: Request id of the submission that created this job (responses
+    #: echo it as ``X-Request-Id``; WARNING logs carry it).
+    request_id: str = ""
+    #: Trace id of the distributed trace this job's spans belong to
+    #: (from the submitter's ``traceparent`` header, or minted here).
+    trace_id: str = ""
+    #: Annotated span records from the solve (the stitched trace served
+    #: by ``GET /jobs/{id}/trace``); ``None`` until terminal.
+    trace: list[dict[str, Any]] | None = None
 
     @property
     def terminal(self) -> bool:
@@ -120,6 +129,8 @@ class JobRecord:
             "degraded": self.degraded,
             "fallbacks": list(self.fallbacks),
             "digest": self.digest,
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
         }
 
     def to_line(self) -> dict[str, Any]:
@@ -130,6 +141,7 @@ class JobRecord:
             "spec": self.spec,
             "failure_history": list(self.failure_history),
             "result": self.result,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -160,6 +172,9 @@ class JobRecord:
             digest=line.get("digest", ""),
             failure_history=list(line.get("failure_history") or []),
             result=line.get("result"),
+            request_id=line.get("request_id", ""),
+            trace_id=line.get("trace_id", ""),
+            trace=line.get("trace"),
         )
 
 

@@ -387,9 +387,9 @@ class TestJournalResume:
         executed = []
         real = supervisor_module._execute_case
 
-        def counting(index, case, collect_spans):
+        def counting(index, case, collect_spans, trace=None):
             executed.append(index)
-            return real(index, case, collect_spans)
+            return real(index, case, collect_spans, trace)
 
         monkeypatch.setattr(supervisor_module, "_execute_case", counting)
         second = BatchSynthesizer(workers=1).run(cases, journal=path)

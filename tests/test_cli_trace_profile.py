@@ -1,0 +1,138 @@
+"""CLI surface of the observability PR: ``xring trace`` and
+``--profile-dir``.
+
+One real heuristic synth produces the artifacts; the ``trace``
+subcommand then reads them back.  The batch path additionally checks
+that the richer cross-process ``trace.jsonl`` written by the batch
+engine is *not* overwritten by the parent tracer's near-empty spans
+on exit (the ``_trace_written`` contract).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SYNTH = ["synth", "--nodes", "8", "--ring-method", "heuristic"]
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """One synth run with both --trace-dir and --profile-dir."""
+    root = tmp_path_factory.mktemp("cli_obs")
+    rc = main(
+        SYNTH
+        + [
+            "--trace-dir",
+            str(root / "trace"),
+            "--profile-dir",
+            str(root / "prof"),
+        ]
+    )
+    assert rc == 0
+    return root
+
+
+class TestProfileDir:
+    def test_profile_artifacts_written(self, artifacts):
+        prof = artifacts / "prof"
+        assert (prof / "profile.collapsed").exists()
+        assert (prof / "profile.speedscope.json").exists()
+        summary = json.loads((prof / "profile.json").read_text())
+        assert summary["samples"] > 0
+        assert summary["stages"]
+
+    def test_report_carries_stage_attribution(self, artifacts):
+        report = json.loads(
+            (artifacts / "trace" / "report.json").read_text()
+        )
+        assert report["profile"]["samples"] > 0
+        assert set(report["profile"]["stages"]) <= {
+            "ring",
+            "shortcuts",
+            "mapping",
+            "pdn",
+            "validate",
+            "other",
+        }
+
+
+class TestTraceSubcommand:
+    def test_renders_rollup_and_top_spans(self, artifacts, capsys):
+        rc = main(["trace", str(artifacts / "trace" / "trace.jsonl")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 root(s)" in out  # single-process tree, one root
+        assert "per-name rollup" in out
+        assert "synthesize" in out
+
+    def test_chrome_reexport(self, artifacts, tmp_path, capsys):
+        out_path = tmp_path / "re.json"
+        rc = main(
+            [
+                "trace",
+                str(artifacts / "trace" / "trace.jsonl"),
+                "--chrome",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "synthesize" in names and "process_name" in names
+
+    def test_missing_file_is_exit_2(self, tmp_path, capsys):
+        rc = main(["trace", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "trace" in capsys.readouterr().err
+
+    def test_corrupt_file_is_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name": "ok"}\nnot json\n')
+        rc = main(["trace", str(bad)])
+        assert rc == 2
+        assert "line 2" in capsys.readouterr().err
+
+
+class TestBatchTraceNotClobbered:
+    def test_batch_writes_cross_process_trace(self, tmp_path):
+        cases = tmp_path / "cases.json"
+        cases.write_text(
+            json.dumps(
+                [
+                    {"nodes": 8, "wl": 8, "ring_method": "heuristic"},
+                    {"nodes": 8, "wl": 9, "ring_method": "heuristic"},
+                ]
+            )
+        )
+        trace_dir = tmp_path / "trace"
+        rc = main(
+            [
+                "batch",
+                str(cases),
+                "--workers",
+                "2",
+                "--trace-dir",
+                str(trace_dir),
+            ]
+        )
+        assert rc == 0
+        records = [
+            json.loads(line)
+            for line in (trace_dir / "trace.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        # the batch engine's annotated spans survived main()'s exit
+        # hook: attempt spans + per-case worker trees, not the parent
+        # tracer's own (caseless) spans
+        assert any(r["name"] == "batch.attempt" for r in records)
+        assert any(r["name"] == "synthesize" for r in records)
+        assert all("span_uid" in r for r in records)
+        chrome = json.loads((trace_dir / "trace.json").read_text())
+        assert any(
+            e["ph"] == "M" and "pid" in e for e in chrome["traceEvents"]
+        )

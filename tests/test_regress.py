@@ -154,6 +154,27 @@ class TestCompareRuns:
             for f in payload["findings"]
         )
 
+    def test_latency_regression_names_the_profile_hotspot(self):
+        """A latency regression on a candidate carrying profiler stage
+        attribution points the reader at the hottest stage."""
+        hot = _record(wall_s=2.0)
+        hot.extra = {
+            "profile": {
+                "stages": {
+                    "ring": {"fraction": 0.72},
+                    "shortcuts": {"fraction": 0.2},
+                }
+            }
+        }
+        verdict = compare_runs([_record()], [hot])
+        assert verdict.regressed
+        assert any(
+            "72%" in w and "'ring'" in w for w in verdict.warnings
+        ), verdict.warnings
+        # no profile on the candidate -> no hotspot warning
+        verdict = compare_runs([_record()], [_record(wall_s=2.0)])
+        assert not any("profile" in w for w in verdict.warnings)
+
 
 class TestRenderers:
     def test_markdown_marks_regressions(self):
