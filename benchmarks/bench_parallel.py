@@ -213,6 +213,89 @@ def bench_profile(num_nodes: int) -> dict:
     }
 
 
+def bench_lazy_conflicts(num_nodes: int, scalar_ref_nodes: int) -> dict:
+    """N=64 arm: vectorized conflict kernel + lazy cutting-plane MILP.
+
+    Times the bulk conflict build at ``num_nodes`` and both builders at
+    ``scalar_ref_nodes`` (the scalar oracle is O(n^4); running it at 64
+    nodes costs minutes, so quick mode references a smaller size), then
+    a full lazy-mode synthesis.  The eager ring is timed at
+    ``scalar_ref_nodes`` only — at 64 nodes the eager model (every
+    constraint-(3) row materialized) takes upwards of ten minutes,
+    which is precisely what the cutting-plane loop eliminates.  The
+    lazy wall clock is the headline figure: it must stay under the
+    eager N=32 synthesis time recorded by ``stages``.
+    """
+    from repro.core.ring import construct_ring_tour
+    from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
+    from repro.geometry import (
+        build_edge_conflicts_bulk,
+        build_edge_conflicts_scalar,
+    )
+    from repro.network import Network
+    from repro.network.placement import extended_placement
+    from repro.obs import ObsContext, use_obs
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import NULL_TRACER
+
+    points, die = extended_placement(num_nodes)
+    _, t_bulk = _timed(build_edge_conflicts_bulk, points)
+    ref_points, _ = extended_placement(scalar_ref_nodes)
+    _, t_scalar_ref = _timed(build_edge_conflicts_scalar, ref_points)
+    _, t_bulk_ref = _timed(build_edge_conflicts_bulk, ref_points)
+
+    # The ambient registry is a no-op by default; the round/cut
+    # counters only exist inside a real one.
+    metrics = MetricsRegistry()
+
+    clear_caches()
+    network = Network.from_positions(points, die=die)
+    synth = XRingSynthesizer(
+        network, SynthesisOptions(wl_budget=num_nodes, lazy_conflicts=True)
+    )
+    with use_obs(ObsContext(NULL_TRACER, metrics)):
+        design, t_lazy = _timed(synth.run)
+    cut_rounds = metrics.counter("ring.lazy.rounds").value
+    cuts_added = metrics.counter("ring.lazy.cuts_added").value
+
+    clear_caches()
+    _, t_eager_ring_ref = _timed(
+        construct_ring_tour, list(ref_points), lazy=False
+    )
+    clear_caches()
+    _, t_lazy_ring_ref = _timed(
+        construct_ring_tour, list(ref_points), lazy=True
+    )
+    clear_caches()
+    _, t_lazy_ring = _timed(construct_ring_tour, list(points), lazy=True)
+
+    return {
+        "num_nodes": num_nodes,
+        "conflict_build_bulk_s": round(t_bulk, 4),
+        "scalar_ref_nodes": scalar_ref_nodes,
+        "conflict_build_scalar_ref_s": round(t_scalar_ref, 4),
+        "conflict_build_bulk_ref_s": round(t_bulk_ref, 4),
+        "bulk_speedup_at_ref": round(t_scalar_ref / max(t_bulk_ref, 1e-9), 2),
+        "lazy_total_s": round(t_lazy, 4),
+        "lazy_stage_elapsed_s": {
+            stage: round(seconds, 4)
+            for stage, seconds in design.report.stage_elapsed_s.items()
+        },
+        "ring_eager_ref_s": round(t_eager_ring_ref, 4),
+        "ring_lazy_ref_s": round(t_lazy_ring_ref, 4),
+        "ring_lazy_s": round(t_lazy_ring, 4),
+        "ring_eager_note": (
+            f"eager ring timed at {scalar_ref_nodes} nodes; the eager "
+            f"model at {num_nodes} nodes takes >10 minutes to build and "
+            "solve, which the lazy cutting-plane loop avoids"
+        ),
+        "cut_rounds": cut_rounds,
+        "cuts_added": cuts_added,
+        "tour_length_mm": round(design.tour.length_mm, 4),
+        "tour_crossings": design.tour.crossing_count,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -252,6 +335,9 @@ def main(argv: list[str] | None = None) -> int:
         "ablation_sweep": bench_ablation(num_nodes=16),
         "stages": bench_stages(num_nodes=16),
         "profile": bench_profile(num_nodes=16),
+        "lazy_conflicts": bench_lazy_conflicts(
+            num_nodes=64, scalar_ref_nodes=32
+        ),
     }
 
     # Atomic write: a killed benchmark never leaves a truncated
@@ -283,6 +369,18 @@ def main(argv: list[str] | None = None) -> int:
                 "profiler_overhead_frac": payload["profile"][
                     "overhead_frac"
                 ],
+                "lazy_conflicts": {
+                    "num_nodes": payload["lazy_conflicts"]["num_nodes"],
+                    "conflict_build_bulk_s": payload["lazy_conflicts"][
+                        "conflict_build_bulk_s"
+                    ],
+                    "conflict_build_scalar_ref_s": payload["lazy_conflicts"][
+                        "conflict_build_scalar_ref_s"
+                    ],
+                    "lazy_total_s": payload["lazy_conflicts"]["lazy_total_s"],
+                    "cut_rounds": payload["lazy_conflicts"]["cut_rounds"],
+                    "cuts_added": payload["lazy_conflicts"]["cuts_added"],
+                },
                 "profile": {
                     "samples": payload["profile"]["samples"],
                     "hz": payload["profile"]["hz"],
@@ -323,6 +421,15 @@ def main(argv: list[str] | None = None) -> int:
         f" profiled={profile['profiled_s']}s"
         f" overhead={profile['overhead_frac']:.1%}"
         f" ({profile['samples']} samples @ {profile['hz']}Hz)"
+    )
+    lazy = payload["lazy_conflicts"]
+    print(
+        f"  lazy conflicts (N={lazy['num_nodes']}):"
+        f" total={lazy['lazy_total_s']}s"
+        f" bulk-build={lazy['conflict_build_bulk_s']}s"
+        f" rounds={lazy['cut_rounds']} cuts={lazy['cuts_added']}"
+        f" | ring eager/lazy @N={lazy['scalar_ref_nodes']}:"
+        f" {lazy['ring_eager_ref_s']}s/{lazy['ring_lazy_ref_s']}s"
     )
     return 0
 

@@ -138,6 +138,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         deadline_s=args.deadline,
         on_error=args.on_error,
         milp_backend=args.milp_backend,
+        lazy_conflicts={"auto": None, "on": True, "off": False}[
+            args.lazy_conflicts
+        ],
     )
     profiler = _start_profiler(args)
     try:
@@ -794,6 +797,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="LP/MILP solver for the ring model (branch_bound is the "
         "pure-Python backend with simplex-pivot metrics)",
+    )
+    synth.add_argument(
+        "--lazy-conflicts",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="ring MILP conflict rows: on = cutting-plane generation "
+        "(add only violated rows, skip the O(E^2) precompute), off = "
+        "eager full model, auto = lazy at >= 24 nodes (round/cut "
+        "counts land in the ring.lazy.* metrics)",
     )
     synth.add_argument(
         "--deadline",

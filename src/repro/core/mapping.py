@@ -125,18 +125,17 @@ class _Mapper:
         self.wl_budget = wl_budget
         self.rings: list[RingWaveguide] = []
         self.assignments: dict[tuple[int, int], RingAssignment] = {}
+        #: Occupied tour-edge indices per ``(rid, wavelength)`` slot.
+        #: Assignments sharing a slot are edge-disjoint by construction
+        #: (``_conflicts`` gates every commit), so removal on relocate
+        #: is an exact set difference.
+        self._occupied: dict[tuple[int, int], set[int]] = {}
 
     def _conflicts(
         self, rid: int, wavelength: int, edges: frozenset[int]
     ) -> bool:
-        for assignment in self.assignments.values():
-            if (
-                assignment.rid == rid
-                and assignment.wavelength == wavelength
-                and assignment.edges & edges
-            ):
-                return True
-        return False
+        occupied = self._occupied.get((rid, wavelength))
+        return occupied is not None and not occupied.isdisjoint(edges)
 
     def _fits(
         self, ring: RingWaveguide, assignment_edges: frozenset[int],
@@ -218,12 +217,14 @@ class _Mapper:
             passed_nodes=passed,
         )
         self.assignments[(src, dst)] = assignment
+        self._occupied.setdefault((ring.rid, wavelength), set()).update(edges)
         return assignment
 
     def relocate(self, assignment: RingAssignment, forbidden_rid: int) -> None:
         """Move a signal off ``forbidden_rid`` (same direction)."""
         get_obs().metrics.counter("mapping.relocations").inc()
         del self.assignments[(assignment.src, assignment.dst)]
+        self._occupied[(assignment.rid, assignment.wavelength)] -= assignment.edges
         for ring in self.rings:
             if ring.direction is not assignment.direction or ring.rid == forbidden_rid:
                 continue

@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 
 from repro.geometry import (
@@ -117,6 +118,20 @@ class RingTour:
 #: both ring constructors and the synthesis cache share one
 #: implementation; the old private name stays importable.
 _build_edge_conflicts = build_edge_conflicts
+
+#: Node count at or above which ``lazy=None`` (auto) enables lazy
+#: conflict-constraint generation.  Below it the eager model solves in
+#: well under a second and the cached full conflict dict is reused by
+#: later stages, so laziness buys nothing.
+LAZY_THRESHOLD = 24
+
+#: Hard bound on cutting-plane rounds.  Termination is guaranteed
+#: anyway — every round must add at least one never-before-added
+#: conflict cut, of which there are finitely many — but a small cap
+#: keeps worst-case latency predictable; if it is ever hit the
+#: incumbent is used and any residual crossings are reported honestly
+#: in ``RingTour.crossing_count``.
+LAZY_MAX_ROUNDS = 50
 
 
 def copy_tour(tour: RingTour) -> RingTour:
@@ -416,67 +431,8 @@ def validate_ring_points(points: list[Point]) -> None:
             )
 
 
-def construct_ring_tour(
-    points: list[Point],
-    backend: str = "auto",
-    time_limit: float | None = None,
-    deadline: Deadline | None = None,
-    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None = None,
-) -> RingTour:
-    """Synthesize the minimum-length crossing-free ring tour.
-
-    ``backend`` selects the MILP solver (see :mod:`repro.milp`).  Both
-    backends honor ``time_limit`` (seconds) and ``deadline``; when the
-    budget runs out mid-solve the best integer incumbent is used and
-    the returned tour carries ``timed_out=True``.  Raises
-    :class:`~repro.robustness.errors.StageTimeout` when time expires
-    before any incumbent exists, and
-    :class:`~repro.robustness.errors.StageFailure` when the relaxed
-    model is infeasible (e.g. duplicate node positions making every
-    drawing illegal).
-
-    ``conflicts`` optionally pre-supplies the conflict-pair dict (the
-    O(E²) dominant build cost) so retries after degradation do not pay
-    it twice; when omitted it comes from the process-global
-    :class:`~repro.parallel.cache.SynthesisCache`.  Unconstrained calls
-    (no ``time_limit``/``deadline``) also consult the tour cache —
-    budgeted calls never do, so timeout semantics stay observable, and
-    timed-out incumbents are never stored.
-    """
-    n = len(points)
-    validate_ring_points(points)
-
-    from repro.parallel.cache import get_cache
-
-    obs = get_obs()
-    cache = get_cache()
-    cacheable = time_limit is None and deadline is None
-    if cacheable:
-        cached = cache.tour_get("milp", points, extra=(backend,))
-        if cached is not None:
-            return copy_tour(cached)
-
-    with obs.tracer.span("ring.build_model", nodes=n) as build_span:
-        if conflicts is None:
-            conflicts = cache.conflicts_for(
-                points, lambda: build_edge_conflicts(points)
-            )
-        model = cache.model_for(
-            points, lambda: _build_ring_model(points, conflicts)
-        )
-        conflict_constraints = sum(
-            1 for con in model.constraints if con.name.startswith("conflict_")
-        )
-        build_span.set_attribute("constraints", model.num_constraints)
-        build_span.set_attribute("conflict_constraints", conflict_constraints)
-    obs.metrics.counter("ring.conflict_constraints").inc(conflict_constraints)
-
-    options: dict[str, object] = {}
-    if time_limit:
-        options["time_limit"] = time_limit
-    if deadline is not None:
-        options["deadline"] = deadline
-    solution = model.solve(backend=backend, **options)
+def _raise_for_ring_solution(solution, n: int) -> None:
+    """Translate a failed MILP solution into the typed stage errors."""
     if solution.status is SolveStatus.TIMEOUT and not solution.values:
         raise StageTimeout(
             f"ring MILP hit its time budget before finding any tour "
@@ -497,12 +453,211 @@ def construct_ring_tour(
             f"ring MILP failed: {solution.status.value} {solution.message}",
             stage="ring",
         )
-    timed_out = solution.status is SolveStatus.TIMEOUT
 
-    b_vars = model._ring_edge_vars  # set by _build_ring_model
-    selected = {
-        edge for edge, var in b_vars.items() if solution.value(var, as_int=True) == 1
-    }
+
+def _violated_conflict_pairs(
+    points: list[Point],
+    selected_pairs: list[tuple[int, int]],
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None,
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """Conflicting pairs among an incumbent's selected undirected edges.
+
+    With a precomputed conflict dict this is set lookups; without one
+    the bulk geometry kernel checks just the few selected edges — the
+    point of laziness is that an incumbent has only n edges, so the
+    check is O(n²) pair tests instead of the full O(E²) sweep.
+    """
+    if conflicts is None:
+        from repro.geometry import conflicting_edge_pairs
+
+        return conflicting_edge_pairs(points, selected_pairs)
+    violated = []
+    for idx, pair_a in enumerate(selected_pairs):
+        conflicting = conflicts[pair_a]
+        for pair_b in selected_pairs[idx + 1 :]:
+            if pair_b in conflicting:
+                violated.append((pair_a, pair_b))
+    return violated
+
+
+def _solve_ring_lazy(
+    model: Model,
+    points: list[Point],
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None,
+    backend: str,
+    time_limit: float | None,
+    deadline: Deadline | None,
+):
+    """Cutting-plane solve: add violated conflict rows to a fixed point.
+
+    ``model`` starts with constraints (1)-(2) and objective (4) only.
+    Each round solves, detects conflicting pairs among the incumbent's
+    selected edges, and adds exactly those constraint-(3) rows (named
+    identically to the eager model's, smaller pair first), until an
+    incumbent is conflict-free — at which point it is feasible for the
+    eager model and therefore shares its optimal objective value.
+
+    Budget behaviour mirrors the eager path: a timeout with an
+    incumbent stops cutting and returns it flagged ``timed_out``; a
+    timeout before any incumbent raises ``StageTimeout`` — unless an
+    earlier round produced one, which is then returned (its residual
+    violations surface in ``crossing_count``, the honest degradation).
+
+    Returns ``(solution, selected, timed_out, rounds, cuts_added)``.
+    """
+    n = len(points)
+    b_vars = model._ring_edge_vars
+    start = time.perf_counter()
+    added: set[frozenset[tuple[int, int]]] = set()
+    rounds = 0
+    last: tuple | None = None
+    while True:
+        rounds += 1
+        options: dict[str, object] = {}
+        if time_limit is not None:
+            options["time_limit"] = max(
+                time_limit - (time.perf_counter() - start), 1e-3
+            )
+        if deadline is not None:
+            options["deadline"] = deadline
+        solution = model.solve(backend=backend, **options)
+        if (
+            solution.status is SolveStatus.TIMEOUT
+            and not solution.values
+            and last is not None
+        ):
+            solution, selected = last
+            return solution, selected, True, rounds, len(added)
+        _raise_for_ring_solution(solution, n)
+        selected = {
+            edge
+            for edge, var in b_vars.items()
+            if solution.value(var, as_int=True) == 1
+        }
+        if solution.status is SolveStatus.TIMEOUT:
+            return solution, selected, True, rounds, len(added)
+        undirected = sorted(
+            {(i, j) if i < j else (j, i) for i, j in selected}
+        )
+        violated = _violated_conflict_pairs(points, undirected, conflicts)
+        fresh = [
+            pair for pair in violated if frozenset(pair) not in added
+        ]
+        if not fresh or rounds >= LAZY_MAX_ROUNDS:
+            return solution, selected, False, rounds, len(added)
+        for pair_a, pair_b in fresh:
+            added.add(frozenset((pair_a, pair_b)))
+            (i, j), (p, q) = pair_a, pair_b
+            model.add_constraint(
+                b_vars[(i, j)]
+                + b_vars[(j, i)]
+                + b_vars[(p, q)]
+                + b_vars[(q, p)]
+                <= 1,
+                name=f"conflict_{i}_{j}_{p}_{q}",
+            )
+        last = (solution, selected)
+
+
+def construct_ring_tour(
+    points: list[Point],
+    backend: str = "auto",
+    time_limit: float | None = None,
+    deadline: Deadline | None = None,
+    conflicts: dict[tuple[int, int], set[tuple[int, int]]] | None = None,
+    lazy: bool | None = None,
+) -> RingTour:
+    """Synthesize the minimum-length crossing-free ring tour.
+
+    ``backend`` selects the MILP solver (see :mod:`repro.milp`).  Both
+    backends honor ``time_limit`` (seconds) and ``deadline``; when the
+    budget runs out mid-solve the best integer incumbent is used and
+    the returned tour carries ``timed_out=True``.  Raises
+    :class:`~repro.robustness.errors.StageTimeout` when time expires
+    before any incumbent exists, and
+    :class:`~repro.robustness.errors.StageFailure` when the relaxed
+    model is infeasible (e.g. duplicate node positions making every
+    drawing illegal).
+
+    ``conflicts`` optionally pre-supplies the conflict-pair dict (the
+    O(E²) dominant build cost) so retries after degradation do not pay
+    it twice; when omitted it comes from the process-global
+    :class:`~repro.parallel.cache.SynthesisCache`.  Unconstrained calls
+    (no ``time_limit``/``deadline``) also consult the tour cache —
+    budgeted calls never do, so timeout semantics stay observable, and
+    timed-out incumbents are never stored.
+
+    ``lazy`` selects conflict-constraint handling: ``False`` builds the
+    eager model with every constraint-(3) row up front; ``True`` runs
+    the cutting-plane loop of :func:`_solve_ring_lazy`, adding only
+    violated rows (and, when ``conflicts`` is also ``None``, skipping
+    the full O(E²) conflict build entirely); ``None`` (the default)
+    picks lazily at :data:`LAZY_THRESHOLD` nodes and above when no
+    conflict dict was supplied.  Both modes reach the same objective
+    value; round/cut counts land in the ``ring.lazy.rounds`` /
+    ``ring.lazy.cuts_added`` metrics.
+    """
+    n = len(points)
+    validate_ring_points(points)
+
+    from repro.parallel.cache import get_cache
+
+    obs = get_obs()
+    cache = get_cache()
+    if lazy is None:
+        lazy = conflicts is None and n >= LAZY_THRESHOLD
+    mode = "lazy" if lazy else "eager"
+    cacheable = time_limit is None and deadline is None
+    if cacheable:
+        cached = cache.tour_get("milp", points, extra=(backend, mode))
+        if cached is not None:
+            return copy_tour(cached)
+
+    with obs.tracer.span("ring.build_model", nodes=n, mode=mode) as build_span:
+        if lazy:
+            # Base model only — conflict rows arrive as cuts below.
+            # Built fresh (not via the model cache): the loop mutates
+            # it, and a cached model must stay pristine.
+            model = _build_ring_model(points, {})
+        else:
+            if conflicts is None:
+                conflicts = cache.conflicts_for(
+                    points, lambda: build_edge_conflicts(points)
+                )
+            model = cache.model_for(
+                points, lambda: _build_ring_model(points, conflicts)
+            )
+        build_span.set_attribute("constraints", model.num_constraints)
+
+    lazy_rounds = 0
+    if lazy:
+        solution, selected, timed_out, lazy_rounds, cuts_added = (
+            _solve_ring_lazy(
+                model, points, conflicts, backend, time_limit, deadline
+            )
+        )
+        obs.metrics.counter("ring.lazy.rounds").inc(lazy_rounds)
+        obs.metrics.counter("ring.lazy.cuts_added").inc(cuts_added)
+    else:
+        options: dict[str, object] = {}
+        if time_limit:
+            options["time_limit"] = time_limit
+        if deadline is not None:
+            options["deadline"] = deadline
+        solution = model.solve(backend=backend, **options)
+        _raise_for_ring_solution(solution, n)
+        timed_out = solution.status is SolveStatus.TIMEOUT
+
+        b_vars = model._ring_edge_vars  # set by _build_ring_model
+        selected = {
+            edge
+            for edge, var in b_vars.items()
+            if solution.value(var, as_int=True) == 1
+        }
+    conflict_constraints = sum(
+        1 for con in model.constraints if con.name.startswith("conflict_")
+    )
+    obs.metrics.counter("ring.conflict_constraints").inc(conflict_constraints)
     with obs.tracer.span("ring.merge_cycles") as merge_span:
         cycles = _extract_cycles(selected, n)
         merge_span.set_attribute("sub_cycles", len(cycles))
@@ -554,7 +709,7 @@ def construct_ring_tour(
         timed_out=timed_out,
     )
     if cacheable and not timed_out:
-        cache.tour_put("milp", points, copy_tour(tour), extra=(backend,))
+        cache.tour_put("milp", points, copy_tour(tour), extra=(backend, mode))
     return tour
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.geometry import (
     Point,
     RectilinearPath,
+    SegmentSet,
     crossing_points,
     l_routes,
     paths_cross,
@@ -144,33 +145,43 @@ def _staircase_candidates(pa: Point, pb: Point) -> list[RectilinearPath]:
     return candidates
 
 
-def _chord_is_clean(tour: RingTour, chord: RectilinearPath, pa: Point, pb: Point) -> bool:
+def _chord_is_clean(
+    tour: RingTour,
+    chord: RectilinearPath,
+    pa: Point,
+    pb: Point,
+    ring_set: SegmentSet | None = None,
+) -> bool:
     """True if the chord crosses the ring only within its attach zones.
 
     Grid snapping lets a maze chord approach the ring within half a
     routing pitch of its terminals; proper crossings there correspond
     to the physical attachment taps, anything farther out is a real
-    illegal crossing.
+    illegal crossing.  ``ring_set`` optionally pre-batches the ring
+    segments so repeat queries share one :class:`SegmentSet`.
     """
-    for edge_path in tour.edge_paths:
-        for point in crossing_points(chord, edge_path, ignore=(pa, pb)):
-            if point.manhattan(pa) > 0.5 and point.manhattan(pb) > 0.5:
-                return False
+    if ring_set is None:
+        ring_set = SegmentSet.from_paths(tour.edge_paths)
+    for point in ring_set.proper_crossings(chord, ignore=(pa, pb)):
+        if point.manhattan(pa) > 0.5 and point.manhattan(pb) > 0.5:
+            return False
     return True
 
 
 def _feasible_realizations(
-    tour: RingTour, node_a: int, node_b: int
+    tour: RingTour,
+    node_a: int,
+    node_b: int,
+    ring_set: SegmentSet | None = None,
 ) -> list[RectilinearPath]:
     """Chord realizations (L or staircase) crossing no ring waveguide."""
     pa = tour.points[node_a]
     pb = tour.points[node_b]
+    if ring_set is None:
+        ring_set = SegmentSet.from_paths(tour.edge_paths)
     feasible = []
     for candidate in list(l_routes(pa, pb)) + _staircase_candidates(pa, pb):
-        if not any(
-            paths_cross(candidate, edge_path, ignore=(pa, pb))
-            for edge_path in tour.edge_paths
-        ):
+        if not ring_set.any_illegal(candidate, ignore=(pa, pb)):
             feasible.append(candidate)
     return feasible
 
@@ -198,10 +209,22 @@ class _ChordMaze:
         self.y0 = min(ys) - margin
         self.nx = int(round((max(xs) - min(xs) + 2 * margin) / self._PITCH)) + 1
         self.ny = int(round((max(ys) - min(ys) + 2 * margin) / self._PITCH)) + 1
+        # Vertex coordinate tables share the exact expression of
+        # ``_vertex_point`` so scalar lookups in the A* inner loop are
+        # bit-identical to constructing the Point.
+        self._xc = [self.x0 + i * self._PITCH for i in range(self.nx)]
+        self._yc = [self.y0 + j * self._PITCH for j in range(self.ny)]
         self._blocked = self._block_ring_edges()
+        self._blocked_keys = {self._edge_key(e) for e in self._blocked}
 
     def _vertex_point(self, v: tuple[int, int]) -> Point:
-        return Point(self.x0 + v[0] * self._PITCH, self.y0 + v[1] * self._PITCH)
+        return Point(self._xc[v[0]], self._yc[v[1]])
+
+    def _edge_key(self, edge: frozenset[tuple[int, int]]) -> int:
+        """Integer id of an undirected grid edge (hashes cheaper than
+        the frozenset in the A* hot loop)."""
+        v, w = sorted(edge)
+        return (v[0] * self.ny + v[1]) * 2 + (0 if w[0] > v[0] else 1)
 
     def _snap(self, p: Point) -> tuple[int, int]:
         ix = min(max(int(round((p.x - self.x0) / self._PITCH)), 0), self.nx - 1)
@@ -213,28 +236,66 @@ class _ChordMaze:
         return self.blocked_by_paths(self.tour.edge_paths)
 
     def blocked_by_paths(self, paths) -> set[frozenset[tuple[int, int]]]:
-        """Grid edges intersecting any segment of the given paths."""
-        from repro.geometry.segment import IntersectionKind, Segment, classify_intersection
+        """Grid edges intersecting any segment of the given paths.
+
+        A grid edge is blocked on *any* non-disjoint interaction with a
+        path segment — exactly the illegality predicate of the bulk
+        geometry kernel with no ignored points, so the window of grid
+        edges around each segment is classified in one vectorized call
+        instead of a Python loop per cell.
+        """
+        import numpy as np
+
+        from repro.geometry.conflicts_bulk import _segments_illegal
 
         blocked: set[frozenset[tuple[int, int]]] = set()
         pitch = self._PITCH
+        gx_parts: list[np.ndarray] = []
+        gy_parts: list[np.ndarray] = []
+        dx_parts: list[np.ndarray] = []
+        dy_parts: list[np.ndarray] = []
+        s2_parts: list[np.ndarray] = []
         for path in paths:
             for seg in path.segments:
                 lo_ix = max(int((min(seg.a.x, seg.b.x) - self.x0) / pitch) - 1, 0)
                 hi_ix = min(int((max(seg.a.x, seg.b.x) - self.x0) / pitch) + 2, self.nx - 1)
                 lo_iy = max(int((min(seg.a.y, seg.b.y) - self.y0) / pitch) - 1, 0)
                 hi_iy = min(int((max(seg.a.y, seg.b.y) - self.y0) / pitch) + 2, self.ny - 1)
-                for ix in range(lo_ix, hi_ix + 1):
-                    for iy in range(lo_iy, hi_iy + 1):
-                        a = self._vertex_point((ix, iy))
-                        for dx, dy in ((1, 0), (0, 1)):
-                            jx, jy = ix + dx, iy + dy
-                            if jx >= self.nx or jy >= self.ny:
-                                continue
-                            b = self._vertex_point((jx, jy))
-                            inter = classify_intersection(Segment(a, b), seg)
-                            if inter.kind is not IntersectionKind.DISJOINT:
-                                blocked.add(frozenset(((ix, iy), (jx, jy))))
+                ixs = np.arange(lo_ix, hi_ix + 1)
+                iys = np.arange(lo_iy, hi_iy + 1)
+                s2 = np.array(
+                    [seg.a.x, seg.a.y, seg.b.x, seg.b.y], dtype=np.float64
+                )
+                for dx, dy in ((1, 0), (0, 1)):
+                    exs = ixs[ixs + dx <= self.nx - 1]
+                    eys = iys[iys + dy <= self.ny - 1]
+                    if exs.size == 0 or eys.size == 0:
+                        continue
+                    gx = np.repeat(exs, eys.size)
+                    gy = np.tile(eys, exs.size)
+                    gx_parts.append(gx)
+                    gy_parts.append(gy)
+                    dx_parts.append(np.full(gx.shape[0], dx, dtype=np.int64))
+                    dy_parts.append(np.full(gx.shape[0], dy, dtype=np.int64))
+                    s2_parts.append(np.broadcast_to(s2, (gx.shape[0], 4)))
+        if not gx_parts:
+            return blocked
+        gx = np.concatenate(gx_parts)
+        gy = np.concatenate(gy_parts)
+        dxs = np.concatenate(dx_parts)
+        dys = np.concatenate(dy_parts)
+        # Vertex coordinates via the same arithmetic as
+        # ``_vertex_point`` so comparisons are bit-identical.
+        s1 = np.empty((gx.shape[0], 4), dtype=np.float64)
+        s1[:, 0] = self.x0 + gx * pitch
+        s1[:, 1] = self.y0 + gy * pitch
+        s1[:, 2] = self.x0 + (gx + dxs) * pitch
+        s1[:, 3] = self.y0 + (gy + dys) * pitch
+        hit = _segments_illegal(s1, np.concatenate(s2_parts, axis=0), ())
+        for k in np.nonzero(hit)[0].tolist():
+            v = (int(gx[k]), int(gy[k]))
+            w = (v[0] + int(dxs[k]), v[1] + int(dys[k]))
+            blocked.add(frozenset((v, w)))
         return blocked
 
     def chord(
@@ -252,40 +313,63 @@ class _ChordMaze:
         """
         import heapq
 
-        blocked = (
-            self._blocked if not extra_blocked else self._blocked | extra_blocked
+        blocked_keys = (
+            self._blocked_keys
+            if not extra_blocked
+            else self._blocked_keys | {self._edge_key(e) for e in extra_blocked}
         )
         start, goal = self._snap(pa), self._snap(pb)
         if start == goal:
             return None
 
+        xc, yc, ny, pitch = self._xc, self._yc, self.ny, self._PITCH
+        near_memo: dict[tuple[int, int], bool] = {}
+
         def near_terminal(v: tuple[int, int]) -> bool:
-            p = self._vertex_point(v)
-            return p.manhattan(pa) <= 0.45 or p.manhattan(pb) <= 0.45
+            cached = near_memo.get(v)
+            if cached is None:
+                x, y = xc[v[0]], yc[v[1]]
+                cached = (
+                    abs(x - pa.x) + abs(y - pa.y) <= 0.45
+                    or abs(x - pb.x) + abs(y - pb.y) <= 0.45
+                )
+                near_memo[v] = cached
+            return cached
 
         best = {start: 0.0}
         parent: dict[tuple[int, int], tuple[int, int]] = {}
-        gp = self._vertex_point(goal)
-        heap = [(self._vertex_point(start).manhattan(gp), start)]
+        gpx, gpy = xc[goal[0]], yc[goal[1]]
+        heap = [(abs(xc[start[0]] - gpx) + abs(yc[start[1]] - gpy), start)]
+        inf = float("inf")
         found = False
         while heap:
             _, v = heapq.heappop(heap)
             if v == goal:
                 found = True
                 break
-            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-                w = (v[0] + dx, v[1] + dy)
-                if not (0 <= w[0] < self.nx and 0 <= w[1] < self.ny):
+            vx, vy = v
+            base = (vx * ny + vy) * 2
+            # Neighbor edge keys follow the lower-vertex + orientation
+            # encoding of ``_edge_key``.
+            for w, key in (
+                ((vx + 1, vy), base),
+                ((vx - 1, vy), base - 2 * ny),
+                ((vx, vy + 1), base + 1),
+                ((vx, vy - 1), base - 1),
+            ):
+                if not (0 <= w[0] < self.nx and 0 <= w[1] < ny):
                     continue
-                key = frozenset((v, w))
-                if key in blocked and not (near_terminal(v) or near_terminal(w)):
+                if key in blocked_keys and not (
+                    near_terminal(v) or near_terminal(w)
+                ):
                     continue
-                cost = best[v] + self._PITCH
-                if cost < best.get(w, float("inf")):
+                cost = best[v] + pitch
+                if cost < best.get(w, inf):
                     best[w] = cost
                     parent[w] = v
                     heapq.heappush(
-                        heap, (cost + self._vertex_point(w).manhattan(gp), w)
+                        heap,
+                        (cost + abs(xc[w[0]] - gpx) + abs(yc[w[1]] - gpy), w),
                     )
         if not found:
             return None
@@ -370,6 +454,7 @@ def select_shortcuts(
     n = tour.size
     demand_set = set(demands) if demands is not None else None
     maze: _ChordMaze | None = None
+    ring_set = SegmentSet.from_paths(tour.edge_paths)
     candidates: list[tuple[float, int, int, list[RectilinearPath]]] = []
     gain_evaluations = 0
     for node_a in range(n):
@@ -378,7 +463,9 @@ def select_shortcuts(
                 (node_a, node_b) in demand_set or (node_b, node_a) in demand_set
             ):
                 continue
-            realizations = _feasible_realizations(tour, node_a, node_b)
+            realizations = _feasible_realizations(
+                tour, node_a, node_b, ring_set
+            )
             if not realizations:
                 # No straight chord exists; a maze-routed one always
                 # does (the ring interior is connected) — try it when
@@ -394,7 +481,8 @@ def select_shortcuts(
                     maze = _ChordMaze(tour)
                 chord = maze.chord(tour.points[node_a], tour.points[node_b])
                 if chord is None or not _chord_is_clean(
-                    tour, chord, tour.points[node_a], tour.points[node_b]
+                    tour, chord, tour.points[node_a], tour.points[node_b],
+                    ring_set,
                 ):
                     continue
                 realizations = [chord]
@@ -439,7 +527,7 @@ def select_shortcuts(
             if retry is None or _ring_gain(tour, node_a, node_b, retry.length) <= 1e-9:
                 continue
             if not _chord_is_clean(
-                tour, retry, tour.points[node_a], tour.points[node_b]
+                tour, retry, tour.points[node_a], tour.points[node_b], ring_set
             ):
                 continue
             if any(paths_cross(retry, s.path) for s in plan.shortcuts):

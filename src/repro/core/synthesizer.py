@@ -37,7 +37,7 @@ from repro.core.design import XRingDesign
 from repro.core.heuristic_ring import construct_ring_tour_heuristic
 from repro.core.mapping import SignalMapping, map_signals
 from repro.core.pdn import PdnDesign, build_pdn
-from repro.core.ring import RingTour, construct_ring_tour
+from repro.core.ring import LAZY_THRESHOLD, RingTour, construct_ring_tour
 from repro.core.shortcuts import ShortcutPlan, select_shortcuts
 from repro.core.validate import validate_design
 from repro.network import Network
@@ -121,6 +121,12 @@ class SynthesisOptions:
     direction_policy: str = "shortest"
     milp_backend: str = "auto"
     milp_time_limit: float | None = None
+    #: Conflict-constraint handling for the ring MILP: ``True`` uses
+    #: lazy cutting-plane generation (skip the O(E²) conflict
+    #: precompute; add only violated rows), ``False`` builds the eager
+    #: model, ``None`` (auto) goes lazy at
+    #: :data:`repro.core.ring.LAZY_THRESHOLD` nodes and above.
+    lazy_conflicts: bool | None = None
     loss: LossParameters = field(default_factory=lambda: ORING_LOSSES)
     label: str = "xring"
     #: Whole-run wall-clock budget in seconds (None = unlimited).
@@ -140,6 +146,12 @@ class SynthesisOptions:
         _require(self.direction_policy, _DIRECTION_POLICIES, "direction policy")
         _require(self.milp_backend, _MILP_BACKENDS, "MILP backend")
         _require(self.on_error, _ON_ERROR_POLICIES, "on_error policy")
+        if self.lazy_conflicts not in (None, True, False):
+            raise ConfigurationError(
+                f"lazy_conflicts must be True, False or None (auto), "
+                f"got {self.lazy_conflicts!r}",
+                context={"lazy_conflicts": self.lazy_conflicts},
+            )
         if self.wl_budget is not None and self.wl_budget < 1:
             raise ConfigurationError(
                 f"wavelength budget must be >= 1 (or None for N), "
@@ -283,13 +295,18 @@ class XRingSynthesizer:
                 self.fault_plan.apply_before("ring", deadline)
                 deadline.check("ring")
                 if opts.ring_method == "milp":
-                    conflicts = self._ring_conflicts(points)
+                    lazy = opts.lazy_conflicts
+                    if lazy is None:
+                        lazy = len(points) >= LAZY_THRESHOLD
+                    if not lazy:
+                        conflicts = self._ring_conflicts(points)
                     tour = construct_ring_tour(
                         points,
                         backend=opts.milp_backend,
                         time_limit=opts.milp_time_limit,
                         deadline=deadline,
                         conflicts=conflicts,
+                        lazy=lazy,
                     )
                     if tour.timed_out:
                         # In-budget incumbent: usable, but flagged.

@@ -30,6 +30,7 @@ from repro.geometry.segment import (
 from repro.geometry.path import RectilinearPath, distance_along, l_route, l_routes
 from repro.geometry.crossing import (
     build_edge_conflicts,
+    build_edge_conflicts_scalar,
     clear_conflict_memo,
     conflict_memo_stats,
     count_crossings,
@@ -37,6 +38,12 @@ from repro.geometry.crossing import (
     edge_realizations,
     edges_conflict,
     paths_cross,
+)
+from repro.geometry.conflicts_bulk import (
+    BULK_THRESHOLD,
+    SegmentSet,
+    build_edge_conflicts_bulk,
+    conflicting_edge_pairs,
 )
 from repro.geometry.bbox import BBox
 from repro.geometry.polygon import RectilinearPolygon
@@ -59,6 +66,11 @@ __all__ = [
     "edges_conflict",
     "edge_realizations",
     "build_edge_conflicts",
+    "build_edge_conflicts_scalar",
+    "build_edge_conflicts_bulk",
+    "conflicting_edge_pairs",
+    "BULK_THRESHOLD",
+    "SegmentSet",
     "conflict_memo_stats",
     "clear_conflict_memo",
     "BBox",

@@ -126,6 +126,7 @@ _CONFLICT_MEMO: dict[tuple, bool] = {}
 _CONFLICT_MEMO_CAP = 1_000_000
 _memo_hits = 0
 _memo_misses = 0
+_memo_evictions = 0
 
 
 def _edge_key(e: tuple[Point, Point]) -> tuple:
@@ -140,20 +141,27 @@ def _conflict_key(e1: tuple[Point, Point], e2: tuple[Point, Point]) -> tuple:
 
 
 def conflict_memo_stats() -> dict[str, int]:
-    """Hit/miss/size counters of the ``edges_conflict`` memo."""
+    """Hit/miss/size/eviction counters of the ``edges_conflict`` memo.
+
+    ``evictions`` counts entries dropped by cap wipes — before it was
+    added, a memo hitting the cap silently reset ``size`` and the
+    counters gave no hint that hit rates were about to crater.
+    """
     return {
         "hits": _memo_hits,
         "misses": _memo_misses,
         "size": len(_CONFLICT_MEMO),
+        "evictions": _memo_evictions,
     }
 
 
 def clear_conflict_memo() -> None:
     """Empty the ``edges_conflict`` memo and reset its counters."""
-    global _memo_hits, _memo_misses
+    global _memo_hits, _memo_misses, _memo_evictions
     _CONFLICT_MEMO.clear()
     _memo_hits = 0
     _memo_misses = 0
+    _memo_evictions = 0
 
 
 def _edges_conflict_uncached(
@@ -183,7 +191,7 @@ def edges_conflict(e1: tuple[Point, Point], e2: tuple[Point, Point]) -> bool:
     (order of edges and of endpoints within an edge does not matter);
     see :func:`conflict_memo_stats` / :func:`clear_conflict_memo`.
     """
-    global _memo_hits, _memo_misses
+    global _memo_hits, _memo_misses, _memo_evictions
     key = _conflict_key(e1, e2)
     cached = _CONFLICT_MEMO.get(key)
     if cached is not None:
@@ -192,23 +200,21 @@ def edges_conflict(e1: tuple[Point, Point], e2: tuple[Point, Point]) -> bool:
     _memo_misses += 1
     result = _edges_conflict_uncached(e1, e2)
     if len(_CONFLICT_MEMO) >= _CONFLICT_MEMO_CAP:
+        _memo_evictions += len(_CONFLICT_MEMO)
         _CONFLICT_MEMO.clear()
     _CONFLICT_MEMO[key] = result
     return result
 
 
-def build_edge_conflicts(
+def build_edge_conflicts_scalar(
     points: Sequence[Point],
 ) -> dict[tuple[int, int], set[tuple[int, int]]]:
-    """Geometric conflicts between all undirected node pairs.
+    """Scalar O(E²) conflict sweep — the reference oracle.
 
-    Keys and members are undirected pairs ``(i, j)`` with ``i < j``;
-    conflicts are direction-independent because both directions of a
-    pair share the same geometry.  This is the O(E²) structure behind
-    the MILP's constraint (3) and the dominant model-build cost, which
-    is why :class:`repro.parallel.cache.SynthesisCache` memoizes whole
-    result dicts per floorplan.  Treat the returned mapping as
-    read-only when it may have come from a cache.
+    Pairwise :func:`edges_conflict` over all C(n,2) node-pair edges,
+    served by the cross-run memo.  Kept as the ground truth the bulk
+    kernel is differentially tested against, and as the faster path
+    for small ``n`` where the memo's cross-floorplan reuse wins.
     """
     n = len(points)
     pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
@@ -223,6 +229,42 @@ def build_edge_conflicts(
                 conflicts[pair_a].add(pair_b)
                 conflicts[pair_b].add(pair_a)
     return conflicts
+
+
+def build_edge_conflicts(
+    points: Sequence[Point],
+    method: str = "auto",
+) -> dict[tuple[int, int], set[tuple[int, int]]]:
+    """Geometric conflicts between all undirected node pairs.
+
+    Keys and members are undirected pairs ``(i, j)`` with ``i < j``;
+    conflicts are direction-independent because both directions of a
+    pair share the same geometry.  This is the O(E²) structure behind
+    the MILP's constraint (3) and the dominant model-build cost, which
+    is why :class:`repro.parallel.cache.SynthesisCache` memoizes whole
+    result dicts per floorplan.  Treat the returned mapping as
+    read-only when it may have come from a cache.
+
+    ``method`` selects the implementation: ``"auto"`` (the default)
+    uses the vectorized bulk kernel of
+    :mod:`repro.geometry.conflicts_bulk` for ``n >=``
+    :data:`~repro.geometry.conflicts_bulk.BULK_THRESHOLD` nodes and
+    the scalar memoized sweep below it; ``"bulk"`` and ``"scalar"``
+    force one path (the differential tests pin them to each other).
+    Both produce identical dicts.
+    """
+    if method not in ("auto", "bulk", "scalar"):
+        raise ValueError(f"unknown conflict-build method {method!r}")
+    if method == "scalar":
+        return build_edge_conflicts_scalar(points)
+    from repro.geometry.conflicts_bulk import (
+        BULK_THRESHOLD,
+        build_edge_conflicts_bulk,
+    )
+
+    if method == "bulk" or len(points) >= BULK_THRESHOLD:
+        return build_edge_conflicts_bulk(points)
+    return build_edge_conflicts_scalar(points)
 
 
 def conflict_free_realizations(

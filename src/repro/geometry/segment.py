@@ -19,7 +19,7 @@ Degenerate (zero-length) segments are rejected at construction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.geometry.point import EPS, Point
 
@@ -49,10 +49,24 @@ class Intersection:
 
 @dataclass(frozen=True, slots=True)
 class Segment:
-    """An axis-aligned segment between two distinct points."""
+    """An axis-aligned segment between two distinct points.
+
+    The orientation flags and the ``lo``/``hi``/``fixed`` coordinates
+    are computed once at construction — intersection classification
+    reads them millions of times in the conflict and shortcut sweeps,
+    so they are stored fields rather than properties.
+    ``is_horizontal`` is true when the segment runs along the x axis,
+    ``is_vertical`` along the y axis; ``lo``/``hi`` bound the varying
+    coordinate and ``fixed`` is the constant one.
+    """
 
     a: Point
     b: Point
+    is_horizontal: bool = field(init=False, repr=False, compare=False)
+    is_vertical: bool = field(init=False, repr=False, compare=False)
+    lo: float = field(init=False, repr=False, compare=False)
+    hi: float = field(init=False, repr=False, compare=False)
+    fixed: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.a.almost_equals(self.b):
@@ -64,36 +78,25 @@ class Segment:
             raise ValueError(
                 f"segment {self.a}-{self.b} is not axis-aligned"
             )
-
-    @property
-    def is_horizontal(self) -> bool:
-        """True if the segment runs along the x axis."""
-        return abs(self.a.y - self.b.y) <= EPS
-
-    @property
-    def is_vertical(self) -> bool:
-        """True if the segment runs along the y axis."""
-        return abs(self.a.x - self.b.x) <= EPS
+        horizontal = abs(self.a.y - self.b.y) <= EPS
+        object.__setattr__(self, "is_horizontal", horizontal)
+        object.__setattr__(self, "is_vertical", abs(self.a.x - self.b.x) <= EPS)
+        if horizontal:
+            lo, hi, fixed = (
+                min(self.a.x, self.b.x), max(self.a.x, self.b.x), self.a.y
+            )
+        else:
+            lo, hi, fixed = (
+                min(self.a.y, self.b.y), max(self.a.y, self.b.y), self.a.x
+            )
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "fixed", fixed)
 
     @property
     def length(self) -> float:
         """Segment length (Manhattan == Euclidean for axis-aligned)."""
         return self.a.manhattan(self.b)
-
-    @property
-    def lo(self) -> float:
-        """Smaller varying coordinate (x if horizontal, y if vertical)."""
-        return min(self.a.x, self.b.x) if self.is_horizontal else min(self.a.y, self.b.y)
-
-    @property
-    def hi(self) -> float:
-        """Larger varying coordinate (x if horizontal, y if vertical)."""
-        return max(self.a.x, self.b.x) if self.is_horizontal else max(self.a.y, self.b.y)
-
-    @property
-    def fixed(self) -> float:
-        """The constant coordinate (y if horizontal, x if vertical)."""
-        return self.a.y if self.is_horizontal else self.a.x
 
     def contains_point(self, p: Point, tol: float = EPS) -> bool:
         """True if ``p`` lies on the segment (endpoints included)."""

@@ -30,6 +30,7 @@ of any registry.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from typing import Any
@@ -171,8 +172,25 @@ class SynthesisCache:
     def conflicts_for(
         self, points: Sequence, builder: Callable[[], dict]
     ) -> dict:
-        """The conflict-pair dict of a floorplan (built once)."""
-        return self.conflicts.get_or_build(canonical_points(points), builder)
+        """The conflict-pair dict of a floorplan (built once).
+
+        Cold builds are timed onto the ambient metrics registry
+        (``cache.conflicts.build_s`` histogram) — the conflict sweep
+        is the dominant eager model-build cost, and the perf sentinel
+        tracks it across the scalar/bulk kernel dispatch.
+        """
+
+        def timed_builder() -> dict:
+            start = time.perf_counter()
+            value = builder()
+            get_obs().metrics.histogram("cache.conflicts.build_s").observe(
+                time.perf_counter() - start
+            )
+            return value
+
+        return self.conflicts.get_or_build(
+            canonical_points(points), timed_builder
+        )
 
     # -- ring MILP models ----------------------------------------------------
     def model_for(self, points: Sequence, builder: Callable[[], Any]) -> Any:

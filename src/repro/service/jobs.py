@@ -110,6 +110,7 @@ SPEC_KEYS = frozenset(
         "openings",
         "pdn",
         "milp_backend",
+        "lazy_conflicts",
         "deadline",
         "on_error",
         "label",
@@ -132,6 +133,8 @@ def options_from_spec(spec: dict[str, Any], index: int = 0) -> SynthesisOptions:
         enable_openings=spec.get("openings", True),
         pdn_mode="internal" if spec.get("pdn", True) else None,
         milp_backend=spec.get("milp_backend", "auto"),
+        # JSON true/false/absent map onto forced-lazy/forced-eager/auto.
+        lazy_conflicts=spec.get("lazy_conflicts"),
         deadline_s=spec.get("deadline"),
         on_error=spec.get("on_error", "degrade"),
         label=spec.get("label", f"case{index}"),

@@ -108,6 +108,15 @@ def point_sets(draw):
         if (x, y) not in seen:
             seen.add((x, y))
             points.append(Point(float(x), float(y)))
+    # All-collinear sets admit no crossing-free closed ring (the MILP
+    # is honestly infeasible there); the property under test assumes a
+    # feasible instance, so nudge the last point off the shared line.
+    xs = {p.x for p in points}
+    ys = {p.y for p in points}
+    if len(xs) == 1 or len(ys) == 1:
+        offset = 1.0 if len(xs) == 1 else 0.0
+        replacement = Point(points[-1].x + offset, points[-1].y + (1.0 - offset))
+        points[-1] = replacement
     return points
 
 

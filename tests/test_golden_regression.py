@@ -1,4 +1,4 @@
-"""Golden regression fixtures for three canonical designs.
+"""Golden regression fixtures for four canonical designs.
 
 Each fixture in ``tests/golden/`` is the full structural dump
 (:meth:`~repro.core.design.XRingDesign.to_dict`) of one synthesis run
@@ -12,10 +12,11 @@ After an *intentional* change, regenerate and review::
     PYTHONPATH=src pytest tests/test_golden_regression.py --update-golden
     git diff tests/golden/
 
-The designs cover the three main configurations: the paper's default
-XRing flow (MILP Step 1, internal PDN), the heuristic Step-1
-alternative, and the closed-ring baseline-style variant (no openings,
-external PDN).
+The designs cover the main configurations: the paper's default XRing
+flow (MILP Step 1, internal PDN), the heuristic Step-1 alternative,
+the closed-ring baseline-style variant (no openings, external PDN),
+and a 64-node run through the lazy cutting-plane ring MILP and the
+vectorized conflict kernel (both only engage at that scale).
 """
 
 from __future__ import annotations
@@ -27,7 +28,11 @@ import pytest
 
 from repro.core.synthesizer import SynthesisOptions, XRingSynthesizer
 from repro.network import Network
-from repro.network.placement import oring_placement, psion_placement
+from repro.network.placement import (
+    extended_placement,
+    oring_placement,
+    psion_placement,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -46,6 +51,12 @@ CANONICAL = {
             pdn_mode="external",
             label="xring16/closed",
         ),
+    ),
+    # Beyond the paper's table: pins the lazy cutting-plane ring MILP
+    # and the vectorized conflict kernel, which only engage at scale.
+    "xring64_lazy": lambda: _synthesize(
+        extended_placement(64),
+        SynthesisOptions(lazy_conflicts=True, label="xring64/lazy"),
     ),
 }
 

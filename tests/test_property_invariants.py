@@ -44,14 +44,17 @@ PITCH_MM = 0.35
 
 
 def _random_floorplan(rng: random.Random) -> list[Point]:
-    """4..10 distinct nodes on a jitter-free lattice.
+    """4..16 distinct nodes on a jitter-free lattice.
 
     Sampling lattice cells without replacement guarantees distinct
     positions (a synthesis precondition); collinear runs and shared
     rows/columns — the hard cases for rectilinear crossing checks —
-    stay plentiful.
+    stay plentiful.  The upper bound deliberately exceeds
+    ``repro.geometry.conflicts_bulk.BULK_THRESHOLD`` so the invariant
+    checks exercise the vectorized conflict kernel, not only the
+    scalar fallback.
     """
-    n = rng.randint(4, 10)
+    n = rng.randint(4, 16)
     side = rng.randint(4, 6)
     cells = rng.sample(
         [(col, row) for col in range(side) for row in range(side)], n
