@@ -12,6 +12,10 @@ Subcommands:
   (``--progress`` streams per-case JSONL events to stderr);
 - ``serve`` — run the resilient synthesis job service (HTTP + SSE,
   crash-safe job store, graceful SIGTERM drain);
+- ``cache`` — inspect/maintain a durable L2 cache (``--cache-dir`` /
+  ``--cache-nodes``): stats, anti-entropy scrub, size-bounded gc;
+- ``cache-node`` — run one sharded-cache node (a persistent
+  content-addressed store behind HTTP);
 - ``regress`` — compare recent ledger runs against a baseline and exit
   nonzero on a perf/quality regression;
 - ``report`` — render ledger entries as a markdown/HTML report;
@@ -105,6 +109,27 @@ def _load_placement(path: str) -> Network:
     points = [Point(float(x), float(y)) for x, y in positions]
     pairs = [(int(s), int(d)) for s, d in traffic]
     return Network.from_positions(points, traffic=pairs)
+
+
+def _split_nodes(text: str) -> list[str]:
+    """``"host:1,host:2"`` → node list (empty string → no nodes)."""
+    return [node.strip() for node in text.split(",") if node.strip()]
+
+
+def _attach_l2(args: argparse.Namespace) -> None:
+    """Attach the durable L2 cache when ``--cache-dir``/``--cache-nodes``
+    was passed (``serve`` wires its own through :class:`ServiceConfig`)."""
+    cache_dir = getattr(args, "cache_dir", "")
+    cache_nodes = _split_nodes(getattr(args, "cache_nodes", ""))
+    if not cache_dir and not cache_nodes:
+        return
+    from repro.parallel.cache import configure_l2
+
+    configure_l2(
+        cache_dir,
+        cache_nodes,
+        replication=getattr(args, "cache_replication", 2),
+    )
 
 
 def _start_profiler(args: argparse.Namespace):
@@ -483,6 +508,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         breaker_cooldown_s=args.breaker_cooldown,
         seed=args.seed,
+        cache_dir=args.cache_dir,
+        cache_nodes=tuple(_split_nodes(args.cache_nodes)),
+        cache_replication=args.cache_replication,
     )
     # /metrics needs a real registry even when no --metrics/--trace-dir
     # flag forced one; reuse the session registry when it is real so
@@ -515,6 +543,91 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if report.get("clean") else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain a durable L2 cache.
+
+    ``stats`` prints the backend's counters and footprint; ``scrub``
+    re-checksums every entry (quarantining corruption — exit 1 when
+    any was found — and, in sharded mode, re-replicating
+    under-replicated keys onto their live owners); ``gc`` LRU-evicts
+    down to ``--max-bytes`` (per node in sharded mode).
+    """
+    nodes = _split_nodes(args.nodes)
+    if bool(args.dir) == bool(nodes):
+        print(
+            "xring cache: pass exactly one of --dir or --nodes",
+            file=sys.stderr,
+        )
+        return 2
+    if nodes:
+        from repro.parallel.shard import ShardClient
+
+        backend = ShardClient(nodes, replication=args.replication)
+    else:
+        from repro.parallel.store import PersistentStore
+
+        backend = PersistentStore(args.dir)
+        if backend.disabled:
+            print(
+                f"xring cache: store {args.dir!r} is unusable", file=sys.stderr
+            )
+            return 2
+
+    if args.action == "stats":
+        print(json.dumps(backend.stats(), indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "scrub":
+        report = (
+            backend.scrub(repair=not args.no_repair)
+            if nodes
+            else backend.verify()
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        quarantined = int(report.get("quarantined", 0))
+        if quarantined:
+            print(
+                f"xring cache: scrub quarantined {quarantined} corrupt "
+                "entry(ies)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    # gc
+    if nodes:
+        report = {}
+        for node in nodes:
+            try:
+                report[node] = backend.node_json(
+                    node, "POST", f"/gc?max_bytes={args.max_bytes}"
+                )
+            except OSError as exc:
+                report[node] = {"error": str(exc)}
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(json.dumps(backend.gc(args.max_bytes), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cache_node(args: argparse.Namespace) -> int:
+    """Run one sharded-cache node until SIGTERM/SIGINT.
+
+    A :class:`~repro.parallel.store.PersistentStore` over ``--dir``
+    behind the zero-dep HTTP plumbing; the resolved ``host:port`` is
+    published to ``<dir>/address`` (port 0 = ephemeral).
+    """
+    from repro.parallel.shard import serve_cache_node_forever
+
+    stats = serve_cache_node_forever(args.dir, args.host, args.port)
+    print(
+        f"xring cache-node: stopped ({stats.get('entries', 0)} entries, "
+        f"{stats.get('bytes', 0)} bytes on disk)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _load_baseline_file(path: str) -> list:
@@ -771,8 +884,34 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical and input-ordered at any setting",
     )
 
+    # Durable L2 cache flags (synth, batch, experiments, serve).
+    cachep = argparse.ArgumentParser(add_help=False)
+    cachep.add_argument(
+        "--cache-dir",
+        type=str,
+        default="",
+        help="durable L2 cache: persistent content-addressed store in "
+        "this directory (conflict dicts + finished batch results "
+        "survive process restarts; corrupt entries are quarantined "
+        "and recomputed)",
+    )
+    cachep.add_argument(
+        "--cache-nodes",
+        type=str,
+        default="",
+        help="durable L2 cache: comma-separated host:port 'xring "
+        "cache-node' addresses (sharded consistent-hash mode with "
+        "replica failover; mutually exclusive with --cache-dir)",
+    )
+    cachep.add_argument(
+        "--cache-replication",
+        type=int,
+        default=2,
+        help="replicas per entry with --cache-nodes (default 2)",
+    )
+
     synth = sub.add_parser(
-        "synth", help="synthesize one XRing router", parents=[obs, prof]
+        "synth", help="synthesize one XRing router", parents=[obs, prof, cachep]
     )
     synth.add_argument("--nodes", type=int, default=16)
     synth.add_argument(
@@ -866,7 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch = sub.add_parser(
         "batch",
         help="run a JSON case file through the batch-synthesis engine",
-        parents=[obs, pool, prof],
+        parents=[obs, pool, prof, cachep],
     )
     batch.add_argument(
         "cases",
@@ -921,7 +1060,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the resilient synthesis job service "
         "(HTTP + SSE, crash-safe store, graceful drain)",
-        parents=[obs],
+        parents=[obs, cachep],
     )
     serve.add_argument(
         "--host", type=str, default="127.0.0.1", help="bind address"
@@ -1007,6 +1146,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for jittered Retry-After and retry backoff",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect/maintain a durable L2 cache: stats, anti-entropy "
+        "scrub (exit 1 on corruption), size-bounded gc",
+    )
+    cache.add_argument(
+        "action", choices=["stats", "scrub", "gc"], help="what to do"
+    )
+    cache.add_argument(
+        "--dir",
+        type=str,
+        default="",
+        help="local store directory (as passed to --cache-dir)",
+    )
+    cache.add_argument(
+        "--nodes",
+        type=str,
+        default="",
+        help="comma-separated cache-node host:port addresses "
+        "(as passed to --cache-nodes)",
+    )
+    cache.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="replicas per entry when scrubbing a node ring",
+    )
+    cache.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="scrub only: report under-replication without copying "
+        "entries back onto their owners",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=0,
+        help="gc target: evict least-recently-used entries until the "
+        "store holds at most this many bytes (per node with --nodes)",
+    )
+    cache.set_defaults(func=_cmd_cache)
+
+    cache_node = sub.add_parser(
+        "cache-node",
+        help="run one sharded-cache node (PersistentStore behind HTTP)",
+    )
+    cache_node.add_argument(
+        "--dir",
+        type=str,
+        default=".xring_cache_node",
+        help="store directory (also receives the address file)",
+    )
+    cache_node.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address"
+    )
+    cache_node.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; resolved address lands in "
+        "<dir>/address)",
+    )
+    cache_node.set_defaults(func=_cmd_cache_node)
 
     regress = sub.add_parser(
         "regress",
@@ -1155,6 +1358,10 @@ def main(argv: list[str] | None = None) -> int:
     started = time.monotonic()
     try:
         with use_obs(ObsContext(tracer=tracer, metrics=registry)):
+            if args.command != "serve":
+                # serve attaches inside JobManager.start (it owns the
+                # backend ref for /stats); everyone else attaches here.
+                _attach_l2(args)
             exit_code = args.func(args)
         if history_kind is not None:
             _record_history(

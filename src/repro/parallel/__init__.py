@@ -34,6 +34,7 @@ from repro.parallel.cache import (
     SynthesisCache,
     canonical_points,
     clear_caches,
+    configure_l2,
     get_cache,
 )
 from repro.parallel.journal import (
@@ -57,6 +58,18 @@ from repro.parallel.supervisor import (
     SupervisorConfig,
     SupervisorStats,
     WorkerSupervisor,
+)
+
+# Imported last: repro.parallel.shard pulls in repro.service (for the
+# HTTP plumbing), which imports back into this package — by this point
+# every name the service layer needs is already bound above.
+from repro.parallel.store import PersistentStore  # noqa: E402
+from repro.parallel.shard import (  # noqa: E402
+    CacheNodeServer,
+    ShardClient,
+    ShardRing,
+    serve_cache_node,
+    serve_cache_node_forever,
 )
 
 __all__ = [
@@ -87,5 +100,12 @@ __all__ = [
     "DEFAULT_SECTION_CAPACITY",
     "canonical_points",
     "clear_caches",
+    "configure_l2",
     "get_cache",
+    "PersistentStore",
+    "ShardRing",
+    "ShardClient",
+    "CacheNodeServer",
+    "serve_cache_node",
+    "serve_cache_node_forever",
 ]

@@ -51,7 +51,11 @@ Design decisions:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import pickle
 import time
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -69,7 +73,14 @@ from repro.obs import (
     spans_to_chrome,
 )
 from repro.parallel.cache import canonical_points, get_cache
-from repro.parallel.journal import BatchJournal, batch_fingerprint, case_key
+from repro.parallel.journal import (
+    BatchJournal,
+    batch_fingerprint,
+    canonical_json,
+    case_key,
+    result_digest,
+)
+from repro.parallel.store import counter_metric_name
 from repro.parallel.supervisor import (
     BatchCase,
     BatchResult,
@@ -103,6 +114,88 @@ class BatchError(SynthesisError):
         kwargs.setdefault("stage", "batch")
         kwargs.setdefault("cause", "case_failure")
         super().__init__(message, **kwargs)
+
+
+# -- durable L2 (whole-result tier) ------------------------------------------
+#
+# Finished cases are persisted to the attached L2 backend under their
+# journal ``case_key`` (which covers floorplan + every synthesis
+# option), so an identical batch on a fresh process — or a fresh host,
+# with a shard ring — restores results without re-solving, journal or
+# not.  Payloads are the journal's pickle+zlib encoding; the entry
+# meta carries the options hash and the design digest, and the digest
+# is re-verified after unpickling (defense in depth on top of the
+# store's payload checksum).
+
+L2_RESULT_SECTION = "results"
+
+
+def _l2_meta(case: BatchCase, result: BatchResult) -> dict[str, Any]:
+    options_hash = hashlib.sha256(
+        canonical_json(dataclasses.asdict(case.options)).encode("utf-8")
+    ).hexdigest()
+    return {
+        "kind": "result",
+        "label": result.label,
+        "options_hash": options_hash,
+        "digest": result_digest(result),
+    }
+
+
+def _l2_store_result(l2: Any, key: str, case: BatchCase, result: BatchResult) -> None:
+    """Persist one freshly-computed successful case (best effort)."""
+    if not result.ok or result.interrupted or result.cached or result.resumed:
+        return
+    try:
+        payload = zlib.compress(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        l2.put(L2_RESULT_SECTION, key, payload, _l2_meta(case, result))
+    except Exception:
+        _log.warning("L2 result write for %s failed; continuing", key, exc_info=True)
+
+
+def _l2_restore_result(l2: Any, key: str) -> BatchResult | None:
+    """Rebuild a finished case from the L2, or ``None``.
+
+    Backends count hits/misses themselves; a payload that decodes but
+    fails the digest check is corrected back into a miss so
+    ``cache.l2.hits`` only ever counts *served* results.
+    """
+    try:
+        entry = l2.get(L2_RESULT_SECTION, key)
+    except Exception:
+        _log.warning("L2 result read for %s failed; recomputing", key, exc_info=True)
+        return None
+    if entry is None:
+        return None
+    payload, meta = entry
+    reason = ""
+    result: BatchResult | None = None
+    try:
+        result = pickle.loads(zlib.decompress(payload))
+    except Exception as exc:
+        reason = f"undecodable payload ({type(exc).__name__})"
+    if not reason and not isinstance(result, BatchResult):
+        reason = f"payload is {type(result).__name__}, not BatchResult"
+    if not reason and (not result.ok or result.interrupted):
+        reason = "entry holds a non-successful result"
+    if not reason:
+        expected = meta.get("digest")
+        if expected and result_digest(result) != expected:
+            reason = "design digest mismatch"
+    if reason:
+        _log.warning("L2 entry %s rejected (%s); recomputing", key, reason)
+        counters = getattr(l2, "counters", None)
+        if isinstance(counters, dict):
+            hits_key = f"hits:{L2_RESULT_SECTION}"
+            misses_key = f"misses:{L2_RESULT_SECTION}"
+            counters[hits_key] = counters.get(hits_key, 0) - 1
+            counters[misses_key] = counters.get(misses_key, 0) + 1
+            counters["errors"] = counters.get("errors", 0) + 1
+        return None
+    result.cached = True
+    return result
 
 
 @dataclass
@@ -326,16 +419,38 @@ class BatchSynthesizer:
                     if result is not None:
                         restored[idx] = result
 
+        # Durable tier: cases the journal did not cover may still be
+        # finished work from a previous process life (or another host).
+        l2 = get_cache().l2
+        l2_before = dict(getattr(l2, "counters", {})) if l2 is not None else {}
+        cached: dict[int, BatchResult] = {}
+        if l2 is not None:
+            for idx, key in enumerate(keys):
+                if idx in restored:
+                    continue
+                result = _l2_restore_result(l2, key)
+                if result is not None:
+                    result.index = idx
+                    cached[idx] = result
+
         self._emit(
             "batch_start",
             cases=len(cases),
             workers=self.workers,
             resumed=len(restored),
+            cached=len(cached),
         )
         for idx in sorted(restored):
             self._emit(
                 "case_resumed", index=idx, label=restored[idx].label
             )
+        for idx in sorted(cached):
+            self._emit("case_cached", index=idx, label=cached[idx].label)
+        if journal_obj is not None:
+            for idx, result in cached.items():
+                journal_obj.record(keys[idx], result)
+        journal_restored = len(restored)
+        restored.update(cached)
 
         if self.share_tours:
             cases = self._share_step1(cases)
@@ -350,6 +465,14 @@ class BatchSynthesizer:
         if trace is None and self.collect_spans:
             trace = current_trace() or TraceContext.new()
 
+        def checkpoint(result: BatchResult) -> None:
+            if journal_obj is not None:
+                journal_obj.record(keys[result.index], result)
+            if l2 is not None:
+                _l2_store_result(
+                    l2, keys[result.index], cases[result.index], result
+                )
+
         stats = SupervisorStats()
         if self.supervised:
             supervisor = WorkerSupervisor(
@@ -361,22 +484,19 @@ class BatchSynthesizer:
                 trace=trace,
             )
             on_complete = None
-            if journal_obj is not None:
-                on_complete = lambda result: journal_obj.record(  # noqa: E731
-                    keys[result.index], result
-                )
+            if journal_obj is not None or l2 is not None:
+                on_complete = checkpoint
             outcomes = supervisor.run(remaining, on_complete=on_complete)
             stats = supervisor.stats
         else:
             outcomes = self._run_unsupervised(remaining, trace)
-            if journal_obj is not None:
-                for result in outcomes:
-                    journal_obj.record(keys[result.index], result)
-        stats.resumed = len(restored)
+            for result in outcomes:
+                checkpoint(result)
+        stats.resumed = journal_restored
 
         outcomes = list(restored.values()) + list(outcomes)
         outcomes.sort(key=lambda r: r.index)
-        return self._join(outcomes, stats, start)
+        return self._join(outcomes, stats, start, l2=l2, l2_before=l2_before)
 
     def _open_journal(
         self, journal: BatchJournal | str | Path | None, keys: list[str]
@@ -455,11 +575,52 @@ class BatchSynthesizer:
                     )
         return outcomes
 
+    @staticmethod
+    def _fold_worker_cache_stats(
+        outcomes: list[BatchResult], cache_stats: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Add worker-process cache-section deltas into parent stats.
+
+        ``get_cache().stats()`` only sees this process; pool workers'
+        hit/miss counters died with them until ``_execute_case``
+        started shipping per-case deltas.  In-process outcomes (same
+        pid) already live in the parent counters and are skipped, as
+        are restored results (their cache work happened in a previous
+        run).
+        """
+        parent_pid = os.getpid()
+        for outcome in outcomes:
+            delta = (
+                outcome.metrics.pop("cache_sections", None)
+                if isinstance(outcome.metrics, dict)
+                else None
+            )
+            if not delta or outcome.resumed or outcome.cached:
+                continue
+            if outcome.worker_pid == parent_pid:
+                continue
+            for name, counts in delta.items():
+                section = cache_stats.get(name)
+                if not isinstance(section, dict) or "hits" not in section:
+                    continue
+                section["hits"] = section.get("hits", 0) + counts.get("hits", 0)
+                section["misses"] = section.get("misses", 0) + counts.get(
+                    "misses", 0
+                )
+                total = section["hits"] + section["misses"]
+                if "hit_rate" in section:
+                    section["hit_rate"] = (
+                        section["hits"] / total if total else 0.0
+                    )
+        return cache_stats
+
     def _join(
         self,
         outcomes: list[BatchResult],
         stats: SupervisorStats,
         start: float,
+        l2: Any = None,
+        l2_before: dict[str, int] | None = None,
     ) -> BatchReport:
         merged = MetricsRegistry()
         span_records: list[dict[str, Any]] = []
@@ -467,6 +628,15 @@ class BatchSynthesizer:
             span_records.extend(outcome.metrics.pop("spans", []))
             merged.merge_snapshot(outcome.metrics)
         span_records.extend(stats.span_records)
+        if l2 is not None:
+            # Whole-result and store-health traffic this run generated,
+            # as a counter delta (the backend object may be long-lived).
+            before = l2_before or {}
+            for counter_key, value in getattr(l2, "counters", {}).items():
+                metric = counter_metric_name(counter_key)
+                delta = value - before.get(counter_key, 0)
+                if metric is not None and delta:
+                    merged.counter(metric).inc(delta)
         merged.counter("batch.cases").inc(len(outcomes))
         merged.counter("batch.failures").inc(
             sum(1 for o in outcomes if not o.ok)
@@ -489,7 +659,9 @@ class BatchSynthesizer:
             total_elapsed_s=time.perf_counter() - start,
             metrics=merged,
             span_records=span_records,
-            cache_stats=get_cache().stats(),
+            cache_stats=self._fold_worker_cache_stats(
+                outcomes, get_cache().stats()
+            ),
             supervisor=stats.to_dict(),
             interrupted=stats.interrupted,
             circuit_opened=stats.circuit_opened,

@@ -29,14 +29,19 @@ of any registry.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import threading
 import time
+import zlib
 from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from typing import Any
 
 from repro.geometry.crossing import conflict_memo_stats
-from repro.obs import get_obs
+from repro.obs import get_logger, get_obs
+
+_log = get_logger("parallel.cache")
 
 #: Per-section LRU bound.  Keys are whole floorplans, so even large
 #: property-based sweeps stay far below this.
@@ -155,6 +160,11 @@ class SynthesisCache:
         self.models = _Section("models", capacity)
         self.tours = _Section("tours", capacity)
         self.plans = _Section("plans", capacity)
+        #: Durable L2 backend (:class:`~repro.parallel.store.PersistentStore`
+        #: or :class:`~repro.parallel.shard.ShardClient`); ``None`` keeps
+        #: the cache purely in-memory.  The L2 serves conflict dicts here
+        #: and whole batch results in :mod:`repro.parallel.batch`.
+        self.l2: Any = None
         #: Result memoization (tours and shortcut plans) is opt-in:
         #: serving a finished stage result skips the whole span/solve,
         #: which changes observable solver counters for repeat runs —
@@ -167,6 +177,63 @@ class SynthesisCache:
         """Turn the ``tours``/``plans`` sections on or off (off by
         default)."""
         self.result_caching = enabled
+
+    # -- durable L2 ----------------------------------------------------------
+    def attach_l2(self, backend: Any) -> None:
+        """Install (or replace) the durable L2 behind this cache.
+
+        ``backend`` speaks the store protocol: ``get(section, key) ->
+        (payload, meta) | None``, ``put(section, key, payload, meta)``,
+        ``counters`` and ``stats()``.  Detach with ``None``.
+        """
+        self.l2 = backend
+
+    @staticmethod
+    def _l2_key(key: tuple) -> str:
+        """Durable form of a canonical-point-tuple key."""
+        return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+    def _l2_get_conflicts(self, key: tuple) -> dict | None:
+        if self.l2 is None:
+            return None
+        metrics = get_obs().metrics
+        try:
+            entry = self.l2.get("conflicts", self._l2_key(key))
+        except Exception:
+            _log.warning("L2 conflicts read failed; recomputing", exc_info=True)
+            metrics.counter("cache.l2.errors").inc()
+            return None
+        if entry is None:
+            metrics.counter("cache.l2.conflicts.misses").inc()
+            return None
+        payload, _meta = entry
+        try:
+            value = pickle.loads(zlib.decompress(payload))
+        except Exception:
+            # The store's checksum already vouched for the bytes, so
+            # this is a schema drift, not corruption — still a miss.
+            _log.warning("L2 conflicts payload undecodable; recomputing")
+            metrics.counter("cache.l2.errors").inc()
+            return None
+        metrics.counter("cache.l2.conflicts.hits").inc()
+        return value
+
+    def _l2_put_conflicts(self, key: tuple, value: dict) -> None:
+        if self.l2 is None:
+            return
+        try:
+            payload = zlib.compress(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self.l2.put(
+                "conflicts",
+                self._l2_key(key),
+                payload,
+                {"kind": "conflicts", "pairs": len(value)},
+            )
+        except Exception:
+            _log.warning("L2 conflicts write failed; continuing", exc_info=True)
+            get_obs().metrics.counter("cache.l2.errors").inc()
 
     # -- conflicts -----------------------------------------------------------
     def conflicts_for(
@@ -188,9 +255,19 @@ class SynthesisCache:
             )
             return value
 
-        return self.conflicts.get_or_build(
-            canonical_points(points), timed_builder
-        )
+        key = canonical_points(points)
+
+        def l2_builder() -> dict:
+            # L1 missed: consult the durable tier before paying the
+            # O(E²) rebuild, and persist fresh builds for next time.
+            value = self._l2_get_conflicts(key)
+            if value is not None:
+                return value
+            value = timed_builder()
+            self._l2_put_conflicts(key, value)
+            return value
+
+        return self.conflicts.get_or_build(key, l2_builder)
 
     # -- ring MILP models ----------------------------------------------------
     def model_for(self, points: Sequence, builder: Callable[[], Any]) -> Any:
@@ -251,13 +328,19 @@ class SynthesisCache:
         :mod:`repro.geometry.crossing` under ``"edges_conflict_memo"``
         so one call captures the whole caching picture.
         """
-        return {
+        stats = {
             "conflicts": self.conflicts.stats(),
             "models": self.models.stats(),
             "tours": self.tours.stats(),
             "plans": self.plans.stats(),
             "edges_conflict_memo": dict(conflict_memo_stats()),
         }
+        if self.l2 is not None:
+            try:
+                stats["l2"] = self.l2.stats()
+            except Exception:
+                stats["l2"] = {"error": "unavailable"}
+        return stats
 
 
 _CACHE = SynthesisCache()
@@ -272,9 +355,47 @@ def clear_caches() -> None:
     """Reset the global cache and the ``edges_conflict`` memo.
 
     Benchmarks call this between cold/warm phases; tests call it to
-    isolate hit-rate assertions.
+    isolate hit-rate assertions.  The durable L2 is *detached* (not
+    wiped): a cleared process forgets its backend, but the on-disk
+    store keeps its entries for the next attach — that is the whole
+    point of durability.
     """
     from repro.geometry.crossing import clear_conflict_memo
 
     _CACHE.clear()
+    _CACHE.l2 = None
     clear_conflict_memo()
+
+
+def configure_l2(
+    cache_dir: Any = "",
+    cache_nodes: Sequence[str] = (),
+    *,
+    replication: int = 2,
+    seed: int = 0,
+) -> Any:
+    """Build an L2 backend and attach it to the global cache.
+
+    ``cache_dir`` selects a local :class:`~repro.parallel.store.
+    PersistentStore`; ``cache_nodes`` (``host:port`` strings) selects a
+    sharded :class:`~repro.parallel.shard.ShardClient`.  With neither,
+    any attached L2 is detached.  Returns the backend (or ``None``).
+
+    Imports lazily: ``repro.parallel.shard`` pulls in the service HTTP
+    plumbing, which must not load at ``repro.parallel`` import time.
+    """
+    if cache_dir and cache_nodes:
+        raise ValueError("cache_dir and cache_nodes are mutually exclusive")
+    backend: Any = None
+    if cache_nodes:
+        from repro.parallel.shard import ShardClient
+
+        backend = ShardClient(
+            list(cache_nodes), replication=replication, seed=seed
+        )
+    elif cache_dir:
+        from repro.parallel.store import PersistentStore
+
+        backend = PersistentStore(cache_dir)
+    _CACHE.attach_l2(backend)
+    return backend

@@ -1,0 +1,685 @@
+"""Sharded L2 cache: consistent-hash ring, HTTP nodes, failover client.
+
+Horizontal companion to :mod:`repro.parallel.store`: instead of one
+local directory, cache entries live on N ``xring cache-node``
+processes, each a :class:`~repro.parallel.store.PersistentStore`
+behind the same zero-dep asyncio HTTP plumbing the job service uses
+(:mod:`repro.service.http`).
+
+Keyspace: a chord-style consistent-hash ring (:class:`ShardRing`).
+Nodes and keys hash onto one 64-bit identifier circle; a key belongs
+to its clockwise successor vnode, and each physical node projects
+``vnodes`` virtual points onto the circle so load stays balanced and
+a join/leave only moves the intervals adjacent to the changed node —
+the classic ``(pred, self]`` ownership rule
+(:func:`in_interval_open_closed`).  Replication factor R extends
+ownership to the next R-1 *distinct* successors.
+
+Failure semantics (mirrors the store's "never hurt synthesis" rule):
+
+- **Read failover** — a read walks the R owners in ring order; a
+  dead or erroring owner is skipped and a later replica serves the
+  entry (counter ``failovers``).  All owners missing → a plain miss.
+- **Per-node circuit breaker** — repeated failures latch a node's
+  breaker (reusing :class:`~repro.parallel.supervisor.CircuitBreaker`)
+  so a dead shard costs one fast skip, not a timeout per lookup; a
+  cooldown later the breaker half-opens and one probe re-tests it.
+- **Retry with backoff** — transient per-request errors retry under
+  the supervisor backoff policy
+  (:meth:`~repro.parallel.supervisor.SupervisorConfig.backoff_s`).
+- **Anti-entropy scrub** — :meth:`ShardClient.scrub` asks every live
+  node to re-checksum its entries (quarantining corruption), then
+  re-replicates keys missing from live owners: the keyspace-handoff
+  path a node takes when it rejoins empty.
+
+Client-side reads re-verify the payload checksum against the header
+the node returns, so a corrupt byte stream can not cross the network
+boundary undetected either.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import http.client
+import json
+import random
+import signal
+import time
+from bisect import bisect_right, insort
+from pathlib import Path
+from typing import Any
+
+from repro.obs import atomic_write_text, get_logger
+from repro.parallel.store import PersistentStore, payload_checksum
+from repro.parallel.supervisor import CircuitBreaker, SupervisorConfig
+from repro.service.http import (
+    HttpError,
+    Request,
+    read_request,
+    send_json,
+    send_response,
+)
+
+_log = get_logger("parallel.shard")
+
+#: Identifier circle size: 64-bit ids (a sha256 prefix — plenty for a
+#: handful of cache nodes, cheap to compare).
+M_BITS = 64
+RING_SIZE = 1 << M_BITS
+
+#: Virtual nodes per physical node: smooths the keyspace split so two
+#: nodes each own ~half the circle instead of one lucky arc.
+DEFAULT_VNODES = 32
+
+#: Cache entries can be multi-megabyte pickled designs; give node PUT
+#: bodies more headroom than the job API default.
+NODE_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+ADDRESS_FILENAME = "address"
+
+META_HEADER = "X-Entry-Meta"
+CHECKSUM_HEADER = "X-Payload-Sha256"
+
+
+def hash_to_id(text: str) -> int:
+    """Map a node name or cache key onto the identifier circle."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:M_BITS // 8], "big")
+
+
+def in_interval_open_closed(key_id: int, pred_id: int, self_id: int) -> bool:
+    """Chord ownership test: ``key_id`` ∈ ``(pred_id, self_id]`` on the
+    circle (wrap-aware; a single node owns everything)."""
+    if pred_id < self_id:
+        return pred_id < key_id <= self_id
+    if pred_id > self_id:
+        return key_id > pred_id or key_id <= self_id
+    return True
+
+
+class ShardRing:
+    """Consistent-hash ring mapping cache keys to node addresses."""
+
+    def __init__(self, nodes: Any = (), *, vnodes: int = DEFAULT_VNODES) -> None:
+        self.vnodes = max(1, vnodes)
+        self.nodes: list[str] = []
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add_node(node)
+
+    def _vnode_ids(self, node: str) -> list[int]:
+        return [hash_to_id(f"{node}#{i}") for i in range(self.vnodes)]
+
+    def add_node(self, node: str) -> None:
+        """Join a node (idempotent); only adjacent intervals move."""
+        if node in self.nodes:
+            return
+        self.nodes.append(node)
+        for vid in self._vnode_ids(node):
+            insort(self._points, (vid, node))
+
+    def remove_node(self, node: str) -> None:
+        """Leave the ring; the node's intervals fall to its successors."""
+        if node not in self.nodes:
+            return
+        self.nodes.remove(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def owners(self, key: str, r: int = 1) -> list[str]:
+        """The R distinct nodes owning ``key``, primary first.
+
+        Successor walk from the key's id: the first vnode clockwise is
+        the primary, further *distinct* physical nodes are replicas.
+        """
+        if not self._points:
+            return []
+        key_id = hash_to_id(key)
+        start = bisect_right(self._points, (key_id, "￿")) % len(self._points)
+        found: list[str] = []
+        for step in range(len(self._points)):
+            node = self._points[(start + step) % len(self._points)][1]
+            if node not in found:
+                found.append(node)
+                if len(found) >= r:
+                    break
+        return found
+
+    def primary(self, key: str) -> str | None:
+        owned = self.owners(key, 1)
+        return owned[0] if owned else None
+
+    def owns(self, node: str, key: str, r: int = 1) -> bool:
+        return node in self.owners(key, r)
+
+
+def parse_node(node: str) -> tuple[str, int]:
+    """``host:port`` → (host, port); raises ValueError when malformed."""
+    host, _, port = node.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"cache node must be host:port, got {node!r}")
+    return host, int(port)
+
+
+class _NodeState:
+    """Client-side health of one cache node."""
+
+    __slots__ = ("breaker", "opened_s", "failures", "last_error")
+
+    def __init__(self, breaker: CircuitBreaker) -> None:
+        self.breaker = breaker
+        self.opened_s = 0.0
+        self.failures = 0
+        self.last_error = ""
+
+
+class ShardClient:
+    """Replicated get/put against a ring of cache nodes.
+
+    Implements the same backend protocol as
+    :class:`~repro.parallel.store.PersistentStore` (``get`` / ``put``
+    / ``stats`` / ``counters``), so
+    :meth:`~repro.parallel.cache.SynthesisCache.attach_l2` takes
+    either interchangeably.  All failures degrade to misses.
+    """
+
+    def __init__(
+        self,
+        nodes: Any,
+        *,
+        replication: int = 2,
+        timeout_s: float = 2.0,
+        retries: int = 1,
+        breaker_cooldown_s: float = 5.0,
+        seed: int = 0,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        node_list = [n.strip() for n in nodes if n and n.strip()]
+        for node in node_list:
+            parse_node(node)  # fail fast on malformed addresses
+        self.ring = ShardRing(node_list, vnodes=vnodes)
+        self.replication = max(1, min(replication, len(node_list) or 1))
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.breaker_cooldown_s = breaker_cooldown_s
+        # Breakers trip fast: two consecutive failures open; the
+        # backoff policy between in-request retries is the supervisor's.
+        self._backoff = SupervisorConfig(
+            backoff_base_s=0.05, backoff_cap_s=0.5, seed=seed
+        )
+        self._rng = random.Random(seed)
+        self._states = {
+            node: _NodeState(CircuitBreaker(window=4, threshold=0.5, min_samples=2))
+            for node in node_list
+        }
+        self.counters: dict[str, int] = {}
+
+    def describe(self) -> str:
+        return "nodes:" + ",".join(self.ring.nodes)
+
+    def _count(self, name: str, section: str | None = None, n: int = 1) -> None:
+        key = f"{name}:{section}" if section else name
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    # -- node health ---------------------------------------------------------
+    def _available(self, node: str) -> bool:
+        state = self._states[node]
+        if not state.breaker.open:
+            return True
+        if time.monotonic() - state.opened_s >= self.breaker_cooldown_s:
+            state.breaker.reset()  # half-open: next request is the probe
+            return True
+        return False
+
+    def _record(self, node: str, ok: bool, error: str = "") -> None:
+        state = self._states[node]
+        was_open = state.breaker.open
+        state.breaker.record(ok)
+        if ok:
+            state.failures = 0
+            state.last_error = ""
+        else:
+            state.failures += 1
+            state.last_error = error
+        if state.breaker.open and not was_open:
+            state.opened_s = time.monotonic()
+            self._count("breaker_opens")
+            _log.warning(
+                "cache node %s circuit breaker opened (%s)", node, error
+            )
+
+    # -- wire ----------------------------------------------------------------
+    def _request(
+        self,
+        node: str,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        host, port = parse_node(node)
+        conn = http.client.HTTPConnection(host, port, timeout=self.timeout_s)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                data,
+                {k.lower(): v for k, v in response.getheaders()},
+            )
+        finally:
+            conn.close()
+
+    def _request_retry(
+        self,
+        node: str,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One logical request with supervisor-policy retries."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request(node, method, path, body, headers)
+            except (OSError, http.client.HTTPException) as exc:
+                if attempt > self.retries:
+                    raise
+                time.sleep(self._backoff.backoff_s(attempt, self._rng))
+                _log.warning(
+                    "cache node %s %s %s failed (%s); retrying",
+                    node,
+                    method,
+                    path,
+                    exc,
+                )
+
+    # -- backend protocol ----------------------------------------------------
+    def get(self, section: str, key: str) -> tuple[bytes, dict[str, Any]] | None:
+        """Read from the owner set, failing over past dead replicas."""
+        degraded = False
+        for node in self.ring.owners(key, self.replication):
+            if not self._available(node):
+                degraded = True
+                continue
+            try:
+                status, data, headers = self._request_retry(
+                    node, "GET", f"/entry/{section}/{key}"
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                self._record(node, False, f"{type(exc).__name__}: {exc}")
+                self._count("errors")
+                degraded = True
+                continue
+            self._record(node, True)
+            if status == 404:
+                continue
+            if status != 200:
+                self._count("errors")
+                degraded = True
+                continue
+            if headers.get(CHECKSUM_HEADER.lower()) != payload_checksum(data):
+                # Node-side scrub should have caught this; whatever the
+                # cause, corrupt bytes stop here.
+                self._count("errors")
+                _log.warning(
+                    "cache node %s returned a checksum-mismatched payload "
+                    "for %s/%s; treating as miss",
+                    node,
+                    section,
+                    key,
+                )
+                degraded = True
+                continue
+            try:
+                meta = json.loads(headers.get(META_HEADER.lower(), "{}"))
+            except ValueError:
+                meta = {}
+            if degraded:
+                self._count("failovers")
+            self._count("hits", section)
+            return data, dict(meta)
+        self._count("misses", section)
+        return None
+
+    def put(
+        self,
+        section: str,
+        key: str,
+        payload: bytes,
+        meta: dict[str, Any] | None = None,
+    ) -> bool:
+        """Write to every owner; True when at least one replica landed."""
+        headers = {
+            META_HEADER: json.dumps(meta or {}, sort_keys=True),
+            "Content-Type": "application/octet-stream",
+        }
+        landed = 0
+        owners = self.ring.owners(key, self.replication)
+        for node in owners:
+            if not self._available(node):
+                continue
+            try:
+                status, _, _ = self._request_retry(
+                    node, "PUT", f"/entry/{section}/{key}", payload, headers
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                self._record(node, False, f"{type(exc).__name__}: {exc}")
+                self._count("errors")
+                continue
+            self._record(node, True)
+            if status in (200, 201, 204):
+                landed += 1
+        if landed and landed < len(owners):
+            self._count("under_replicated")
+        if landed:
+            self._count("puts", section)
+        return landed > 0
+
+    # -- cluster maintenance -------------------------------------------------
+    def node_json(self, node: str, method: str, path: str) -> dict[str, Any]:
+        status, data, _ = self._request_retry(node, method, path)
+        if status != 200:
+            raise OSError(f"cache node {node} {path} -> HTTP {status}")
+        return json.loads(data.decode("utf-8"))
+
+    def scrub(self, *, repair: bool = True) -> dict[str, Any]:
+        """Anti-entropy pass: re-checksum every node, re-replicate.
+
+        Dead nodes are skipped (and reported).  With ``repair``, every
+        (section, key) held by some live node but missing from a live
+        owner is copied there — this is the keyspace handoff that
+        restocks a node rejoining empty.
+        """
+        report: dict[str, Any] = {
+            "nodes": {},
+            "dead_nodes": [],
+            "keys": 0,
+            "quarantined": 0,
+            "under_replicated": 0,
+            "repaired": 0,
+        }
+        live_keys: dict[str, dict[str, dict[str, Any]]] = {}
+        for node in self.ring.nodes:
+            try:
+                verify = self.node_json(node, "POST", "/scrub")
+                keys = self.node_json(node, "GET", "/keys")["keys"]
+            except (OSError, http.client.HTTPException, ValueError) as exc:
+                self._record(node, False, f"{type(exc).__name__}: {exc}")
+                report["dead_nodes"].append(node)
+                continue
+            self._record(node, True)
+            report["nodes"][node] = verify
+            report["quarantined"] += verify.get("quarantined", 0)
+            live_keys[node] = keys
+
+        holders_by_entry: dict[tuple[str, str], list[str]] = {}
+        for node, sections in live_keys.items():
+            for section, keys in sections.items():
+                for key in keys:
+                    holders_by_entry.setdefault((section, key), []).append(node)
+        report["keys"] = len(holders_by_entry)
+
+        for (section, key), holders in sorted(holders_by_entry.items()):
+            owners = [
+                n
+                for n in self.ring.owners(key, self.replication)
+                if n in live_keys
+            ]
+            missing = [n for n in owners if n not in holders]
+            if not missing:
+                continue
+            report["under_replicated"] += 1
+            if not repair:
+                continue
+            try:
+                status, payload, headers = self._request_retry(
+                    holders[0], "GET", f"/entry/{section}/{key}"
+                )
+            except (OSError, http.client.HTTPException):
+                continue
+            if status != 200 or headers.get(
+                CHECKSUM_HEADER.lower()
+            ) != payload_checksum(payload):
+                continue
+            meta_text = headers.get(META_HEADER.lower(), "{}")
+            for node in missing:
+                try:
+                    put_status, _, _ = self._request_retry(
+                        node,
+                        "PUT",
+                        f"/entry/{section}/{key}",
+                        payload,
+                        {
+                            META_HEADER: meta_text,
+                            "Content-Type": "application/octet-stream",
+                        },
+                    )
+                except (OSError, http.client.HTTPException):
+                    continue
+                if put_status in (200, 201, 204):
+                    report["repaired"] += 1
+        return report
+
+    def verify(self) -> dict[str, Any]:
+        """Store-protocol alias: scrub without repair."""
+        report = self.scrub(repair=False)
+        return {
+            "checked": report["keys"],
+            "quarantined": report["quarantined"],
+            "under_replicated": report["under_replicated"],
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Counters + per-node health (what /stats shows as cache_l2)."""
+        nodes = {}
+        for node, state in self._states.items():
+            nodes[node] = {
+                "breaker_open": state.breaker.open,
+                "failures": state.failures,
+                "last_error": state.last_error,
+            }
+        return {
+            "backend": self.describe(),
+            "replication": self.replication,
+            "nodes": nodes,
+            "counters": dict(self.counters),
+        }
+
+
+class CacheNodeServer:
+    """One ``xring cache-node``: a PersistentStore behind HTTP.
+
+    Routes::
+
+        GET  /healthz                 liveness
+        GET  /stats                   store counters + footprint
+        GET  /keys                    {section: {key: {sha256, len}}}
+        GET  /entry/{section}/{key}   payload bytes (+ meta/checksum
+                                      headers); 404 on miss/corrupt
+        PUT  /entry/{section}/{key}   store payload (X-Entry-Meta)
+        POST /scrub                   re-checksum everything
+        POST /gc?max_bytes=N          LRU-evict down to N bytes
+
+    Port 0 binds an ephemeral port and publishes ``host:port`` to
+    ``<dir>/address`` (the job service's test/discovery convention).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_body_bytes: int = NODE_MAX_BODY_BYTES,
+    ) -> None:
+        self.directory = Path(directory)
+        self.store = PersistentStore(self.directory)
+        self.host = host
+        self.port = port
+        self.max_body_bytes = max_body_bytes
+        self.address: tuple[str, int] | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._started_unix = time.time()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        self.address = (host, port)
+        atomic_write_text(
+            self.directory / ADDRESS_FILENAME, f"{host}:{port}\n"
+        )
+        _log.warning(
+            "xring cache-node listening on http://%s:%d (store: %s)",
+            host,
+            port,
+            self.directory,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader, self.max_body_bytes)
+            except HttpError as exc:
+                await send_json(writer, exc.status, {"error": exc.message})
+                return
+            if request is None:
+                return
+            try:
+                await self._dispatch(request, writer)
+            except HttpError as exc:
+                await send_json(writer, exc.status, {"error": exc.message})
+            except (ConnectionResetError, BrokenPipeError):
+                raise
+            except Exception as exc:  # a sick store must not kill the node
+                _log.warning(
+                    "cache-node error serving %s %s: %s",
+                    request.method,
+                    request.path,
+                    exc,
+                    exc_info=True,
+                )
+                await send_json(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request, writer) -> None:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            await send_json(
+                writer,
+                200,
+                {
+                    "status": "ok",
+                    "store": str(self.directory),
+                    "uptime_s": round(time.time() - self._started_unix, 3),
+                },
+            )
+            return
+        if path == "/stats" and method == "GET":
+            await send_json(writer, 200, self.store.stats())
+            return
+        if path == "/keys" and method == "GET":
+            await send_json(writer, 200, {"keys": self.store.keys()})
+            return
+        if path == "/scrub" and method == "POST":
+            await send_json(writer, 200, self.store.verify())
+            return
+        if path == "/gc" and method == "POST":
+            try:
+                max_bytes = int(request.query.get("max_bytes", "0"))
+            except ValueError as exc:
+                raise HttpError(400, f"bad max_bytes: {exc}") from exc
+            await send_json(writer, 200, self.store.gc(max_bytes))
+            return
+        if path.startswith("/entry/"):
+            parts = path.split("/")  # ['', 'entry', section, key]
+            if len(parts) != 4 or not parts[2] or not parts[3]:
+                raise HttpError(404, f"no route for {path}")
+            section, key = parts[2], parts[3]
+            if method == "GET":
+                entry = self.store.get(section, key)
+                if entry is None:
+                    raise HttpError(404, f"no entry {section}/{key}")
+                payload, meta = entry
+                await send_response(
+                    writer,
+                    200,
+                    payload,
+                    "application/octet-stream",
+                    {
+                        META_HEADER: json.dumps(meta, sort_keys=True),
+                        CHECKSUM_HEADER: payload_checksum(payload),
+                    },
+                )
+                return
+            if method == "PUT":
+                try:
+                    meta = json.loads(request.headers.get("x-entry-meta", "{}"))
+                except ValueError as exc:
+                    raise HttpError(400, f"bad {META_HEADER} header: {exc}") from exc
+                if not self.store.put(section, key, request.body, meta):
+                    raise HttpError(500, "store rejected the entry")
+                await send_response(writer, 204, b"", "application/json")
+                return
+            raise HttpError(405, f"{method} not allowed on {path}")
+        raise HttpError(404, f"no route for {path}")
+
+
+async def serve_cache_node(
+    directory: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    stop_event: asyncio.Event | None = None,
+    ready_callback: Any = None,
+) -> dict[str, Any]:
+    """Run one cache node until SIGTERM/SIGINT (or ``stop_event``)."""
+    node = CacheNodeServer(directory, host, port)
+    await node.start()
+    if ready_callback is not None:
+        ready_callback(node)
+    stop = stop_event if stop_event is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            registered.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+    try:
+        await stop.wait()
+    finally:
+        for sig in registered:
+            loop.remove_signal_handler(sig)
+        await node.stop()
+    return node.store.stats()
+
+
+def serve_cache_node_forever(
+    directory: str | Path, host: str = "127.0.0.1", port: int = 0
+) -> dict[str, Any]:
+    """Synchronous CLI wrapper: ``asyncio.run(serve_cache_node(...))``."""
+    return asyncio.run(serve_cache_node(directory, host, port))

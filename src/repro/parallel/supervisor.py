@@ -185,6 +185,8 @@ class BatchResult:
     retryable: bool = True
     #: Internal: restored from a checkpoint journal, not recomputed.
     resumed: bool = False
+    #: Internal: served from the durable L2 cache, not recomputed.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -203,8 +205,20 @@ class BatchResult:
             "attempts": self.attempts,
             "quarantined": self.quarantined,
             "interrupted": self.interrupted,
+            "cached": self.cached,
             "failure_history": [a.to_dict() for a in self.failure_history],
         }
+
+
+def _cache_section_counts() -> dict[str, tuple[int, int]]:
+    """Per-section (hits, misses) of the process-global cache."""
+    from repro.parallel.cache import get_cache
+
+    counts: dict[str, tuple[int, int]] = {}
+    for name, section in get_cache().stats().items():
+        if isinstance(section, dict) and "hits" in section and "misses" in section:
+            counts[name] = (int(section["hits"]), int(section["misses"]))
+    return counts
 
 
 def _execute_case(
@@ -228,6 +242,7 @@ def _execute_case(
     registry = MetricsRegistry()
     tracer = Tracer() if collect_spans else NULL_TRACER
     result = BatchResult(index=index, label=case.named(), worker_pid=os.getpid())
+    cache_before = _cache_section_counts()
     with use_obs(ObsContext(tracer=tracer, metrics=registry)):
         try:
             synthesizer = XRingSynthesizer(
@@ -242,6 +257,19 @@ def _execute_case(
             )
     result.elapsed_s = time.perf_counter() - start
     result.metrics = registry.snapshot()
+    # Worker-process cache counters die with the process; ship the
+    # per-case delta so the batch join can fold them into truthful
+    # whole-batch cache stats (the parent's own stats() misses them).
+    sections: dict[str, dict[str, int]] = {}
+    for name, (hits, misses) in _cache_section_counts().items():
+        before_h, before_m = cache_before.get(name, (0, 0))
+        if hits - before_h or misses - before_m:
+            sections[name] = {
+                "hits": hits - before_h,
+                "misses": misses - before_m,
+            }
+    if sections:
+        result.metrics["cache_sections"] = sections
     if collect_spans:
         records = [
             dict(span.to_dict(), case=result.label)

@@ -62,6 +62,27 @@ class WorkerFault:
     seconds: float = 3600.0
 
 
+#: Store fault kinds understood by the persistent cache store.
+STORE_FAULT_KINDS = ("torn_tmp", "torn_final")
+
+
+@dataclass(frozen=True)
+class StoreFault:
+    """One scripted crash-consistency fault in the persistent cache store.
+
+    ``torn_tmp`` simulates a writer killed before the atomic rename:
+    a partial temp file remains, the entry never appears.
+    ``torn_final`` simulates torn bytes at the final entry path (a
+    non-atomic foreign writer or disk corruption): the checksum gate
+    must quarantine it on the next read.  Faults are one-shot and are
+    popped by :meth:`FaultPlan.take_store_fault` inside
+    :meth:`~repro.parallel.store.PersistentStore.put`.
+    """
+
+    kind: str  # "torn_tmp" | "torn_final"
+    section: str = ""  # "" matches any section
+
+
 def fire_worker_fault(fault: WorkerFault) -> None:
     """Execute ``fault`` inside the current (worker) process."""
     import os
@@ -129,6 +150,7 @@ class FaultPlan:
 
     faults: list[StageFault] = field(default_factory=list)
     worker_faults: list[WorkerFault] = field(default_factory=list)
+    store_faults: list[StoreFault] = field(default_factory=list)
 
     # -- builders ------------------------------------------------------------
     def stall(self, stage: str, seconds: float) -> "FaultPlan":
@@ -182,6 +204,16 @@ class FaultPlan:
         self.worker_faults.append(WorkerFault("hang", case, attempt, seconds))
         return self
 
+    def store_torn_tmp(self, section: str = "") -> "FaultPlan":
+        """Kill the next store put of ``section`` before its rename."""
+        self.store_faults.append(StoreFault("torn_tmp", section))
+        return self
+
+    def store_torn_final(self, section: str = "") -> "FaultPlan":
+        """Tear the next store put of ``section`` at its final path."""
+        self.store_faults.append(StoreFault("torn_final", section))
+        return self
+
     # -- consumption ---------------------------------------------------------
     def _take(self, stage: str, kind: str) -> list[StageFault]:
         hits = [f for f in self.faults if f.stage == stage and f.kind == kind]
@@ -214,7 +246,20 @@ class FaultPlan:
                 return fault
         return None
 
+    def take_store_fault(self, section: str) -> StoreFault | None:
+        """Pop the store fault scheduled for ``section`` (one-shot).
+
+        A fault with an empty section matches any section, so a plan
+        can tear "the next write" without knowing which artifact lands
+        first.
+        """
+        for fault in self.store_faults:
+            if fault.section in ("", section):
+                self.store_faults.remove(fault)
+                return fault
+        return None
+
     @property
     def exhausted(self) -> bool:
         """True once every scripted fault has fired."""
-        return not self.faults and not self.worker_faults
+        return not self.faults and not self.worker_faults and not self.store_faults

@@ -283,8 +283,31 @@ class ServiceConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     #: Supervisor heartbeat cadence re-emitted on SSE (0 disables).
     heartbeat_interval_s: float = 0.0
+    #: Durable L2 cache: a local content-addressed store directory.
+    #: Completed job results survive process restarts independently of
+    #: the job store — a warm restart serves repeats from disk.
+    cache_dir: str | Path = ""
+    #: Durable L2 cache: ``host:port`` cache nodes (sharded mode).
+    #: Mutually exclusive with ``cache_dir``.
+    cache_nodes: tuple[str, ...] = ()
+    #: Replicas per key when ``cache_nodes`` is used.
+    cache_replication: int = 2
 
     def __post_init__(self) -> None:
+        if self.cache_dir and self.cache_nodes:
+            raise ConfigurationError(
+                "cache_dir and cache_nodes are mutually exclusive "
+                "(local-directory vs sharded L2)",
+                context={
+                    "cache_dir": str(self.cache_dir),
+                    "cache_nodes": list(self.cache_nodes),
+                },
+            )
+        if self.cache_replication < 1:
+            raise ConfigurationError(
+                f"cache_replication must be >= 1, got {self.cache_replication}",
+                context={"cache_replication": self.cache_replication},
+            )
         if self.queue_limit < 1:
             raise ConfigurationError(
                 f"queue_limit must be >= 1, got {self.queue_limit}",
@@ -400,6 +423,9 @@ class JobManager:
         )
         self._breaker_opened_s = 0.0
         self._started_s = time.monotonic()
+        #: Durable L2 backend (attached to the global cache in
+        #: :meth:`start`; kept here for ``stats()``).
+        self._l2: Any = None
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> dict[str, int]:
@@ -409,6 +435,21 @@ class JobManager:
         as-is, ``adopted`` queued/running jobs re-enqueued).
         """
         self._loop = asyncio.get_running_loop()
+        if self.config.cache_dir or self.config.cache_nodes:
+            # Lazy: configure_l2 defers the shard/store imports, which
+            # must not load during repro.parallel package init.
+            from repro.parallel.cache import configure_l2
+
+            self._l2 = configure_l2(
+                self.config.cache_dir,
+                self.config.cache_nodes,
+                replication=self.config.cache_replication,
+                seed=self.config.seed,
+            )
+            _log.warning(
+                "durable L2 cache attached: %s",
+                self._l2.stats().get("backend", "?"),
+            )
         restored = adopted = 0
         stored = self.store.load()
         for record in sorted(stored.values(), key=lambda r: r.created_unix):
@@ -819,6 +860,10 @@ class JobManager:
         if spans:
             record.trace = spans
         self.metrics.merge_snapshot(metrics_snapshot)
+        if result.cached:
+            # Served from the durable L2 without a solve — the metric
+            # the warm-restart smoke test asserts on.
+            self.metrics.counter("service.cache.l2_result_hits").inc()
         record.attempts = result.attempts
         record.elapsed_s = result.elapsed_s
         record.failure_history = [a.to_dict() for a in result.failure_history]
@@ -906,7 +951,17 @@ class JobManager:
     def stats(self) -> dict[str, Any]:
         """Summary counters (drain report, run-history record)."""
         counters = self.metrics.snapshot().get("counters", {})
+        cache_l2: dict[str, Any] | None = None
+        if self._l2 is not None:
+            try:
+                cache_l2 = self._l2.stats()
+            except Exception:
+                cache_l2 = {"error": "unavailable"}
         return {
+            "cache_l2": cache_l2,
+            "cache_l2_result_hits": int(
+                counters.get("service.cache.l2_result_hits", 0)
+            ),
             "jobs": len(self._jobs),
             "queue_depth": self._queued,
             "running": len(self._running),

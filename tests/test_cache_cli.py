@@ -1,0 +1,128 @@
+"""CLI tests for the durable-cache surface: ``xring cache`` and the
+``--cache-dir`` flag, driven in-process through :func:`repro.cli.main`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.parallel import clear_caches
+from repro.parallel.store import ENTRY_SUFFIX
+from repro.robustness import ConfigurationError
+from repro.service import ServiceConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _write_cases(tmp_path, n=1):
+    path = tmp_path / "cases.json"
+    path.write_text(
+        json.dumps(
+            [
+                {"nodes": 8, "ring_method": "heuristic", "label": f"c{i}"}
+                for i in range(n)
+            ]
+        )
+    )
+    return str(path)
+
+
+def _entries(root):
+    return [
+        p
+        for p in root.rglob(f"*{ENTRY_SUFFIX}")
+        if "quarantine" not in p.parts
+    ]
+
+
+class TestCacheCommand:
+    def test_requires_exactly_one_backend(self, capsys):
+        assert main(["cache", "stats"]) == 2
+        assert (
+            main(["cache", "stats", "--dir", "x", "--nodes", "h:1"]) == 2
+        )
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_stats_on_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "l2")]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 0
+        assert not stats["disabled"]
+
+    def test_batch_cache_dir_round_trip(self, tmp_path, capsys):
+        cases = _write_cases(tmp_path)
+        store = tmp_path / "l2"
+        assert main(["batch", cases, "--cache-dir", str(store)]) == 0
+        assert len(_entries(store)) >= 1
+        capsys.readouterr()
+
+        clear_caches()  # simulated restart
+        assert (
+            main(["batch", cases, "--cache-dir", str(store), "--progress"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        events = [
+            json.loads(line)
+            for line in err.splitlines()
+            if line.startswith("{")
+        ]
+        starts = [e for e in events if e.get("event") == "batch_start"]
+        assert starts and starts[0]["cached"] == 1
+        assert any(e.get("event") == "case_cached" for e in events)
+
+    def test_scrub_exits_1_on_corruption(self, tmp_path, capsys):
+        cases = _write_cases(tmp_path)
+        store = tmp_path / "l2"
+        assert main(["batch", cases, "--cache-dir", str(store)]) == 0
+        assert main(["cache", "scrub", "--dir", str(store)]) == 0
+        capsys.readouterr()
+
+        entry = _entries(store)[0]
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        assert main(["cache", "scrub", "--dir", str(store)]) == 1
+        out = capsys.readouterr()
+        assert json.loads(out.out)["quarantined"] == 1
+        assert "quarantined" in out.err
+
+    def test_gc_bounds_the_store(self, tmp_path, capsys):
+        cases = _write_cases(tmp_path)
+        store = tmp_path / "l2"
+        assert main(["batch", cases, "--cache-dir", str(store)]) == 0
+        capsys.readouterr()
+        assert (
+            main(["cache", "gc", "--dir", str(store), "--max-bytes", "0"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] >= 1
+        assert report["bytes"] == 0
+        assert _entries(store) == []
+
+
+class TestConfigValidation:
+    def test_service_config_rejects_both_backends(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            ServiceConfig(
+                store_dir=tmp_path,
+                cache_dir=str(tmp_path / "l2"),
+                cache_nodes=("h:1",),
+            )
+        with pytest.raises(ConfigurationError, match="cache_replication"):
+            ServiceConfig(store_dir=tmp_path, cache_replication=0)
+
+    def test_configure_l2_rejects_both_backends(self, tmp_path):
+        from repro.parallel import configure_l2
+
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            configure_l2(str(tmp_path / "l2"), ("h:1",))

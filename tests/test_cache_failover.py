@@ -1,0 +1,202 @@
+"""Multi-process failover suite for the sharded L2 cache.
+
+Real ``xring cache-node`` subprocesses, real SIGKILL.  The scenarios
+the shard layer exists for:
+
+- a dead node mid-fleet never fails or hangs a batch: reads fail over
+  to the replica (``cache.l2.failovers``), the per-node breaker opens,
+  and ``stats()`` reports the degraded node;
+- every node dead degrades to recompute — identical results, zero
+  wrong answers;
+- a node rejoining empty is restocked by the anti-entropy scrub
+  (keyspace handoff), after which it serves its keys again.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.synthesizer import SynthesisOptions
+from repro.parallel import (
+    BatchCase,
+    BatchSynthesizer,
+    ShardClient,
+    case_key,
+    clear_caches,
+    get_cache,
+    result_digest,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class NodeProc:
+    """One ``xring cache-node`` subprocess (killable, restartable)."""
+
+    def __init__(self, directory: Path, port: int = 0):
+        self.directory = directory
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "cache-node",
+                "--dir",
+                str(directory),
+                "--port",
+                str(port),
+            ],
+            env={**os.environ, "PYTHONPATH": REPO_SRC},
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        address_file = directory / "address"
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if address_file.exists():
+                self.address = address_file.read_text().strip()
+                return
+            if self.proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        raise RuntimeError("cache node never published its address")
+
+    @property
+    def port(self) -> int:
+        return int(self.address.rsplit(":", 1)[1])
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait()
+
+    def terminate(self):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            self.proc.wait()
+
+
+@pytest.fixture
+def two_nodes(tmp_path):
+    nodes = [NodeProc(tmp_path / f"node{i}") for i in range(2)]
+    clear_caches()
+    yield nodes
+    clear_caches()
+    for node in nodes:
+        node.kill()
+
+
+def _cases(network8, network16):
+    return [
+        BatchCase(
+            network=network,
+            options=SynthesisOptions(ring_method="heuristic", label=label),
+            label=label,
+        )
+        for label, network in (("a", network8), ("b", network16))
+    ]
+
+
+def _client(nodes):
+    client = ShardClient([n.address for n in nodes], replication=2)
+    get_cache().attach_l2(client)
+    return client
+
+
+class TestShardFailover:
+    def test_dead_node_fails_over_and_batch_completes(
+        self, two_nodes, network8, network16
+    ):
+        cases = _cases(network8, network16)
+        client = _client(two_nodes)
+        warm = BatchSynthesizer(workers=1).run(cases)
+        assert warm.ok
+        digests = [result_digest(r) for r in warm.results]
+        assert client.counters["puts:results"] == len(cases)
+
+        # SIGKILL the node that is *primary* for case 0's entry, so at
+        # least one read must fail over to the replica.
+        key0 = case_key(0, cases[0])
+        primary = client.ring.owners(key0, 1)[0]
+        victim = next(n for n in two_nodes if n.address == primary)
+        victim.kill()
+
+        clear_caches()
+        client = _client(two_nodes)  # fresh breakers, same ring
+        report = BatchSynthesizer(workers=1).run(cases)
+        assert report.ok
+        assert [result_digest(r) for r in report.results] == digests
+        # Served entirely from the surviving replica — no recompute,
+        # no hang, and the failover is visible in the merged metrics.
+        assert all(r.cached for r in report.results)
+        counters = report.metrics.snapshot()["counters"]
+        assert counters["cache.l2.hits"] == len(cases)
+        assert counters["cache.l2.failovers"] >= 1
+
+        # Two more reads against the dead primary latch its breaker;
+        # stats() then reports the degraded node.
+        client.get("results", key0)
+        client.get("results", key0)
+        stats = client.stats()
+        assert stats["nodes"][victim.address]["breaker_open"]
+        assert stats["nodes"][victim.address]["failures"] >= 1
+        assert client.counters["breaker_opens"] >= 1
+        live = next(n for n in two_nodes if n is not victim)
+        assert not stats["nodes"][live.address]["breaker_open"]
+
+    def test_all_nodes_dead_degrades_to_recompute(
+        self, two_nodes, network8, network16
+    ):
+        cases = _cases(network8, network16)
+        client = _client(two_nodes)
+        warm = BatchSynthesizer(workers=1).run(cases)
+        digests = [result_digest(r) for r in warm.results]
+        for node in two_nodes:
+            node.kill()
+
+        clear_caches()
+        _client(two_nodes)
+        report = BatchSynthesizer(workers=1).run(cases)
+        # Nothing served, nothing wrong: the batch recomputes every
+        # case and still finishes with identical results.
+        assert report.ok
+        assert not any(r.cached for r in report.results)
+        assert [result_digest(r) for r in report.results] == digests
+
+    def test_rejoin_handoff_restocks_empty_node(
+        self, two_nodes, tmp_path, network8, network16
+    ):
+        cases = _cases(network8, network16)
+        client = _client(two_nodes)
+        assert BatchSynthesizer(workers=1).run(cases).ok
+
+        victim = two_nodes[0]
+        port = victim.port
+        victim.kill()
+        # Rejoin on the same address with a *fresh, empty* store.
+        rejoined = NodeProc(tmp_path / "node0b", port=port)
+        two_nodes[0] = rejoined
+
+        report = client.scrub(repair=True)
+        assert report["dead_nodes"] == []
+        assert report["repaired"] >= 1
+        # Handoff complete: the rejoined node now holds every entry it
+        # owns, and a follow-up scrub finds nothing to repair.
+        keys = client.node_json(rejoined.address, "GET", "/keys")["keys"]
+        held = {
+            key
+            for section in keys.values()
+            for key in section
+        }
+        for idx, case in enumerate(cases):
+            key = case_key(idx, case)
+            if rejoined.address in client.ring.owners(key, 2):
+                assert key in held
+        assert client.scrub(repair=True)["under_replicated"] == 0

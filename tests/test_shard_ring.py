@@ -1,0 +1,273 @@
+"""Unit tests for the consistent-hash ring and one live cache node.
+
+The ring layer is pure data structure (deterministic hashing, no
+sockets); the node layer hosts one :class:`CacheNodeServer` on a
+background thread and drives it through :class:`ShardClient` — real
+HTTP over localhost, no subprocesses.  Multi-process failover lives in
+``test_cache_failover.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.parallel.shard import (
+    ShardClient,
+    ShardRing,
+    hash_to_id,
+    in_interval_open_closed,
+    parse_node,
+    serve_cache_node,
+)
+from repro.parallel.store import ENTRY_SUFFIX
+
+
+# ---------------------------------------------------------------------------
+# identifier circle
+# ---------------------------------------------------------------------------
+class TestInterval:
+    def test_plain_interval(self):
+        assert in_interval_open_closed(5, 3, 8)
+        assert in_interval_open_closed(8, 3, 8)  # closed at self
+        assert not in_interval_open_closed(3, 3, 8)  # open at pred
+        assert not in_interval_open_closed(9, 3, 8)
+
+    def test_wrapping_interval(self):
+        assert in_interval_open_closed(1, 200, 10)
+        assert in_interval_open_closed(201, 200, 10)
+        assert not in_interval_open_closed(100, 200, 10)
+
+    def test_single_node_owns_everything(self):
+        assert in_interval_open_closed(42, 7, 7)
+
+    def test_hash_is_deterministic_and_64_bit(self):
+        assert hash_to_id("node-a") == hash_to_id("node-a")
+        assert 0 <= hash_to_id("node-a") < (1 << 64)
+        assert hash_to_id("node-a") != hash_to_id("node-b")
+
+
+class TestParseNode:
+    def test_roundtrip(self):
+        assert parse_node("127.0.0.1:8787") == ("127.0.0.1", 8787)
+
+    def test_malformed_rejected(self):
+        for bad in ("localhost", ":8787", "host:", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_node(bad)
+
+
+# ---------------------------------------------------------------------------
+# ring semantics
+# ---------------------------------------------------------------------------
+KEYS = [f"key-{i}" for i in range(200)]
+
+
+class TestShardRing:
+    def test_owners_distinct_and_replicated(self):
+        ring = ShardRing(["a:1", "b:2", "c:3"])
+        for key in KEYS:
+            owners = ring.owners(key, 2)
+            assert len(owners) == 2
+            assert len(set(owners)) == 2
+
+    def test_single_node_owns_all(self):
+        ring = ShardRing(["a:1"])
+        assert all(ring.primary(key) == "a:1" for key in KEYS)
+        assert ring.owners("k", 3) == ["a:1"]
+
+    def test_empty_ring(self):
+        assert ShardRing().owners("k", 2) == []
+        assert ShardRing().primary("k") is None
+
+    def test_vnodes_balance_two_nodes(self):
+        ring = ShardRing(["a:1", "b:2"])
+        primaries = [ring.primary(key) for key in KEYS]
+        share_a = primaries.count("a:1") / len(KEYS)
+        # 32 vnodes keep the split far from one lucky arc.
+        assert 0.2 < share_a < 0.8
+
+    def test_join_moves_only_adjacent_intervals(self):
+        before = ShardRing(["a:1", "b:2"])
+        owner_before = {key: before.primary(key) for key in KEYS}
+        after = ShardRing(["a:1", "b:2"])
+        after.add_node("c:3")
+        moved = sum(
+            1 for key in KEYS if after.primary(key) != owner_before[key]
+        )
+        # Every moved key moved *to* the joiner, and roughly its fair
+        # share (1/3) of the keyspace — not a wholesale reshuffle.
+        for key in KEYS:
+            if after.primary(key) != owner_before[key]:
+                assert after.primary(key) == "c:3"
+        assert moved < len(KEYS) * 0.6
+
+    def test_leave_hands_keys_to_survivors(self):
+        ring = ShardRing(["a:1", "b:2", "c:3"])
+        owner_before = {key: ring.primary(key) for key in KEYS}
+        ring.remove_node("c:3")
+        for key in KEYS:
+            if owner_before[key] != "c:3":
+                assert ring.primary(key) == owner_before[key]
+            else:
+                assert ring.primary(key) in ("a:1", "b:2")
+
+    def test_add_is_idempotent(self):
+        ring = ShardRing(["a:1"])
+        ring.add_node("a:1")
+        assert ring.nodes == ["a:1"]
+        ring.remove_node("missing:9")
+        assert ring.nodes == ["a:1"]
+
+    def test_replication_capped_by_cluster_size(self):
+        client = ShardClient(["a:1", "b:2"], replication=5)
+        assert client.replication == 2
+
+    def test_malformed_node_fails_fast(self):
+        with pytest.raises(ValueError):
+            ShardClient(["nonsense"])
+
+
+# ---------------------------------------------------------------------------
+# one live node, in-thread
+# ---------------------------------------------------------------------------
+class NodeThread:
+    """One ``CacheNodeServer`` on a daemon thread (LiveServer pattern)."""
+
+    def __init__(self, directory):
+        self.node = None
+        self.error = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(
+            target=self._run, args=(directory,), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(30):
+            raise RuntimeError(f"cache node did not start: {self.error}")
+
+    def _run(self, directory):
+        try:
+            asyncio.run(self._main(directory))
+        except BaseException as exc:
+            self.error = exc
+            self._ready.set()
+
+    async def _main(self, directory):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+
+        def on_ready(node):
+            self.node = node
+            self._ready.set()
+
+        await serve_cache_node(
+            directory, port=0, stop_event=self._stop, ready_callback=on_ready
+        )
+
+    @property
+    def address(self) -> str:
+        host, port = self.node.address
+        return f"{host}:{port}"
+
+    def stop(self):
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        if self.error is not None:
+            raise self.error
+
+
+@pytest.fixture
+def node(tmp_path):
+    thread = NodeThread(tmp_path / "node")
+    yield thread
+    thread.stop()
+
+
+class TestCacheNode:
+    def test_put_get_roundtrip_over_http(self, node):
+        client = ShardClient([node.address], replication=1)
+        assert client.put("results", "k1", b"over-the-wire", {"kind": "t"})
+        assert client.get("results", "k1") == (
+            b"over-the-wire",
+            {"kind": "t"},
+        )
+        assert client.get("results", "nope") is None
+        assert client.counters["hits:results"] == 1
+        assert client.counters["misses:results"] == 1
+
+    def test_address_file_published(self, node, tmp_path):
+        published = (tmp_path / "node" / "address").read_text().strip()
+        assert published == node.address
+
+    def test_healthz_stats_keys(self, node):
+        client = ShardClient([node.address], replication=1)
+        client.put("results", "k1", b"x", {})
+        health = client.node_json(node.address, "GET", "/healthz")
+        assert health["status"] == "ok"
+        stats = client.node_json(node.address, "GET", "/stats")
+        assert stats["entries"] == 1
+        keys = client.node_json(node.address, "GET", "/keys")["keys"]
+        assert "k1" in keys["results"]
+
+    def test_scrub_quarantines_server_side(self, node, tmp_path):
+        client = ShardClient([node.address], replication=1)
+        client.put("results", "k1", b"z" * 64, {})
+        (entry,) = [
+            p
+            for p in (tmp_path / "node").rglob(f"*{ENTRY_SUFFIX}")
+            if "quarantine" not in p.parts
+        ]
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        report = client.node_json(node.address, "POST", "/scrub")
+        assert report["quarantined"] == 1
+        # Quarantined server-side: a read is now a clean miss.
+        assert client.get("results", "k1") is None
+
+    def test_gc_endpoint(self, node):
+        client = ShardClient([node.address], replication=1)
+        for i in range(3):
+            client.put("results", f"k{i}", bytes(50), {})
+        report = client.node_json(node.address, "POST", "/gc?max_bytes=0")
+        assert report["evicted"] == 3
+        assert client.node_json(node.address, "GET", "/stats")["entries"] == 0
+
+    def test_unknown_route_and_method(self, node):
+        url = f"http://{node.address}"
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(f"{url}/nonsense", timeout=10)
+        assert exc.value.code == 404
+        request = urllib.request.Request(
+            f"{url}/entry/results/k1", data=b"x", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 405
+
+    def test_client_rejects_checksum_mismatch(self, node, monkeypatch):
+        client = ShardClient([node.address], replication=1)
+        client.put("results", "k1", b"tamper-target", {})
+        real = client._request
+
+        def tampered(node_addr, method, path, body=b"", headers=None):
+            status, data, resp_headers = real(
+                node_addr, method, path, body, headers
+            )
+            if method == "GET" and path.startswith("/entry/"):
+                data = data[:-1] + b"?"  # corrupt in flight
+            return status, data, resp_headers
+
+        monkeypatch.setattr(client, "_request", tampered)
+        # Corrupt bytes must not cross the client boundary: miss, not
+        # a poisoned payload.
+        assert client.get("results", "k1") is None
+        assert client.counters.get("errors", 0) >= 1

@@ -1,0 +1,327 @@
+"""Crash-consistency and durability suite for the L2 synthesis cache.
+
+Four layers:
+
+- :class:`PersistentStore` unit tests: atomic-write discipline, torn
+  writes injected through :class:`FaultPlan`, bit-flip quarantine,
+  degraded mode on an unusable root, LRU gc;
+- batch-level durability: a restarted process re-serves finished
+  results from disk (``cache.l2.hits == cases``) with byte-identical
+  design digests, independently of any journal;
+- worker cache-stat truthfulness: ``--workers N`` batch reports fold
+  the per-worker cache hit/miss deltas into ``report.cache_stats``;
+- service warm restart: a second server life on a *different* job
+  store but the same ``cache_dir`` serves a repeated POST from the L2.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.synthesizer import SynthesisOptions
+from repro.parallel import (
+    BatchCase,
+    BatchSynthesizer,
+    PersistentStore,
+    clear_caches,
+    configure_l2,
+    get_cache,
+    result_digest,
+)
+from repro.parallel.store import (
+    ENTRY_SUFFIX,
+    QUARANTINE_DIRNAME,
+    counter_metric_name,
+)
+from repro.robustness.faults import FaultPlan
+
+from tests.test_service import LiveServer, slow_spec
+
+
+@pytest.fixture
+def fresh_cache():
+    clear_caches()
+    yield get_cache()
+    clear_caches()
+
+
+def _heuristic_case(network, label: str, **options) -> BatchCase:
+    options.setdefault("ring_method", "heuristic")
+    return BatchCase(
+        network=network,
+        options=SynthesisOptions(label=label, **options),
+        label=label,
+    )
+
+
+def _entry_files(root):
+    return [
+        p
+        for p in root.rglob(f"*{ENTRY_SUFFIX}")
+        if QUARANTINE_DIRNAME not in p.parts
+    ]
+
+
+# ---------------------------------------------------------------------------
+# PersistentStore unit layer
+# ---------------------------------------------------------------------------
+class TestPersistentStore:
+    def test_roundtrip_and_miss(self, tmp_path):
+        store = PersistentStore(tmp_path / "l2")
+        assert store.get("results", "k1") is None
+        assert store.put("results", "k1", b"payload", {"digest": "abc"})
+        assert store.get("results", "k1") == (b"payload", {"digest": "abc"})
+        assert store.counters["puts:results"] == 1
+        assert store.counters["hits:results"] == 1
+        assert store.counters["misses:results"] == 1
+
+    def test_restart_survives(self, tmp_path):
+        PersistentStore(tmp_path / "l2").put("results", "k1", b"durable", {})
+        reopened = PersistentStore(tmp_path / "l2")
+        assert reopened.get("results", "k1") == (b"durable", {})
+
+    def test_torn_tmp_leaves_no_entry(self, tmp_path):
+        plan = FaultPlan().store_torn_tmp("results")
+        store = PersistentStore(tmp_path / "l2", fault_plan=plan)
+        assert not store.put("results", "k1", b"never lands", {})
+        assert plan.exhausted
+        # The partial temp file exists but is invisible to every read
+        # and enumeration path.
+        assert store.get("results", "k1") is None
+        assert store.keys() == {}
+        assert store.verify()["checked"] == 0
+        # The next put (fault consumed) goes through cleanly.
+        assert store.put("results", "k1", b"lands", {})
+        assert store.get("results", "k1") == (b"lands", {})
+
+    def test_torn_final_is_quarantined_on_read(self, tmp_path):
+        plan = FaultPlan().store_torn_final("results")
+        store = PersistentStore(tmp_path / "l2", fault_plan=plan)
+        assert not store.put("results", "k1", b"x" * 64, {})
+        # A torn file *does* sit at the final path ...
+        assert len(_entry_files(store.root)) == 1
+        # ... but the checksum gate quarantines it instead of serving.
+        assert store.get("results", "k1") is None
+        assert store.counters["quarantined"] == 1
+        assert store.quarantine_dir.exists()
+        assert len(_entry_files(store.root)) == 0
+
+    def test_bit_flip_is_quarantined_not_served(self, tmp_path):
+        store = PersistentStore(tmp_path / "l2")
+        store.put("results", "k1", b"y" * 128, {"digest": "d"})
+        (entry,) = _entry_files(store.root)
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        assert store.get("results", "k1") is None
+        assert store.counters["quarantined"] == 1
+        # The corrupt bytes moved aside; a rescan finds nothing to flag.
+        assert store.verify() == {"checked": 0, "quarantined": 0, "bytes": 0}
+
+    def test_scrub_detects_corruption(self, tmp_path):
+        store = PersistentStore(tmp_path / "l2")
+        store.put("results", "good", b"g" * 32, {})
+        store.put("results", "bad", b"b" * 32, {})
+        for entry in _entry_files(store.root):
+            header = entry.read_bytes().partition(b"\n")[0]
+            if b'"bad"' in header:
+                entry.write_bytes(entry.read_bytes()[:-4])
+        report = store.verify()
+        assert report["checked"] == 2
+        assert report["quarantined"] == 1
+        assert store.get("results", "good") is not None
+
+    def test_unusable_root_degrades_without_raising(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store root should go")
+        store = PersistentStore(blocker / "l2")
+        assert store.disabled
+        assert not store.put("results", "k1", b"dropped", {})
+        assert store.get("results", "k1") is None
+        assert store.stats()["disabled"]
+
+    def test_gc_evicts_least_recently_used(self, tmp_path):
+        store = PersistentStore(tmp_path / "l2")
+        for i in range(4):
+            store.put("results", f"k{i}", bytes(100), {})
+        files = {p.name: p for p in _entry_files(store.root)}
+        # Age k0/k1, keep k2/k3 fresh (mtime is the LRU clock).
+        for name, path in files.items():
+            if name.startswith(("k0", "k1")):
+                os.utime(path, (1, 1))
+        total = sum(p.stat().st_size for p in files.values())
+        report = store.gc(max_bytes=total // 2)
+        assert report["evicted"] == 2
+        assert store.get("results", "k3") is not None
+        assert store.get("results", "k0") is None
+        assert store.counters["evicted"] == 2
+
+    def test_counter_metric_mapping(self):
+        assert counter_metric_name("hits:results") == "cache.l2.hits"
+        assert counter_metric_name("misses:results") == "cache.l2.misses"
+        assert counter_metric_name("puts:results") == "cache.l2.puts"
+        assert counter_metric_name("quarantined") == "cache.store.quarantined"
+        assert counter_metric_name("evicted") == "cache.store.evicted"
+        assert counter_metric_name("failovers") == "cache.l2.failovers"
+        assert counter_metric_name("errors") == "cache.l2.errors"
+        # Conflicts-section traffic is counted ambient-side in cache.py;
+        # mapping it here would double-count on batch join.
+        assert counter_metric_name("hits:conflicts") is None
+        assert counter_metric_name("breaker_opens") is None
+
+
+# ---------------------------------------------------------------------------
+# batch-level durability
+# ---------------------------------------------------------------------------
+class TestBatchL2Durability:
+    def _run(self, cases):
+        report = BatchSynthesizer(workers=1, on_error="collect").run(cases)
+        assert report.ok
+        return report
+
+    def test_restart_serves_results_from_disk(
+        self, tmp_path, fresh_cache, network8, network16
+    ):
+        cases = [
+            _heuristic_case(network8, "a"),
+            _heuristic_case(network16, "b"),
+        ]
+        configure_l2(tmp_path / "l2")
+        first = self._run(cases)
+        digests = [result_digest(r) for r in first.results]
+        assert not any(r.cached for r in first.results)
+
+        # Simulated process restart: the L1 and its backend handle are
+        # gone, only the files remain.  No journal anywhere.
+        clear_caches()
+        backend = configure_l2(tmp_path / "l2")
+        second = self._run(cases)
+        assert all(r.cached for r in second.results)
+        assert [result_digest(r) for r in second.results] == digests
+        assert backend.counters["hits:results"] == len(cases)
+        counters = second.metrics.snapshot()["counters"]
+        assert counters["cache.l2.hits"] == len(cases)
+
+    def test_corrupt_entry_is_recomputed_never_deserialized(
+        self, tmp_path, fresh_cache, network8, network16
+    ):
+        cases = [
+            _heuristic_case(network8, "a"),
+            _heuristic_case(network16, "b"),
+        ]
+        configure_l2(tmp_path / "l2")
+        first = self._run(cases)
+        digests = [result_digest(r) for r in first.results]
+
+        clear_caches()
+        backend = configure_l2(tmp_path / "l2")
+        # Flip a byte in one results entry (headers identify sections).
+        flipped = 0
+        for entry in _entry_files(backend.root):
+            if b'"section": "results"' in entry.read_bytes().partition(b"\n")[0]:
+                blob = bytearray(entry.read_bytes())
+                blob[-1] ^= 0xFF
+                entry.write_bytes(bytes(blob))
+                flipped += 1
+                break
+        assert flipped == 1
+        second = self._run(cases)
+        assert all(r.ok for r in second.results)
+        assert [result_digest(r) for r in second.results] == digests
+        # One served from disk, one quarantined + recomputed.
+        assert sum(1 for r in second.results if r.cached) == len(cases) - 1
+        assert backend.counters["quarantined"] == 1
+        counters = second.metrics.snapshot()["counters"]
+        assert counters["cache.store.quarantined"] == 1
+        assert counters["cache.l2.hits"] == len(cases) - 1
+
+    def test_torn_result_write_is_a_clean_miss_next_run(
+        self, tmp_path, fresh_cache, network8
+    ):
+        cases = [_heuristic_case(network8, "a")]
+        plan = FaultPlan().store_torn_tmp("results")
+        get_cache().attach_l2(
+            PersistentStore(tmp_path / "l2", fault_plan=plan)
+        )
+        first = self._run(cases)
+        digests = [result_digest(r) for r in first.results]
+        assert plan.exhausted
+
+        clear_caches()
+        backend = configure_l2(tmp_path / "l2")
+        second = self._run(cases)
+        # The torn write never landed: recompute, identical result,
+        # and this time the entry persists.
+        assert not second.results[0].cached
+        assert [result_digest(r) for r in second.results] == digests
+        assert backend.counters.get("puts:results", 0) == 1
+
+        clear_caches()
+        configure_l2(tmp_path / "l2")
+        third = self._run(cases)
+        assert third.results[0].cached
+        assert [result_digest(r) for r in third.results] == digests
+
+
+# ---------------------------------------------------------------------------
+# worker cache-stat truthfulness (--workers N)
+# ---------------------------------------------------------------------------
+class TestWorkerCacheStats:
+    def test_pool_worker_hits_fold_into_report(self, fresh_cache, network8):
+        # Two milp cases on one floorplan: each worker process builds
+        # (or memo-hits) the conflict dict in *its own* cache; the
+        # parent's L1 never sees that traffic.
+        cases = [
+            BatchCase(
+                network=network8,
+                options=SynthesisOptions(label=f"c{i}", wl_budget=8 + i),
+                label=f"c{i}",
+            )
+            for i in range(2)
+        ]
+        report = BatchSynthesizer(workers=2, share_tours=False).run(cases)
+        assert report.ok
+        parent_conflicts = get_cache().stats()["conflicts"]
+        folded = report.cache_stats["conflicts"]
+        # The parent process built nothing, yet the report shows the
+        # workers' builds: the per-case snapshots carried them home.
+        assert parent_conflicts["misses"] == 0
+        assert folded["misses"] >= 1
+        assert folded["hits"] + folded["misses"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# service warm restart through the L2
+# ---------------------------------------------------------------------------
+class TestServiceWarmRestart:
+    def test_second_life_serves_repeat_post_from_l2(self, tmp_path):
+        clear_caches()
+        cache_dir = tmp_path / "l2"
+        spec = slow_spec(0)
+        try:
+            first = LiveServer(tmp_path / "store1", cache_dir=str(cache_dir))
+            status, ack, _ = first.post_json("/jobs", spec)
+            assert status == 201
+            done = first.wait_terminal(ack["job_id"])
+            assert done["state"] == "done"
+            digest = done["digest"]
+            first.stop()
+
+            # New life, *different* job store (no adoption, no dedup) —
+            # only the shared cache_dir can explain a hit.
+            clear_caches()
+            second = LiveServer(tmp_path / "store2", cache_dir=str(cache_dir))
+            status, ack2, _ = second.post_json("/jobs", spec)
+            assert status == 201 and ack2["created"]
+            done2 = second.wait_terminal(ack2["job_id"])
+            assert done2["state"] == "done"
+            assert done2["digest"] == digest
+            status, stats, _ = second.get_json("/stats")
+            assert status == 200
+            assert stats["cache_l2_result_hits"] == 1
+            assert stats["cache_l2"]["counters"]["hits:results"] == 1
+            second.stop()
+        finally:
+            clear_caches()
