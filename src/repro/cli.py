@@ -11,7 +11,13 @@ Subcommands:
 - ``batch`` — run a JSON case file through the batch-synthesis engine
   (``--progress`` streams per-case JSONL events to stderr);
 - ``serve`` — run the resilient synthesis job service (HTTP + SSE,
-  crash-safe job store, graceful SIGTERM drain);
+  crash-safe job store, graceful SIGTERM drain, burn-rate SLO alerts,
+  ``/federate`` fleet metrics);
+- ``top`` — live terminal view of a running service (health, firing
+  alerts, counter rates, latency percentiles, recent jobs);
+- ``mine`` — robust median/MAD anomaly mining over the run ledger
+  (exit 1 when a run was flagged; ``--promote`` writes
+  fixture-candidate stubs);
 - ``cache`` — inspect/maintain a durable L2 cache (``--cache-dir`` /
   ``--cache-nodes``): stats, anti-entropy scrub, size-bounded gc;
 - ``cache-node`` — run one sharded-cache node (a persistent
@@ -511,6 +517,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         cache_nodes=tuple(_split_nodes(args.cache_nodes)),
         cache_replication=args.cache_replication,
+        scrape_interval_s=args.scrape_interval,
+        slo_availability=args.slo_availability,
+        slo_latency_p99_s=args.slo_latency_p99,
+        slo_window_s=args.slo_window,
+        slo_burn_threshold=args.slo_burn_threshold,
+        alert_log=args.alert_log,
     )
     # /metrics needs a real registry even when no --metrics/--trace-dir
     # flag forced one; reuse the session registry when it is real so
@@ -779,6 +791,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text, end="")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running service (``xring top``).
+
+    Resolves the base URL from ``--url`` or the ``<store>/address``
+    file a running server publishes, then renders
+    ``/dashboard/data`` + ``/alerts`` frames: health, firing alerts,
+    counter rates, latency percentiles, L2 cache traffic, recent
+    jobs.  ``--once`` prints a single frame (exit 1 when the service
+    is unreachable) — scriptable for smoke checks.
+    """
+    from repro.service.top import run_top
+
+    return run_top(
+        url=args.url,
+        store=args.store,
+        interval_s=args.interval,
+        once=args.once,
+    )
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    """Mine the run ledger for anomalous runs (``xring mine``).
+
+    Robust median/MAD outlier detection over every numeric signal the
+    ledger records — wall time, stage-latency p99s, design quality,
+    supervisor counters, cache hit rates — grouped by (kind, label) so
+    different workloads never share a baseline.  Exit codes mirror
+    ``regress``: 1 when anomalies were flagged, 2 when the ledger has
+    too little data, 0 when every run sits inside the z-threshold.
+
+    ``--promote DIR`` writes a fixture-candidate JSON stub per flagged
+    run (options hash, environment fingerprint, flagged metrics) so an
+    outlier floorplan can be triaged into the golden corpus.
+    """
+    from repro.obs import atomic_write_text, mine_ledger, promote_candidates
+
+    if args.min_runs < 3 or args.z_threshold <= 0:
+        print(
+            "xring mine: --min-runs must be >= 3 and --z-threshold > 0",
+            file=sys.stderr,
+        )
+        return 2
+    ledger = _ledger_from_args(args)
+    records = ledger.entries(
+        kind=args.kind or None, label=args.label or None
+    )
+    if len(records) < args.min_runs:
+        print(
+            f"xring mine: {len(records)} matching run(s) in {ledger.path}; "
+            f"need at least {args.min_runs}",
+            file=sys.stderr,
+        )
+        return 2
+    report = mine_ledger(
+        records, z_threshold=args.z_threshold, min_runs=args.min_runs
+    )
+    print(report.render_text(), end="")
+    if args.json:
+        atomic_write_text(args.json, json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written: {args.json}", file=sys.stderr)
+    if args.promote and report.anomalies:
+        paths = promote_candidates(report, records, args.promote)
+        for path in paths:
+            print(f"fixture candidate written: {path}", file=sys.stderr)
+    return 1 if report.anomalies else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1145,6 +1224,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for jittered Retry-After and retry backoff",
     )
+    serve.add_argument(
+        "--scrape-interval",
+        type=float,
+        default=5.0,
+        help="seconds between registry snapshots fed to the in-process "
+        "time-series store and SLO engine (0 disables the loop)",
+    )
+    serve.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.9,
+        help="job-availability SLO objective (fraction of jobs that "
+        "must finish without failing)",
+    )
+    serve.add_argument(
+        "--slo-latency-p99",
+        type=float,
+        default=60.0,
+        help="job-latency SLO threshold in seconds (p99 of end-to-end "
+        "job latency must stay below this)",
+    )
+    serve.add_argument(
+        "--slo-window",
+        type=float,
+        default=60.0,
+        help="short burn-rate window in seconds (the long window is "
+        "6x this; alerts fire only when both windows burn)",
+    )
+    serve.add_argument(
+        "--slo-burn-threshold",
+        type=float,
+        default=6.0,
+        help="error-budget burn multiple that trips an alert",
+    )
+    serve.add_argument(
+        "--alert-log",
+        type=str,
+        default="",
+        help="append alert transitions (firing/resolved) as JSONL to "
+        "this file, in addition to stderr",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser(
@@ -1298,6 +1418,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default="", help="write the report here (default stdout)"
     )
     report.set_defaults(func=_cmd_report)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal view of a running service: health, firing "
+        "alerts, counter rates, latency percentiles, recent jobs",
+    )
+    top.add_argument(
+        "--url",
+        type=str,
+        default="",
+        help="service base URL (e.g. http://127.0.0.1:8787); wins over "
+        "--store",
+    )
+    top.add_argument(
+        "--store",
+        type=str,
+        default=".xring_service",
+        help="job-store directory; the base URL is read from its "
+        "address file (what a --port 0 server published)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between frames",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (1 when unreachable)",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    mine = sub.add_parser(
+        "mine",
+        help="mine the run ledger for anomalous runs (robust "
+        "median/MAD outliers); exit 1 when any run was flagged",
+        parents=[obs],
+    )
+    mine.add_argument("--kind", type=str, default="", help="filter runs by kind")
+    mine.add_argument("--label", type=str, default="", help="filter runs by label")
+    mine.add_argument(
+        "--z-threshold",
+        type=float,
+        default=3.5,
+        help="robust z-score above which a metric is anomalous",
+    )
+    mine.add_argument(
+        "--min-runs",
+        type=int,
+        default=4,
+        help="smallest (kind, label) group worth judging; smaller "
+        "groups are skipped (and exit 2 when nothing qualifies)",
+    )
+    mine.add_argument(
+        "--json",
+        type=str,
+        default="",
+        help="write the full anomaly report JSON here",
+    )
+    mine.add_argument(
+        "--promote",
+        type=str,
+        default="",
+        help="write a fixture-candidate JSON stub per flagged run "
+        "into this directory (golden-corpus triage)",
+    )
+    mine.set_defaults(func=_cmd_mine)
 
     trace = sub.add_parser(
         "trace",

@@ -25,7 +25,15 @@ flow actually did:
   stack sampler behind ``--profile-dir`` (collapsed-stack and
   speedscope export, per-stage attribution);
 - :mod:`repro.obs.traceview` — the ``xring trace`` renderer for
-  ``trace.jsonl`` files.
+  ``trace.jsonl`` files;
+- :mod:`repro.obs.timeseries` — :class:`TimeSeriesStore`, the bounded
+  ring-buffer history of registry snapshots (multi-resolution
+  downsampling, windowed rates/quantiles, JSONL persistence);
+- :mod:`repro.obs.slo` — declarative :class:`SLO` objectives with
+  multi-window burn-rate alerting and hysteresis
+  (:class:`AlertEngine`, behind the service's ``/alerts``);
+- :mod:`repro.obs.anomaly` — robust median/MAD outlier mining over the
+  run ledger (the ``xring mine`` subcommand).
 
 Everything is no-op-cheap when disabled: the default ambient context
 pairs :data:`NULL_TRACER` with :data:`NULL_METRICS`, both guarded by a
@@ -54,19 +62,41 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
 )
-from repro.obs.openmetrics import sanitize_metric_name, to_openmetrics
+from repro.obs.anomaly import (
+    Anomaly,
+    AnomalyReport,
+    mine_ledger,
+    promote_candidates,
+    robust_zscore,
+)
+from repro.obs.openmetrics import (
+    merge_expositions,
+    parse_exposition,
+    sanitize_metric_name,
+    to_openmetrics,
+)
 from repro.obs.profile import STAGE_FUNCTIONS, SamplingProfiler
 from repro.obs.propagate import (
     TraceContext,
     annotate_span_records,
+    current_request_id,
     current_trace,
     new_request_id,
     new_trace_id,
     parse_traceparent,
     spans_to_chrome,
     stitch_spans,
+    use_request_id,
     use_trace,
 )
+from repro.obs.slo import (
+    SLO,
+    AlertEngine,
+    default_service_slos,
+    file_sink,
+    stderr_sink,
+)
+from repro.obs.timeseries import TimeSeriesStore, read_series_file
 from repro.obs.regress import (
     RegressionThresholds,
     RegressionVerdict,
@@ -117,6 +147,22 @@ __all__ = [
     "render_trend_markdown",
     "sanitize_metric_name",
     "to_openmetrics",
+    "parse_exposition",
+    "merge_expositions",
+    "TimeSeriesStore",
+    "read_series_file",
+    "SLO",
+    "AlertEngine",
+    "default_service_slos",
+    "stderr_sink",
+    "file_sink",
+    "Anomaly",
+    "AnomalyReport",
+    "mine_ledger",
+    "promote_candidates",
+    "robust_zscore",
+    "current_request_id",
+    "use_request_id",
     "ObsContext",
     "NULL_OBS",
     "get_obs",

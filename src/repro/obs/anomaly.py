@@ -1,0 +1,304 @@
+"""Robust outlier mining over the run-history ledger.
+
+The :class:`~repro.obs.history.RunLedger` accumulates one record per
+synthesis/batch/bench/service run — wall clock, per-stage latency
+percentiles, solver effort, cache hit rates, supervisor fault counters
+and the physical quality numbers (insertion loss, worst-case crosstalk
+SNR, wavelength count).  Nothing mined it until now.
+
+:func:`mine_ledger` groups comparable records (same kind + label by
+default), computes a **robust z-score** per metric —
+
+    ``z = (x - median) / (1.4826 * MAD)``
+
+where MAD is the median absolute deviation (the 1.4826 factor makes it
+a consistent sigma estimate under normality) — and flags direction-
+aware outliers: a run is anomalous when a metric lands ``z_threshold``
+sigmas on its *bad* side (latency up, SNR down, retries up, cache hit
+rate down).  Median/MAD stay meaningful with a third of the data
+corrupted, unlike mean/stddev which a single huge outlier drags along;
+a zero MAD (an otherwise perfectly stable metric) falls back to a
+relative floor so genuine deviations still register without flagging
+float noise.
+
+``xring mine`` is the CLI surface: exit 1 when anomalies are flagged
+(CI-friendly), 2 when there is not enough data to judge.  With
+``--promote DIR`` each flagged run is written out as a golden-fixture
+*candidate* stub (run id, options hash, offending metrics) — the first
+step of the ROADMAP's curated-fixture item: candidates are reviewed and
+re-synthesized into full fixtures, not blindly trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.history import RunRecord
+
+__all__ = [
+    "Anomaly",
+    "AnomalyReport",
+    "mine_ledger",
+    "promote_candidates",
+    "robust_zscore",
+]
+
+#: Consistency factor: MAD * 1.4826 estimates sigma for normal data.
+MAD_SIGMA = 1.4826
+
+#: Relative floor used when MAD is zero (perfectly stable baseline):
+#: deviations under 0.1% of the median (or 1e-9 absolute) stay quiet.
+ZERO_MAD_REL_FLOOR = 1e-3
+ZERO_MAD_ABS_FLOOR = 1e-9
+
+#: Quality metrics where *lower* is worse (everything else: higher).
+_LOW_IS_BAD_QUALITY = frozenset({"snr_worst_db", "noise_free_fraction"})
+
+#: Quality metrics that are counts/context, not badness — not mined.
+_QUALITY_SKIP = frozenset({"signal_count"})
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def robust_zscore(value: float, median: float, mad: float) -> float:
+    """Signed robust z-score of ``value`` against a median/MAD baseline."""
+    scale = MAD_SIGMA * mad
+    if scale <= 0:
+        floor = max(ZERO_MAD_ABS_FLOOR, ZERO_MAD_REL_FLOOR * abs(median))
+        deviation = value - median
+        if abs(deviation) <= floor:
+            return 0.0
+        return float("inf") if deviation > 0 else float("-inf")
+    return (value - median) / scale
+
+
+def _record_metrics(record: RunRecord) -> dict[str, tuple[float, str]]:
+    """Extract ``{metric: (value, bad_direction)}`` from one record.
+
+    ``bad_direction`` is ``"high"`` when larger values are worse and
+    ``"low"`` when smaller values are worse.
+    """
+    metrics: dict[str, tuple[float, str]] = {}
+    if record.wall_s is not None:
+        metrics["wall_s"] = (float(record.wall_s), "high")
+    for stage, stats in (record.stage_latency or {}).items():
+        p99 = stats.get("p99")
+        if isinstance(p99, (int, float)):
+            metrics[f"stage.{stage}.p99_s"] = (float(p99), "high")
+    for key, value in (record.quality or {}).items():
+        if key in _QUALITY_SKIP or not isinstance(value, (int, float)):
+            continue
+        direction = "low" if key in _LOW_IS_BAD_QUALITY else "high"
+        metrics[f"quality.{key}"] = (float(value), direction)
+    # Supervisor counters are degradation-chain activity: retries,
+    # worker restarts, timeouts, quarantines — spikes are anomalies.
+    for key, value in (record.supervisor or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[f"supervisor.{key}"] = (float(value), "high")
+    for section, hit_rate in (record.cache or {}).items():
+        if isinstance(hit_rate, (int, float)):
+            metrics[f"cache.{section}.hit_rate"] = (float(hit_rate), "low")
+    return metrics
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged (run, metric) pair with its baseline context."""
+
+    run_id: str
+    label: str
+    kind: str
+    created_at: str
+    metric: str
+    value: float
+    baseline_median: float
+    baseline_mad: float
+    zscore: float
+    direction: str  # which side is bad: "high" | "low"
+
+    def to_dict(self) -> dict[str, Any]:
+        z = self.zscore
+        return {
+            "run_id": self.run_id,
+            "label": self.label,
+            "kind": self.kind,
+            "created_at": self.created_at,
+            "metric": self.metric,
+            "value": self.value,
+            "baseline_median": self.baseline_median,
+            "baseline_mad": self.baseline_mad,
+            "zscore": z if abs(z) != float("inf") else ("inf" if z > 0 else "-inf"),
+            "direction": self.direction,
+        }
+
+
+@dataclass
+class AnomalyReport:
+    """Everything one mining pass found (and what it could not judge)."""
+
+    anomalies: list[Anomaly] = field(default_factory=list)
+    scanned: int = 0
+    groups: int = 0
+    skipped_small_groups: int = 0
+    z_threshold: float = 3.5
+    min_runs: int = 4
+
+    @property
+    def flagged_runs(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for anomaly in self.anomalies:
+            seen.setdefault(anomaly.run_id)
+        return list(seen)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scanned": self.scanned,
+            "groups": self.groups,
+            "skipped_small_groups": self.skipped_small_groups,
+            "z_threshold": self.z_threshold,
+            "min_runs": self.min_runs,
+            "flagged_runs": self.flagged_runs,
+            "anomalies": [a.to_dict() for a in self.anomalies],
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"mined {self.scanned} run(s) in {self.groups} group(s) "
+            f"(z >= {self.z_threshold:g}, min {self.min_runs} runs/group, "
+            f"{self.skipped_small_groups} group(s) too small to judge)"
+        ]
+        if not self.anomalies:
+            lines.append("no anomalies flagged")
+            return "\n".join(lines) + "\n"
+        lines.append(f"{len(self.anomalies)} anomalous metric(s) across "
+                     f"{len(self.flagged_runs)} run(s):")
+        for a in self.anomalies:
+            z = "inf" if abs(a.zscore) == float("inf") else f"{a.zscore:+.1f}"
+            lines.append(
+                f"  {a.run_id}  {a.metric} = {a.value:g} "
+                f"(median {a.baseline_median:g}, MAD {a.baseline_mad:g}, "
+                f"z {z}, bad side: {a.direction})"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def mine_ledger(
+    records: Iterable[RunRecord],
+    z_threshold: float = 3.5,
+    min_runs: int = 4,
+    group_keys: tuple[str, ...] = ("kind", "label"),
+) -> AnomalyReport:
+    """Flag direction-aware robust outliers across comparable runs.
+
+    Records are grouped by ``group_keys`` attributes; groups smaller
+    than ``min_runs`` are skipped (an outlier needs a baseline).  The
+    baseline for each metric is the whole group including the candidate
+    — with >= ``min_runs`` records the median/MAD stay anchored by the
+    healthy majority, and the flagged value cannot hide itself.
+    """
+    if z_threshold <= 0:
+        raise ValueError(f"z_threshold must be positive, got {z_threshold}")
+    if min_runs < 3:
+        raise ValueError(f"min_runs must be >= 3, got {min_runs}")
+    report = AnomalyReport(z_threshold=z_threshold, min_runs=min_runs)
+    groups: dict[tuple, list[RunRecord]] = {}
+    for record in records:
+        report.scanned += 1
+        key = tuple(getattr(record, attr, None) for attr in group_keys)
+        groups.setdefault(key, []).append(record)
+    report.groups = len(groups)
+    for members in groups.values():
+        if len(members) < min_runs:
+            report.skipped_small_groups += 1
+            continue
+        per_record = [(rec, _record_metrics(rec)) for rec in members]
+        metric_names: dict[str, None] = {}
+        for _, metrics in per_record:
+            for name in metrics:
+                metric_names.setdefault(name)
+        for name in metric_names:
+            observed = [
+                (rec, metrics[name])
+                for rec, metrics in per_record
+                if name in metrics
+            ]
+            if len(observed) < min_runs:
+                continue
+            values = [value for _, (value, _) in observed]
+            med = _median(values)
+            mad = _median([abs(v - med) for v in values])
+            for rec, (value, direction) in observed:
+                z = robust_zscore(value, med, mad)
+                bad = z >= z_threshold if direction == "high" else -z >= z_threshold
+                if bad:
+                    report.anomalies.append(
+                        Anomaly(
+                            run_id=rec.run_id,
+                            label=rec.label,
+                            kind=rec.kind,
+                            created_at=rec.created_at,
+                            metric=name,
+                            value=value,
+                            baseline_median=med,
+                            baseline_mad=mad,
+                            zscore=z,
+                            direction=direction,
+                        )
+                    )
+    report.anomalies.sort(
+        key=lambda a: (a.run_id, -min(abs(a.zscore), 1e18), a.metric)
+    )
+    return report
+
+
+def promote_candidates(
+    report: AnomalyReport,
+    records: Iterable[RunRecord],
+    directory: str | Path,
+) -> list[Path]:
+    """Write a golden-fixture candidate stub per flagged run.
+
+    Each ``candidate-<run_id>.json`` carries the run's identity
+    (options hash, environment fingerprint) and the metrics that
+    flagged it, so a later curation pass can re-synthesize the exact
+    configuration into a reviewed golden fixture.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    by_run: dict[str, list[Anomaly]] = {}
+    for anomaly in report.anomalies:
+        by_run.setdefault(anomaly.run_id, []).append(anomaly)
+    index = {record.run_id: record for record in records}
+    written: list[Path] = []
+    for run_id, anomalies in by_run.items():
+        record = index.get(run_id)
+        payload = {
+            "candidate": "golden-fixture",
+            "status": "needs-review",
+            "run_id": run_id,
+            "label": anomalies[0].label,
+            "kind": anomalies[0].kind,
+            "created_at": anomalies[0].created_at,
+            "options_hash": getattr(record, "options_hash", None),
+            "fingerprint": getattr(record, "fingerprint", None),
+            "env": getattr(record, "env", None),
+            "flagged_metrics": [a.to_dict() for a in anomalies],
+            "z_threshold": report.z_threshold,
+        }
+        path = directory / f"candidate-{run_id}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written

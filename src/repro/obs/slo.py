@@ -1,0 +1,368 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` states an objective over the metrics history kept by
+:class:`~repro.obs.timeseries.TimeSeriesStore`:
+
+- ``kind="ratio"`` — a good/bad event ratio from counters (service
+  availability, dedup hit rate, L2 failover rate).  ``good`` / ``bad``
+  / ``total`` name counters (or tuples of counters, summed); specify
+  either ``bad`` + ``total`` or ``good`` + ``total``.
+- ``kind="latency"`` — a latency objective from a histogram: an
+  observation is *good* when it lands at or under ``threshold_s``
+  (bucketed conservatively at the smallest edge >= the threshold), so
+  "p99 under 5 s" is expressed as "99% of observations good with
+  threshold 5 s" — the standard reduction of latency SLOs to
+  availability form.
+
+**Burn rate** is the window's bad fraction divided by the error budget
+``1 - objective``: burn 1.0 spends budget exactly at the sustainable
+pace, burn 6.0 exhausts a day's budget in four hours.  An alert fires
+only when *every* configured window burns past its threshold (the
+classic multi-window guard: the long window proves the burn is real,
+the short window proves it is still happening), and clears with
+**hysteresis**: only after ``clear_after_s`` of consecutive healthy
+evaluations, so a flapping burst cannot strobe the alert.
+
+:class:`AlertEngine` owns the state machine and emits transition events
+(``alert_firing`` / ``alert_resolved``) to pluggable sinks — JSONL on
+stderr and/or an append-only file, matching the ``--progress`` event
+style used elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.obs.timeseries import TimeSeriesStore
+
+__all__ = [
+    "SLO",
+    "AlertEngine",
+    "default_service_slos",
+    "stderr_sink",
+    "file_sink",
+]
+
+
+def _names(spec: str | Sequence[str]) -> tuple[str, ...]:
+    if isinstance(spec, str):
+        return (spec,) if spec else ()
+    return tuple(spec)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective evaluated over the time-series store."""
+
+    name: str
+    kind: str  # "ratio" | "latency"
+    objective: float = 0.99
+    description: str = ""
+    severity: str = "page"
+    # ratio kind: counter names (str or tuple of str, summed).
+    good: str | Sequence[str] = ()
+    bad: str | Sequence[str] = ()
+    total: str | Sequence[str] = ()
+    # latency kind: histogram name + goodness threshold.
+    histogram: str = ""
+    threshold_s: float = 1.0
+    #: (window_seconds, burn_threshold) pairs; ALL must burn to fire.
+    windows: tuple[tuple[float, float], ...] = ((300.0, 6.0), (60.0, 6.0))
+    #: Windows with fewer events than this are treated as not burning.
+    min_events: int = 1
+    #: Consecutive healthy seconds required before a firing alert clears.
+    clear_after_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 <= self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in [0, 1), got {self.objective}"
+            )
+        if not self.windows:
+            raise ValueError("SLO needs at least one window")
+        if self.kind == "ratio":
+            if not _names(self.total):
+                raise ValueError(f"ratio SLO {self.name!r} needs total=")
+            if bool(_names(self.good)) == bool(_names(self.bad)):
+                raise ValueError(
+                    f"ratio SLO {self.name!r} needs exactly one of good=/bad="
+                )
+        if self.kind == "latency" and not self.histogram:
+            raise ValueError(f"latency SLO {self.name!r} needs histogram=")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def _counter_sum(self, store: TimeSeriesStore,
+                     spec: str | Sequence[str], window_s: float,
+                     now: float | None) -> int | None:
+        names = _names(spec)
+        total: int | None = None
+        for name in names:
+            delta = store.counter_delta(name, window_s, now)
+            if delta is not None:
+                total = delta if total is None else total + delta
+        return total
+
+    def window_burn(self, store: TimeSeriesStore, window_s: float,
+                    now: float | None = None) -> dict[str, Any]:
+        """Burn state for one window: events, bad fraction, burn rate."""
+        if self.kind == "ratio":
+            events = self._counter_sum(store, self.total, window_s, now)
+            if events is None or events < self.min_events:
+                return {"window_s": window_s, "events": events or 0,
+                        "bad_fraction": 0.0, "burn": 0.0, "data": False}
+            if _names(self.bad):
+                bad = self._counter_sum(store, self.bad, window_s, now) or 0
+            else:
+                good = self._counter_sum(store, self.good, window_s, now) or 0
+                bad = max(0, events - good)
+            bad_fraction = min(1.0, bad / events)
+        else:
+            result = store.good_fraction(
+                self.histogram, self.threshold_s, window_s, now
+            )
+            if result is None or result[1] < self.min_events:
+                return {"window_s": window_s, "events": 0,
+                        "bad_fraction": 0.0, "burn": 0.0, "data": False}
+            good_fraction, events = result
+            bad_fraction = 1.0 - good_fraction
+        burn = bad_fraction / self.error_budget if self.error_budget > 0 else 0.0
+        return {"window_s": window_s, "events": events,
+                "bad_fraction": round(bad_fraction, 6),
+                "burn": round(burn, 4), "data": True}
+
+    def evaluate(self, store: TimeSeriesStore,
+                 now: float | None = None) -> dict[str, Any]:
+        """Evaluate every window; ``breach`` when all burn past threshold."""
+        windows = []
+        breach = True
+        for window_s, threshold in self.windows:
+            state = self.window_burn(store, window_s, now)
+            state["threshold"] = threshold
+            state["burning"] = bool(state["data"] and state["burn"] >= threshold)
+            breach = breach and state["burning"]
+            windows.append(state)
+        return {
+            "slo": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "severity": self.severity,
+            "breach": breach,
+            "windows": windows,
+        }
+
+
+#: Alert sink signature: called once per state transition event.
+AlertSink = Callable[[dict[str, Any]], None]
+
+
+def stderr_sink(event: dict[str, Any]) -> None:
+    """JSONL transition events on stderr (``--progress`` style)."""
+    sys.stderr.write(json.dumps(event, sort_keys=True) + "\n")
+    sys.stderr.flush()
+
+
+def file_sink(path: str | Path) -> AlertSink:
+    """Append-only JSONL alert log at ``path``."""
+    target = Path(path)
+
+    def _sink(event: dict[str, Any]) -> None:
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            with open(target, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        except OSError:
+            pass  # alerting must never take the service down
+
+    return _sink
+
+
+class AlertEngine:
+    """Burn-rate state machine over a set of SLOs.
+
+    Call :meth:`evaluate` once per scrape; it returns the transition
+    events it emitted (empty most ticks).  :meth:`active` and
+    :meth:`status` back the ``/alerts`` endpoint and the dashboard.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        slos: Sequence[SLO],
+        sinks: Sequence[AlertSink] = (),
+        history_limit: int = 256,
+    ) -> None:
+        self.store = store
+        self.slos = list(slos)
+        self.sinks = list(sinks)
+        self._states: dict[str, dict[str, Any]] = {}
+        self._last_eval: list[dict[str, Any]] = []
+        self.history: deque = deque(maxlen=history_limit)
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        self.history.append(event)
+        for sink in self.sinks:
+            try:
+                sink(event)
+            except Exception:  # noqa: BLE001 - sinks must not break evals
+                pass
+
+    def evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Evaluate every SLO; fire/clear alerts; return transitions."""
+        t = time.time() if now is None else float(now)
+        transitions: list[dict[str, Any]] = []
+        evals: list[dict[str, Any]] = []
+        for slo in self.slos:
+            result = slo.evaluate(self.store, t)
+            evals.append(result)
+            state = self._states.setdefault(
+                slo.name,
+                {"firing": False, "since": None, "healthy_since": None},
+            )
+            healthy = not any(
+                w["data"] and w["burn"] >= 1.0 for w in result["windows"]
+            )
+            if not state["firing"]:
+                state["healthy_since"] = None
+                if result["breach"]:
+                    state["firing"] = True
+                    state["since"] = t
+                    event = {
+                        "event": "alert_firing",
+                        "alert": slo.name,
+                        "severity": slo.severity,
+                        "objective": slo.objective,
+                        "windows": result["windows"],
+                        "time_unix": round(t, 3),
+                    }
+                    transitions.append(event)
+                    self._emit(event)
+            else:
+                if healthy:
+                    if state["healthy_since"] is None:
+                        state["healthy_since"] = t
+                    if t - state["healthy_since"] >= slo.clear_after_s:
+                        state["firing"] = False
+                        event = {
+                            "event": "alert_resolved",
+                            "alert": slo.name,
+                            "severity": slo.severity,
+                            "fired_for_s": round(t - (state["since"] or t), 3),
+                            "time_unix": round(t, 3),
+                        }
+                        state["since"] = None
+                        state["healthy_since"] = None
+                        transitions.append(event)
+                        self._emit(event)
+                else:
+                    state["healthy_since"] = None  # hysteresis resets
+            result["firing"] = state["firing"]
+            result["since_unix"] = state["since"]
+        self._last_eval = evals
+        return transitions
+
+    def active(self) -> list[dict[str, Any]]:
+        """Currently-firing alerts (for ``/alerts`` and the dashboard)."""
+        out = []
+        for result in self._last_eval:
+            if result.get("firing"):
+                out.append(
+                    {
+                        "alert": result["slo"],
+                        "severity": result["severity"],
+                        "objective": result["objective"],
+                        "since_unix": result.get("since_unix"),
+                        "windows": result["windows"],
+                    }
+                )
+        return out
+
+    def status(self) -> list[dict[str, Any]]:
+        """Latest evaluation of every SLO, firing or not."""
+        return list(self._last_eval)
+
+    def recent(self, n: int = 50) -> list[dict[str, Any]]:
+        """The last ``n`` transition events, newest first."""
+        return list(self.history)[-n:][::-1]
+
+
+def default_service_slos(
+    availability: float = 0.9,
+    latency_p99_s: float = 60.0,
+    window_s: float = 60.0,
+    burn_threshold: float = 6.0,
+    dedup_objective: float = 0.0,
+    l2_failover_objective: float = 0.0,
+    clear_after_s: float | None = None,
+) -> list[SLO]:
+    """The stock fleet SLOs for the job service.
+
+    ``window_s`` is the short burn window; the long window is six
+    times it.  Objectives of 0 effectively disable an SLO (the error
+    budget becomes 1.0, so burn can never reach a threshold above 1).
+    """
+    windows = ((6.0 * window_s, burn_threshold), (window_s, burn_threshold))
+    clear = clear_after_s if clear_after_s is not None else window_s
+    slos = [
+        SLO(
+            name="service-availability",
+            kind="ratio",
+            objective=availability,
+            description="fraction of finished jobs that succeed",
+            bad="service.jobs.failed",
+            total=("service.jobs.done", "service.jobs.failed"),
+            windows=windows,
+            clear_after_s=clear,
+        ),
+        SLO(
+            name="service-job-p99-latency",
+            kind="latency",
+            objective=0.99,
+            description=f"99% of jobs finish within {latency_p99_s:g}s",
+            histogram="service.job_latency_s",
+            threshold_s=latency_p99_s,
+            windows=windows,
+            clear_after_s=clear,
+        ),
+    ]
+    if dedup_objective > 0:
+        slos.append(
+            SLO(
+                name="service-dedup-hit-rate",
+                kind="ratio",
+                objective=dedup_objective,
+                description="fraction of admissions served by dedup",
+                good="service.dedup_hits",
+                total=("service.admitted", "service.dedup_hits"),
+                severity="ticket",
+                windows=windows,
+                min_events=10,
+                clear_after_s=clear,
+            )
+        )
+    if l2_failover_objective > 0:
+        slos.append(
+            SLO(
+                name="cache-l2-failover-rate",
+                kind="ratio",
+                objective=l2_failover_objective,
+                description="fraction of L2 lookups not needing failover",
+                bad="cache.l2.failovers",
+                total=("cache.l2.hits", "cache.l2.misses"),
+                severity="ticket",
+                windows=windows,
+                min_events=10,
+                clear_after_s=clear,
+            )
+        )
+    return slos

@@ -50,7 +50,12 @@ from bisect import bisect_right, insort
 from pathlib import Path
 from typing import Any
 
-from repro.obs import atomic_write_text, get_logger
+from repro.obs import (
+    atomic_write_text,
+    current_request_id,
+    get_logger,
+    to_openmetrics,
+)
 from repro.parallel.store import PersistentStore, payload_checksum
 from repro.parallel.supervisor import CircuitBreaker, SupervisorConfig
 from repro.service.http import (
@@ -80,6 +85,16 @@ ADDRESS_FILENAME = "address"
 
 META_HEADER = "X-Entry-Meta"
 CHECKSUM_HEADER = "X-Payload-Sha256"
+
+
+def _rid_headers(
+    rid: str, extra: dict[str, str] | None = None
+) -> dict[str, str]:
+    """Node response headers, echoing ``X-Request-Id`` when supplied."""
+    headers = dict(extra or {})
+    if rid:
+        headers["X-Request-Id"] = rid
+    return headers
 
 
 def hash_to_id(text: str) -> int:
@@ -259,8 +274,16 @@ class ShardClient:
     ) -> tuple[int, bytes, dict[str, str]]:
         host, port = parse_node(node)
         conn = http.client.HTTPConnection(host, port, timeout=self.timeout_s)
+        # Attribute the cache call to the originating job: the service
+        # sets the ambient request id on its solver thread, and the
+        # node logs it in its WARNINGs, so a cache fetch is greppable
+        # end to end by one X-Request-Id.
+        send_headers = dict(headers or {})
+        rid = current_request_id()
+        if rid and "X-Request-Id" not in send_headers:
+            send_headers["X-Request-Id"] = rid
         try:
-            conn.request(method, path, body=body, headers=headers or {})
+            conn.request(method, path, body=body, headers=send_headers)
             response = conn.getresponse()
             data = response.read()
             return (
@@ -497,6 +520,9 @@ class CacheNodeServer:
 
         GET  /healthz                 liveness
         GET  /stats                   store counters + footprint
+        GET  /metrics                 OpenMetrics text exposition of
+                                      the same state (scrapeable, and
+                                      what /federate aggregates)
         GET  /keys                    {section: {key: {sha256, len}}}
         GET  /entry/{section}/{key}   payload bytes (+ meta/checksum
                                       headers); 404 on miss/corrupt
@@ -506,6 +532,9 @@ class CacheNodeServer:
 
     Port 0 binds an ephemeral port and publishes ``host:port`` to
     ``<dir>/address`` (the job service's test/discovery convention).
+    An incoming ``X-Request-Id`` (the job service propagates the
+    originating job's) is echoed on the response and named in node
+    WARNINGs.
     """
 
     def __init__(
@@ -558,22 +587,40 @@ class CacheNodeServer:
                 return
             if request is None:
                 return
+            # The caller's request id (the job service propagates the
+            # originating job's) — echoed on responses, named in every
+            # WARNING so a cache fetch joins client/server logs.
+            rid = request.headers.get("x-request-id", "").strip()
             try:
-                await self._dispatch(request, writer)
+                await self._dispatch(request, writer, rid)
             except HttpError as exc:
-                await send_json(writer, exc.status, {"error": exc.message})
+                if exc.status >= 500:
+                    _log.warning(
+                        "cache-node error serving %s %s (request %s): %s",
+                        request.method,
+                        request.path,
+                        rid or "-",
+                        exc.message,
+                    )
+                await send_json(
+                    writer, exc.status, {"error": exc.message}, _rid_headers(rid)
+                )
             except (ConnectionResetError, BrokenPipeError):
                 raise
             except Exception as exc:  # a sick store must not kill the node
                 _log.warning(
-                    "cache-node error serving %s %s: %s",
+                    "cache-node error serving %s %s (request %s): %s",
                     request.method,
                     request.path,
+                    rid or "-",
                     exc,
                     exc_info=True,
                 )
                 await send_json(
-                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                    writer,
+                    500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                    _rid_headers(rid),
                 )
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
@@ -584,7 +631,29 @@ class CacheNodeServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _dispatch(self, request: Request, writer) -> None:
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """This node's store state in registry-snapshot shape.
+
+        Store counters export with their section preserved
+        (``hits:results`` -> ``cache.node.hits.results``) so a
+        federated scrape keeps per-section fidelity; summing the same
+        names across nodes yields fleet totals.
+        """
+        stats = self.store.stats()
+        counters: dict[str, int] = {}
+        for key, value in sorted(stats.get("counters", {}).items()):
+            name, _, section = key.partition(":")
+            metric = f"cache.node.{name}.{section}" if section else f"cache.node.{name}"
+            counters[metric] = counters.get(metric, 0) + int(value)
+        gauges = {
+            "cache.node.entries": stats.get("entries", 0),
+            "cache.node.bytes": stats.get("bytes", 0),
+            "cache.node.quarantine_files": stats.get("quarantine_files", 0),
+            "cache.node.uptime_s": round(time.time() - self._started_unix, 3),
+        }
+        return {"counters": counters, "gauges": gauges, "histograms": {}}
+
+    async def _dispatch(self, request: Request, writer, rid: str = "") -> None:
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
             await send_json(
@@ -595,23 +664,36 @@ class CacheNodeServer:
                     "store": str(self.directory),
                     "uptime_s": round(time.time() - self._started_unix, 3),
                 },
+                _rid_headers(rid),
             )
             return
         if path == "/stats" and method == "GET":
-            await send_json(writer, 200, self.store.stats())
+            await send_json(writer, 200, self.store.stats(), _rid_headers(rid))
+            return
+        if path == "/metrics" and method == "GET":
+            text = to_openmetrics(self.metrics_snapshot())
+            await send_response(
+                writer,
+                200,
+                text.encode("utf-8"),
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                _rid_headers(rid),
+            )
             return
         if path == "/keys" and method == "GET":
-            await send_json(writer, 200, {"keys": self.store.keys()})
+            await send_json(
+                writer, 200, {"keys": self.store.keys()}, _rid_headers(rid)
+            )
             return
         if path == "/scrub" and method == "POST":
-            await send_json(writer, 200, self.store.verify())
+            await send_json(writer, 200, self.store.verify(), _rid_headers(rid))
             return
         if path == "/gc" and method == "POST":
             try:
                 max_bytes = int(request.query.get("max_bytes", "0"))
             except ValueError as exc:
                 raise HttpError(400, f"bad max_bytes: {exc}") from exc
-            await send_json(writer, 200, self.store.gc(max_bytes))
+            await send_json(writer, 200, self.store.gc(max_bytes), _rid_headers(rid))
             return
         if path.startswith("/entry/"):
             parts = path.split("/")  # ['', 'entry', section, key]
@@ -628,10 +710,13 @@ class CacheNodeServer:
                     200,
                     payload,
                     "application/octet-stream",
-                    {
-                        META_HEADER: json.dumps(meta, sort_keys=True),
-                        CHECKSUM_HEADER: payload_checksum(payload),
-                    },
+                    _rid_headers(
+                        rid,
+                        {
+                            META_HEADER: json.dumps(meta, sort_keys=True),
+                            CHECKSUM_HEADER: payload_checksum(payload),
+                        },
+                    ),
                 )
                 return
             if method == "PUT":
@@ -641,7 +726,9 @@ class CacheNodeServer:
                     raise HttpError(400, f"bad {META_HEADER} header: {exc}") from exc
                 if not self.store.put(section, key, request.body, meta):
                     raise HttpError(500, "store rejected the entry")
-                await send_response(writer, 204, b"", "application/json")
+                await send_response(
+                    writer, 204, b"", "application/json", _rid_headers(rid)
+                )
                 return
             raise HttpError(405, f"{method} not allowed on {path}")
         raise HttpError(404, f"no route for {path}")

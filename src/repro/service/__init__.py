@@ -14,7 +14,11 @@ machinery.  Four modules:
   execution with deadline degradation, circuit-breaker readiness,
   store re-adoption, and graceful drain;
 - :mod:`repro.service.server` — the routes and the
-  SIGTERM-to-clean-exit lifecycle behind ``xring serve``.
+  SIGTERM-to-clean-exit lifecycle behind ``xring serve`` (including
+  the fleet endpoints: ``/federate`` merged OpenMetrics, ``/alerts``
+  burn-rate SLO state, and the sparkline-backed dashboard);
+- :mod:`repro.service.top` — the ``xring top`` live terminal client
+  over ``/dashboard/data`` + ``/alerts``.
 """
 
 from repro.service.http import (
@@ -58,6 +62,7 @@ from repro.service.store import (
     JobRecord,
     JobStore,
 )
+from repro.service.top import render_frame, resolve_base_url, run_top
 
 __all__ = [
     "ADDRESS_FILENAME",
@@ -91,6 +96,9 @@ __all__ = [
     "options_from_spec",
     "parse_address",
     "read_request",
+    "render_frame",
+    "resolve_base_url",
+    "run_top",
     "serve",
     "serve_forever",
 ]

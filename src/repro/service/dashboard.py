@@ -9,6 +9,12 @@ reads) and renders:
 - service health: ready / draining / breaker state, uptime, queue
   depth, running count, worker concurrency;
 - throughput counters: admitted, done, failed, dedup hits, rejected;
+- **firing SLO alerts** (and a green all-clear when none), from the
+  burn-rate engine behind ``/alerts``;
+- **sparkline history** of job throughput, queue depth, and p99
+  latency, read from the bounded time-series store;
+- the durable **L2 cache panel**: result hits, per-section hit/miss
+  counters, failovers, and per-node breaker state;
 - latency histograms (job end-to-end and solve-only) as inline bar
   charts with p50/p90/p99;
 - the most recent jobs with state, attempts, elapsed time, request id.
@@ -33,18 +39,39 @@ _LATENCY_PANELS = {
     "service.solve_latency_s": "solve latency",
 }
 
+#: Time series the dashboard sparklines (name -> panel title; counters
+#: render as rates, histograms as interval p99).
+_SPARKLINE_PANELS = {
+    "service.jobs.done": "jobs done /s",
+    "service.queue_depth": "queue depth",
+    "service.job_latency_s": "job p99 (s)",
+}
+
 #: How many recent jobs the data endpoint returns.
 RECENT_JOBS = 20
 
+#: Points per sparkline (one per scrape at the finest resolution).
+SPARKLINE_POINTS = 60
 
-def dashboard_data(manager, metrics, started_unix: float) -> dict[str, Any]:
+
+def dashboard_data(
+    manager,
+    metrics,
+    started_unix: float,
+    alerts=None,
+    timeseries=None,
+) -> dict[str, Any]:
     """The JSON snapshot behind ``GET /dashboard/data``.
 
     Pure read of loop-thread state (called on the event loop, like
     every other route), so it is race-free by the service's
-    single-writer discipline.
+    single-writer discipline.  ``alerts`` is the
+    :class:`~repro.obs.slo.AlertEngine` and ``timeseries`` the
+    :class:`~repro.obs.timeseries.TimeSeriesStore`; both optional so
+    the payload degrades to empty panels when the scrape loop is off.
     """
     snapshot = metrics.snapshot()
+    counters = snapshot.get("counters", {})
     histograms = {
         name: snapshot.get("histograms", {}).get(name)
         for name in _LATENCY_PANELS
@@ -65,13 +92,39 @@ def dashboard_data(manager, metrics, started_unix: float) -> dict[str, Any]:
         }
         for job in jobs[-RECENT_JOBS:][::-1]
     ]
+    stats = manager.stats()
+    # The L2 panel: the PR 9 durable-cache state (None without an L2)
+    # plus every cache.* counter the batch joins published — failovers
+    # and errors included, which the pre-L2 dashboard silently omitted.
+    cache = {
+        "l2": stats.get("cache_l2"),
+        "l2_result_hits": stats.get("cache_l2_result_hits", 0),
+        "counters": {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("cache.")
+        },
+    }
+    sparklines: dict[str, list[list[float]]] = {}
+    if timeseries is not None:
+        for name in _SPARKLINE_PANELS:
+            points = timeseries.sparkline(name, SPARKLINE_POINTS)
+            if points:
+                sparklines[name] = points
     return {
         "now_unix": round(time.time(), 3),
         "uptime_s": round(time.time() - started_unix, 3),
-        "stats": manager.stats(),
-        "counters": snapshot.get("counters", {}),
+        "stats": stats,
+        "counters": counters,
         "histograms": histograms,
         "panels": _LATENCY_PANELS,
+        "cache": cache,
+        "alerts": {
+            "active": [] if alerts is None else alerts.active(),
+            "slos": [] if alerts is None else alerts.status(),
+        },
+        "sparklines": sparklines,
+        "sparkline_panels": _SPARKLINE_PANELS,
         "jobs": recent,
         "job_total": len(jobs),
     }
@@ -105,6 +158,14 @@ _PAGE = """<!doctype html>
   .hist td { border-bottom: none; padding: 0.1rem 0.6rem 0.1rem 0; }
   .muted { color: #5c6a75; }
   #err { color: #ef7a6d; display: none; }
+  #alerts .firing { background: #2a1517; border: 1px solid #6d2b26;
+                    border-radius: 6px; padding: 0.4rem 0.8rem;
+                    margin: 0.3rem 0; }
+  #alerts .clear { color: #6fd18b; }
+  .spark { background: #181e24; border: 1px solid #242c34;
+           border-radius: 6px; padding: 0.4rem 0.8rem; }
+  .spark svg { display: block; }
+  .spark .k { color: #8fa3b3; font-size: 0.75rem; }
 </style>
 </head>
 <body>
@@ -112,7 +173,12 @@ _PAGE = """<!doctype html>
   <span id="updated" class="muted"></span>
   <span id="err">disconnected — retrying</span>
 </h1>
+<div id="alerts"></div>
 <div class="cards" id="cards"></div>
+<h2>history</h2>
+<div class="cards" id="sparks"></div>
+<h2>durable L2 cache</h2>
+<div class="cards" id="cache"></div>
 <div id="panels"></div>
 <h2>recent jobs (<span id="jobcount">0</span> total)</h2>
 <table id="jobs">
@@ -128,6 +194,21 @@ const fmt = (v, d) => v === null || v === undefined ? "-" : (+v).toFixed(d);
 function card(k, v, cls) {
   return `<div class="card"><div class="v ${cls || ""}">${v}</div>` +
          `<div class="k">${k}</div></div>`;
+}
+function sparkline(title, pts) {
+  const W = 180, H = 36;
+  const vs = pts.map(p => p[1]);
+  const max = Math.max(...vs, 1e-9), min = Math.min(...vs, 0);
+  const span = (max - min) || 1;
+  const step = pts.length > 1 ? W / (pts.length - 1) : W;
+  const path = pts.map((p, i) =>
+    `${(i * step).toFixed(1)},${(H - 2 - (H - 4) * (p[1] - min) / span)
+      .toFixed(1)}`).join(" ");
+  const last = vs[vs.length - 1];
+  return `<div class="spark"><svg width="${W}" height="${H}">` +
+         `<polyline fill="none" stroke="#3d7ea6" stroke-width="1.5" ` +
+         `points="${path}"/></svg>` +
+         `<div class="k">${title} &mdash; ${fmt(last, 2)}</div></div>`;
 }
 function histogram(name, title, h) {
   const counts = h.counts || [];
@@ -145,6 +226,46 @@ function histogram(name, title, h) {
          `${fmt(h.p90, 3)}s / p99 ${fmt(h.p99, 3)}s (n=${h.total})</h2>` +
          `<table class="hist">${rows}</table>`;
 }
+function alertsPanel(a) {
+  const active = (a && a.active) || [];
+  if (!active.length) {
+    const n = ((a && a.slos) || []).length;
+    return `<div class="clear">no firing alerts` +
+           `<span class="muted"> (${n} SLO${n === 1 ? "" : "s"} ` +
+           `evaluated)</span></div>`;
+  }
+  return active.map(al => {
+    const burns = (al.windows || []).map(w =>
+      `${w.window_s}s: burn ${fmt(w.burn, 2)}&times;`).join(", ");
+    return `<div class="firing"><span class="bad">&#9679; ` +
+           `${al.alert}</span> <span class="muted">[${al.severity}] ` +
+           `objective ${al.objective} &mdash; ${burns}</span></div>`;
+  }).join("");
+}
+function cacheCards(cache, s) {
+  const c = (cache && cache.counters) || {};
+  const l2 = cache && cache.l2;
+  if (!l2 && !Object.keys(c).length) {
+    return '<div class="card"><div class="v muted">off</div>' +
+           '<div class="k">no L2 cache configured</div></div>';
+  }
+  let cards =
+    card("result hits", (cache && cache.l2_result_hits) || 0, "ok") +
+    card("L2 hits", c["cache.l2.hits"] || 0) +
+    card("L2 misses", c["cache.l2.misses"] || 0) +
+    card("L2 puts", c["cache.l2.puts"] || 0) +
+    card("failovers", c["cache.l2.failovers"] || 0,
+         c["cache.l2.failovers"] ? "warn" : "") +
+    card("errors", c["cache.l2.errors"] || 0,
+         c["cache.l2.errors"] ? "bad" : "");
+  if (l2 && l2.nodes) {
+    for (const [node, st] of Object.entries(l2.nodes)) {
+      cards += card(node, st.breaker_open ? "breaker open" : "up",
+                    st.breaker_open ? "bad" : "ok");
+    }
+  }
+  return cards;
+}
 async function refresh() {
   let data;
   try {
@@ -160,6 +281,7 @@ async function refresh() {
   const stateCls = s.ready ? "ok" : "bad";
   const state = s.draining ? "draining" : (s.breaker_open ? "breaker open"
     : (s.ready ? "ready" : "not ready"));
+  document.getElementById("alerts").innerHTML = alertsPanel(data.alerts);
   document.getElementById("cards").innerHTML =
     card("state", state, stateCls) +
     card("uptime", fmt(data.uptime_s, 0) + "s") +
@@ -172,6 +294,14 @@ async function refresh() {
     card("dedup hits", c["service.dedup_hits"] || 0) +
     card("breaker opens", c["service.breaker_opens"] || 0,
          c["service.breaker_opens"] ? "warn" : "");
+  let sparks = "";
+  for (const [name, title] of Object.entries(data.sparkline_panels || {})) {
+    const pts = (data.sparklines || {})[name];
+    if (pts && pts.length > 1) sparks += sparkline(title, pts);
+  }
+  document.getElementById("sparks").innerHTML =
+    sparks || '<div class="muted">history arrives after a few scrapes</div>';
+  document.getElementById("cache").innerHTML = cacheCards(data.cache, s);
   let panels = "";
   for (const [name, title] of Object.entries(data.panels || {})) {
     if (data.histograms && data.histograms[name]) {

@@ -72,6 +72,7 @@ from repro.obs import (
     TraceContext,
     get_logger,
     new_trace_id,
+    use_request_id,
 )
 from repro.parallel import (
     BatchCase,
@@ -292,6 +293,23 @@ class ServiceConfig:
     cache_nodes: tuple[str, ...] = ()
     #: Replicas per key when ``cache_nodes`` is used.
     cache_replication: int = 2
+    #: Metrics time-series scrape cadence (0 disables history, SLO
+    #: evaluation and the dashboard sparklines).
+    scrape_interval_s: float = 5.0
+    #: Availability SLO objective (fraction of finished jobs that must
+    #: succeed); 0 disables the availability alert.
+    slo_availability: float = 0.9
+    #: Latency SLO: 99% of jobs must finish within this many seconds.
+    slo_latency_p99_s: float = 60.0
+    #: Short burn window for SLO evaluation (the long window is 6x);
+    #: also the hysteresis period a firing alert must stay healthy
+    #: before clearing.
+    slo_window_s: float = 60.0
+    #: Burn-rate threshold both windows must exceed to fire an alert.
+    slo_burn_threshold: float = 6.0
+    #: Append-only JSONL alert log ("" disables the file sink; alert
+    #: transitions always reach stderr as JSON lines).
+    alert_log: str | Path = ""
 
     def __post_init__(self) -> None:
         if self.cache_dir and self.cache_nodes:
@@ -337,6 +355,28 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"breaker_cooldown_s must be >= 0, got {self.breaker_cooldown_s}",
                 context={"breaker_cooldown_s": self.breaker_cooldown_s},
+            )
+        if self.scrape_interval_s < 0:
+            raise ConfigurationError(
+                f"scrape_interval_s must be >= 0, got {self.scrape_interval_s}",
+                context={"scrape_interval_s": self.scrape_interval_s},
+            )
+        if not 0.0 <= self.slo_availability < 1.0:
+            raise ConfigurationError(
+                f"slo_availability must be in [0, 1), got "
+                f"{self.slo_availability}",
+                context={"slo_availability": self.slo_availability},
+            )
+        if self.slo_window_s <= 0:
+            raise ConfigurationError(
+                f"slo_window_s must be positive, got {self.slo_window_s}",
+                context={"slo_window_s": self.slo_window_s},
+            )
+        if self.slo_burn_threshold <= 0:
+            raise ConfigurationError(
+                f"slo_burn_threshold must be positive, got "
+                f"{self.slo_burn_threshold}",
+                context={"slo_burn_threshold": self.slo_burn_threshold},
             )
 
     def supervisor_config(self) -> SupervisorConfig:
@@ -426,6 +466,12 @@ class JobManager:
         #: Durable L2 backend (attached to the global cache in
         #: :meth:`start`; kept here for ``stats()``).
         self._l2: Any = None
+        #: Chaos hook (tests/CI only): a
+        #: :class:`~repro.robustness.faults.FaultPlan` handed to every
+        #: job's supervised batch run, so a live service can take a
+        #: scripted worker-crash burst exactly like the batch chaos
+        #: suite.  None in production.
+        self.fault_plan: Any = None
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> dict[str, int]:
@@ -826,9 +872,14 @@ class JobManager:
             config=self._sup_config,
             collect_spans=True,
             trace=trace,
+            fault_plan=self.fault_plan,
             on_event=lambda event: self._publish_threadsafe(job, event),
         )
-        report = synthesizer.run([job.case])
+        # The ambient request id rides the whole solve on this daemon
+        # thread, so outbound L2 cache calls carry X-Request-Id and a
+        # cache fetch is attributable to the job that caused it.
+        with use_request_id(record.request_id or ""):
+            report = synthesizer.run([job.case])
         result = report.results[0]
         root = {
             "name": "job",

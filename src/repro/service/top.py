@@ -1,0 +1,224 @@
+"""``xring top`` — a live terminal view of a running service.
+
+A zero-dependency client for the fleet-observability endpoints: each
+frame is two small JSON GETs (``/dashboard/data`` and ``/alerts``)
+rendered as plain text — health line, firing alerts, throughput
+counters with rates computed against the previous frame, latency
+percentiles, the durable-L2 panel, and the most recent jobs.
+
+The base URL resolves exactly like every other service client: an
+explicit ``--url`` wins, otherwise the ``<store>/address`` file a
+running server publishes (so ``xring top --store .xring_service``
+finds the ephemeral port a ``--port 0`` test server bound).
+
+``--once`` renders a single frame and exits (1 when the service is
+unreachable) — the CI smoke hook.  Without it the view refreshes
+every ``--interval`` seconds with an ANSI clear, Ctrl-C to leave.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.service.server import ADDRESS_FILENAME, parse_address
+
+__all__ = ["resolve_base_url", "fetch_json", "render_frame", "run_top"]
+
+#: Counters the throughput table shows, in order (name -> row label).
+_COUNTER_ROWS = {
+    "service.admitted": "admitted",
+    "service.jobs.done": "done",
+    "service.jobs.failed": "failed",
+    "service.dedup_hits": "dedup hits",
+    "service.solves": "solves",
+    "service.cache.l2_result_hits": "L2 result hits",
+    "cache.l2.hits": "L2 hits",
+    "cache.l2.misses": "L2 misses",
+    "cache.l2.failovers": "L2 failovers",
+}
+
+#: Recent jobs shown per frame.
+_JOB_ROWS = 8
+
+
+def resolve_base_url(url: str = "", store: str = "") -> str:
+    """The service base URL from ``--url`` or the store's address file.
+
+    Raises :class:`FileNotFoundError` when neither resolves — the
+    caller turns that into the exit-1 "is the service running?" path.
+    """
+    if url:
+        return url.rstrip("/")
+    if not store:
+        raise FileNotFoundError("pass --url or --store")
+    address_path = Path(store) / ADDRESS_FILENAME
+    host, port = parse_address(address_path.read_text(encoding="utf-8"))
+    return f"http://{host}:{port}"
+
+
+def fetch_json(base: str, path: str, timeout_s: float = 3.0) -> Any:
+    """One JSON GET against the service (plain urllib, no deps)."""
+    with urllib.request.urlopen(base + path, timeout=timeout_s) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _rate(name: str, counters: dict, prev: dict | None, dt: float) -> str:
+    """Per-second rate of one counter versus the previous frame."""
+    if not prev or dt <= 0:
+        return ""
+    delta = counters.get(name, 0) - prev.get(name, 0)
+    if delta < 0:  # restarted service: the old frame is meaningless
+        return ""
+    return f"{delta / dt:7.2f}/s"
+
+
+def _fmt_s(value: Any) -> str:
+    return "-" if value is None else f"{float(value):.3f}s"
+
+
+def render_frame(
+    data: dict[str, Any],
+    alerts: dict[str, Any] | None = None,
+    prev: dict[str, Any] | None = None,
+    dt: float = 0.0,
+) -> str:
+    """One plain-text frame from a ``/dashboard/data`` payload.
+
+    ``prev`` is the previous frame's counter dict (rates), ``alerts``
+    the ``/alerts`` payload (falls back to the alert block embedded in
+    the dashboard data when the endpoint was unreachable).
+    """
+    stats = data.get("stats", {})
+    counters = data.get("counters", {})
+    lines: list[str] = []
+    state = (
+        "draining"
+        if stats.get("draining")
+        else (
+            "breaker-open"
+            if stats.get("breaker_open")
+            else ("ready" if stats.get("ready") else "not-ready")
+        )
+    )
+    lines.append(
+        f"xring service  state={state}  uptime={data.get('uptime_s', 0):.0f}s  "
+        f"queue={stats.get('queue_depth', 0)}  running={stats.get('running', 0)}"
+        f"  jobs={data.get('job_total', 0)}"
+    )
+    if alerts is not None:
+        active = alerts.get("alerts", [])
+        slos = alerts.get("slos", [])
+    else:  # /alerts unreachable: fall back to the embedded panel
+        embedded = data.get("alerts") or {}
+        active = embedded.get("active", [])
+        slos = embedded.get("slos", [])
+    if active:
+        for alert in active:
+            burns = ", ".join(
+                f"{w.get('window_s')}s burn {w.get('burn'):.2f}x"
+                for w in alert.get("windows", [])
+                if isinstance(w.get("burn"), (int, float))
+            )
+            lines.append(
+                f"ALERT [{alert.get('severity', '?')}] {alert.get('alert')}"
+                f"  {burns}"
+            )
+    else:
+        lines.append(f"alerts: none firing ({len(slos)} SLOs evaluated)")
+    lines.append("")
+    lines.append(f"{'counter':<18}{'total':>10}  rate")
+    for name, label in _COUNTER_ROWS.items():
+        if name not in counters and not name.startswith("service."):
+            continue  # cache rows only when an L2 is attached
+        total = counters.get(name, 0)
+        lines.append(
+            f"{label:<18}{total:>10}  {_rate(name, counters, prev, dt)}"
+        )
+    histograms = data.get("histograms", {})
+    for name, title in (data.get("panels") or {}).items():
+        hist = histograms.get(name)
+        if not hist:
+            continue
+        lines.append(
+            f"{title}: p50 {_fmt_s(hist.get('p50'))} "
+            f"p90 {_fmt_s(hist.get('p90'))} p99 {_fmt_s(hist.get('p99'))} "
+            f"(n={hist.get('total', 0)})"
+        )
+    jobs = data.get("jobs", [])
+    if jobs:
+        lines.append("")
+        lines.append(f"{'job':<14}{'label':<18}{'state':<12}{'att':>3}  elapsed")
+        for job in jobs[:_JOB_ROWS]:
+            state = job.get("state", "?")
+            if job.get("degraded"):
+                state += "*"
+            lines.append(
+                f"{str(job.get('job_id', ''))[:13]:<14}"
+                f"{str(job.get('label', ''))[:17]:<18}"
+                f"{state:<12}{job.get('attempts', 0):>3}"
+                f"  {job.get('elapsed_s', 0):.2f}s"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    url: str = "",
+    store: str = "",
+    interval_s: float = 2.0,
+    once: bool = False,
+    out: TextIO | None = None,
+) -> int:
+    """The ``xring top`` loop.  Returns a process exit code.
+
+    0 on a rendered frame (or clean Ctrl-C), 1 when the service could
+    not be reached at all.
+    """
+    out = out if out is not None else sys.stdout
+    try:
+        base = resolve_base_url(url, store)
+    except (OSError, ValueError) as exc:
+        print(f"xring top: cannot resolve service address: {exc}", file=sys.stderr)
+        return 1
+    prev_counters: dict[str, Any] | None = None
+    prev_time = 0.0
+    connected = False
+    while True:
+        try:
+            data = fetch_json(base, "/dashboard/data")
+            try:
+                alerts = fetch_json(base, "/alerts")
+            except (OSError, ValueError):
+                alerts = None
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if once or not connected:
+                print(f"xring top: {base} unreachable: {exc}", file=sys.stderr)
+                return 1
+            # A live session rides out a restart: keep polling.
+            time.sleep(interval_s)
+            continue
+        connected = True
+        now = time.monotonic()
+        frame = render_frame(
+            data,
+            alerts=alerts,
+            prev=prev_counters,
+            dt=(now - prev_time) if prev_counters is not None else 0.0,
+        )
+        if not once:
+            out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+        out.write(frame)
+        out.flush()
+        if once:
+            return 0
+        prev_counters = dict(data.get("counters", {}))
+        prev_time = now
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0

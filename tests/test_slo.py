@@ -1,0 +1,219 @@
+"""Burn-rate SLOs and the alert state machine (repro.obs.slo).
+
+The math pin: burn = bad_fraction / error_budget, an alert fires only
+when *every* window burns past its threshold (multi-window burn-rate
+alerting — the short window gives speed, the long one immunity to
+blips), and a firing alert clears only after ``clear_after_s`` of
+consecutive healthy scrapes (hysteresis — no flapping).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SLO,
+    AlertEngine,
+    MetricsRegistry,
+    TimeSeriesStore,
+    default_service_slos,
+    file_sink,
+)
+
+
+def _feed(store, t, done=0, failed=0, latencies=()):
+    """One synthetic scrape with cumulative counters."""
+    reg = MetricsRegistry()
+    reg.counter("service.jobs.done").inc(done)
+    reg.counter("service.jobs.failed").inc(failed)
+    hist = reg.histogram("service.job_latency_s", (0.1, 1.0, 10.0))
+    for value in latencies:
+        hist.observe(value)
+    store.observe(reg.snapshot(), now=t)
+
+
+def _availability(objective=0.9, windows=((10.0, 2.0),), **kw):
+    return SLO(
+        name="avail",
+        kind="ratio",
+        objective=objective,
+        bad="service.jobs.failed",
+        total=("service.jobs.done", "service.jobs.failed"),
+        windows=windows,
+        clear_after_s=kw.pop("clear_after_s", 5.0),
+        **kw,
+    )
+
+
+class TestSLOValidation:
+    def test_ratio_needs_total_and_one_side(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="ratio", total="t")  # neither good nor bad
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="ratio", good="g", bad="b", total="t")
+
+    def test_latency_needs_histogram(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="latency")
+
+    def test_objective_must_leave_budget(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", kind="ratio", bad="b", total="t", objective=1.0)
+
+    def test_error_budget(self):
+        assert _availability(objective=0.9).error_budget == pytest.approx(0.1)
+
+
+class TestBurnMath:
+    def test_burn_is_bad_fraction_over_budget(self):
+        store = TimeSeriesStore()
+        _feed(store, 0.0)
+        _feed(store, 5.0, done=8, failed=2)
+        burn = _availability(objective=0.9).window_burn(store, 10.0, now=5.0)
+        assert burn["data"] is True
+        assert burn["events"] == 10
+        assert burn["bad_fraction"] == pytest.approx(0.2)
+        assert burn["burn"] == pytest.approx(2.0)  # 0.2 / 0.1 budget
+
+    def test_no_events_is_no_data(self):
+        store = TimeSeriesStore()
+        _feed(store, 0.0)
+        burn = _availability().window_burn(store, 10.0, now=0.0)
+        assert burn["data"] is False and burn["burn"] == 0.0
+
+    def test_min_events_guard(self):
+        store = TimeSeriesStore()
+        _feed(store, 0.0)
+        _feed(store, 1.0, done=1, failed=1)
+        slo = _availability(min_events=10)
+        assert slo.window_burn(store, 10.0, now=1.0)["data"] is False
+
+    def test_latency_slo_reduces_to_good_fraction(self):
+        store = TimeSeriesStore()
+        _feed(store, 0.0)
+        _feed(store, 5.0, latencies=[0.05] * 9 + [5.0])
+        slo = SLO(
+            name="p99",
+            kind="latency",
+            objective=0.5,
+            histogram="service.job_latency_s",
+            threshold_s=1.0,
+            windows=((10.0, 0.1),),
+        )
+        burn = slo.window_burn(store, 10.0, now=5.0)
+        assert burn["events"] == 10
+        assert burn["bad_fraction"] == pytest.approx(0.1)
+        assert burn["burn"] == pytest.approx(0.2)  # 0.1 / 0.5 budget
+
+    def test_breach_requires_every_window(self):
+        store = TimeSeriesStore()
+        _feed(store, 0.0)
+        for t in range(1, 30):
+            _feed(store, float(t), done=0, failed=t)  # 100% failure
+        slo = _availability(windows=((60.0, 2.0), (5.0, 2.0)))
+        result = slo.evaluate(store, now=29.0)
+        assert result["breach"] is True
+        assert all(w["burning"] for w in result["windows"])
+
+
+class TestAlertEngine:
+    def test_fire_then_hysteresis_clear(self):
+        store = TimeSeriesStore()
+        slo = _availability(windows=((5.0, 2.0),), clear_after_s=3.0)
+        engine = AlertEngine(store, [slo])
+        _feed(store, 0.0, done=100)
+        assert engine.evaluate(now=0.0) == []
+        # Failure burst: burn = 1.0/0.1 = 10 >= 2 -> fires once.
+        _feed(store, 1.0, done=100, failed=50)
+        events = engine.evaluate(now=1.0)
+        assert [e["event"] for e in events] == ["alert_firing"]
+        assert engine.evaluate(now=2.0) == []  # still firing, no re-fire
+        assert engine.active()[0]["alert"] == "avail"
+        # Recovery: the failure counter stops moving; the 5s window
+        # drains.  Healthy ticks accumulate only after burn < 1.0.
+        for t in (7.0, 8.0, 9.0):
+            _feed(store, t, done=200, failed=50)
+            engine.evaluate(now=t)
+        _feed(store, 10.5, done=200, failed=50)
+        events = engine.evaluate(now=10.5)
+        assert [e["event"] for e in events] == ["alert_resolved"]
+        assert events[0]["fired_for_s"] == pytest.approx(9.5)
+        assert engine.active() == []
+
+    def test_unhealthy_tick_resets_the_clear_clock(self):
+        store = TimeSeriesStore()
+        slo = _availability(windows=((5.0, 2.0),), clear_after_s=4.0)
+        engine = AlertEngine(store, [slo])
+        _feed(store, 0.0, done=10)
+        engine.evaluate(now=0.0)
+        _feed(store, 1.0, done=10, failed=10)
+        assert engine.evaluate(now=1.0)  # fires
+        # Healthy at t=8, unhealthy again at t=9 (fresh failures):
+        # the t=8 health credit must not count toward clearing.
+        _feed(store, 8.0, done=30, failed=10)
+        engine.evaluate(now=8.0)
+        _feed(store, 9.0, done=30, failed=25)
+        engine.evaluate(now=9.0)
+        # The t=9 failures stay inside the 5s window until t > 14, so
+        # health only starts accumulating at t=15; had the t=8 credit
+        # survived, the alert would clear by t=12.
+        for t in (15.0, 16.0, 17.0, 18.5):
+            _feed(store, t, done=60, failed=25)
+            assert engine.evaluate(now=t) == []
+        _feed(store, 19.5, done=60, failed=25)
+        assert [e["event"] for e in engine.evaluate(now=19.5)] == [
+            "alert_resolved"
+        ]
+
+    def test_file_sink_appends_jsonl(self, tmp_path):
+        store = TimeSeriesStore()
+        path = tmp_path / "alerts" / "log.jsonl"
+        slo = _availability(windows=((5.0, 2.0),))
+        engine = AlertEngine(store, [slo], sinks=[file_sink(path)])
+        _feed(store, 0.0, done=10)
+        engine.evaluate(now=0.0)
+        _feed(store, 1.0, done=10, failed=10)
+        engine.evaluate(now=1.0)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["event"] == "alert_firing"
+        assert lines[0]["alert"] == "avail"
+
+    def test_broken_sink_never_breaks_evaluation(self):
+        store = TimeSeriesStore()
+
+        def boom(event):
+            raise RuntimeError("sink down")
+
+        engine = AlertEngine(store, [_availability(windows=((5.0, 2.0),))],
+                             sinks=[boom])
+        _feed(store, 0.0, done=10)
+        engine.evaluate(now=0.0)
+        _feed(store, 1.0, done=10, failed=10)
+        events = engine.evaluate(now=1.0)  # no raise
+        assert events and engine.recent()[0]["event"] == "alert_firing"
+
+
+class TestDefaultServiceSLOs:
+    def test_core_slos_present(self):
+        slos = {s.name for s in default_service_slos()}
+        assert "service-availability" in slos
+        assert "service-job-p99-latency" in slos
+
+    def test_zero_objective_disables_optional_slos(self):
+        names = {s.name for s in default_service_slos()}
+        assert not any("dedup" in n or "l2" in n for n in names)
+        more = {
+            s.name
+            for s in default_service_slos(
+                dedup_objective=0.5, l2_failover_objective=0.99
+            )
+        }
+        assert "service-dedup-hit-rate" in more
+        assert "cache-l2-failover-rate" in more
+
+    def test_windows_derived_from_short_window(self):
+        slos = default_service_slos(window_s=10.0, burn_threshold=3.0)
+        avail = next(s for s in slos if s.name == "service-availability")
+        assert avail.windows == ((60.0, 3.0), (10.0, 3.0))
